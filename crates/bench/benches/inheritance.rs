@@ -1,0 +1,50 @@
+//! X4 — Inherited-provenance generation cost.
+//!
+//! Section 4 offers pattern-level `descendant-or-self::*` extension;
+//! the engine also implements an equivalent posthoc graph propagation.
+//! This ablation compares both (plus the no-inheritance baseline) on the
+//! media-mining pipeline as corpus size grows. Expected shape: pattern
+//! rewriting re-pays full pattern evaluation with a wider match set and
+//! grows with document size; graph propagation costs per *link* and wins
+//! when explicit links are sparse relative to the document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use weblab_bench::run_pipeline;
+use weblab_prov::{infer_provenance, EngineOptions, InheritMode};
+
+fn bench_inheritance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x4_inheritance");
+    group.sample_size(10);
+    for n_native in [2usize, 8, 24] {
+        let executed = run_pipeline(5, n_native, 40);
+        for (name, inherit) in [
+            ("off", InheritMode::Off),
+            ("pattern_rewrite", InheritMode::PatternRewrite),
+            ("graph_propagation", InheritMode::GraphPropagation),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n_native),
+                &executed,
+                |b, e| {
+                    let opts = EngineOptions {
+                        inherit,
+                        ..Default::default()
+                    };
+                    b.iter(|| {
+                        black_box(
+                            infer_provenance(&e.doc, &e.trace, &e.rules, &opts)
+                                .links
+                                .len(),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inheritance);
+criterion_main!(benches);

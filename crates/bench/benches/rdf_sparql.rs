@@ -1,0 +1,78 @@
+//! X5 — PROV-O export and SPARQL query latency.
+//!
+//! Export a provenance graph of growing size into the triple store, then
+//! measure (a) export itself, (b) a selective one-hop SPARQL lookup and
+//! (c) a two-hop derivation-chain join. Expected shape: export is linear
+//! in links; the selective lookup is effectively constant thanks to the
+//! POS/SPO indexes; the chain join grows with the number of derivation
+//! edges but stays far below quadratic because the second pattern is
+//! bound by the first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use weblab_bench::run_synthetic;
+use weblab_prov::{infer_provenance, EngineOptions};
+use weblab_rdf::vocab::PROV_NS;
+use weblab_rdf::{export_prov, export_prov_into, parse_select, select, TripleStore};
+
+fn bench_rdf(c: &mut Criterion) {
+    let mut export_group = c.benchmark_group("x5_export");
+    export_group.sample_size(10);
+    let mut prepared = Vec::new();
+    for n_calls in [8usize, 32, 96] {
+        let executed = run_synthetic(3, n_calls, 4, 0);
+        let graph = infer_provenance(
+            &executed.doc,
+            &executed.trace,
+            &executed.rules,
+            &EngineOptions::default(),
+        );
+        let links = graph.links.len();
+        export_group.throughput(Throughput::Elements(links as u64));
+        export_group.bench_with_input(
+            BenchmarkId::from_parameter(links),
+            &graph,
+            |b, g| {
+                b.iter(|| black_box(export_prov(g).len()));
+            },
+        );
+        let mut store = TripleStore::new();
+        export_prov_into(&graph, &mut store);
+        let probe = graph.links[links / 2].from_uri.clone();
+        prepared.push((links, store, probe));
+    }
+    export_group.finish();
+
+    let mut query_group = c.benchmark_group("x5_sparql");
+    query_group.sample_size(10);
+    for (links, store, probe) in &prepared {
+        let lookup = parse_select(&format!(
+            "PREFIX prov: <{PROV_NS}> SELECT ?s WHERE {{ <{probe}> prov:wasDerivedFrom ?s . }}"
+        ))
+        .unwrap();
+        query_group.bench_with_input(
+            BenchmarkId::new("one_hop_lookup", links),
+            store,
+            |b, st| {
+                b.iter(|| black_box(select(st, &lookup).len()));
+            },
+        );
+        let chain = parse_select(&format!(
+            "PREFIX prov: <{PROV_NS}> SELECT ?a ?b ?c WHERE {{ \
+               ?a prov:wasDerivedFrom ?b . ?b prov:wasDerivedFrom ?c . }}"
+        ))
+        .unwrap();
+        query_group.bench_with_input(
+            BenchmarkId::new("two_hop_chain", links),
+            store,
+            |b, st| {
+                b.iter(|| black_box(select(st, &chain).len()));
+            },
+        );
+    }
+    query_group.finish();
+}
+
+criterion_group!(benches, bench_rdf);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! X6 — Recorder XML-diff cost versus document size.
+//!
+//! The Recorder's exchange path diffs a full response document against the
+//! stored state. Measures (a) the general structural diff between two
+//! independent documents and (b) the in-arena `new_fragments_since`
+//! shortcut used by in-process execution. Expected shape: both linear in
+//! document size, with the in-arena path one to two orders of magnitude
+//! cheaper — quantifying what the append-only arena buys the platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use weblab_bench::wide_document;
+use weblab_xml::diff_documents;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x6_xml_diff");
+    group.sample_size(10);
+    for leaves in [100usize, 1000, 5000] {
+        // old = the document with `leaves` items; new = old + 10% appended
+        let mut new_doc = wide_document(leaves);
+        let old_mark = new_doc.mark();
+        let old_doc = new_doc.materialize_state(old_mark);
+        let root = new_doc.root();
+        for i in 0..(leaves / 10).max(1) {
+            let n = new_doc.append_element(root, "Item").unwrap();
+            new_doc.set_attr(n, "key", format!("new{i}")).unwrap();
+            new_doc
+                .register_resource(n, format!("new/{i}"), None)
+                .unwrap();
+        }
+
+        group.throughput(Throughput::Elements(leaves as u64));
+        group.bench_with_input(
+            BenchmarkId::new("general_structural_diff", leaves),
+            &(old_doc, new_doc.clone()),
+            |b, (old, new)| {
+                b.iter(|| {
+                    black_box(
+                        diff_documents(&old.view(), &new.view())
+                            .unwrap()
+                            .fragment_roots
+                            .len(),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("in_arena_marks", leaves),
+            &new_doc,
+            |b, doc| {
+                b.iter(|| black_box(doc.new_fragments_since(old_mark).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! X7 — Ablation of the compiled-XQuery optimisations (Example 9's claim).
+//!
+//! Compiles the M2-style rule for one call and evaluates it on documents
+//! with a growing number of TextMediaUnits, toggling (a) ID-join fusion
+//! and (b) eager where-conjunct scheduling. Expected shape: the unfused,
+//! lazy variant grows quadratically (the cross product of the two
+//! `//TextMediaUnit` loops); fusion removes the second loop and restores
+//! near-linear growth; eager scheduling alone also prunes the cross
+//! product early but keeps the redundant scan, landing in between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use weblab_prov::MappingRule;
+use weblab_workflow::generator::generate_corpus;
+use weblab_workflow::services::{LanguageExtractor, Normaliser};
+use weblab_workflow::{Orchestrator, Workflow};
+use weblab_xml::Document;
+use weblab_xquery::{compile_rule, evaluate_with, fuse_id_joins, XqEvalOptions};
+
+fn annotated_corpus(n_native: usize) -> Document {
+    let mut doc = generate_corpus(11, n_native, 30);
+    let wf = Workflow::new().then(Normaliser).then(LanguageExtractor);
+    Orchestrator::new().execute(&wf, &mut doc).unwrap();
+    doc
+}
+
+fn bench_xquery_opt(c: &mut Criterion) {
+    let rule = MappingRule::parse(
+        "//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]",
+    )
+    .unwrap();
+    let compiled = compile_rule(&rule, Some(("LanguageExtractor", 2))).unwrap();
+    let fused = fuse_id_joins(&compiled);
+
+    let mut group = c.benchmark_group("x7_xquery_optimisation");
+    group.sample_size(10);
+    for n_units in [8usize, 32, 128] {
+        let doc = annotated_corpus(n_units);
+        group.throughput(Throughput::Elements(n_units as u64));
+        for (name, query, eager) in [
+            ("unfused_lazy", &compiled, false),
+            ("unfused_eager", &compiled, true),
+            ("fused_lazy", &fused, false),
+            ("fused_eager", &fused, true),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n_units),
+                &doc,
+                |b, d| {
+                    let opts = XqEvalOptions { eager_where: eager };
+                    b.iter(|| black_box(evaluate_with(query, &d.view(), &opts).len()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xquery_opt);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! The Mapper — materialising provenance graphs from execution traces.
+//!
+//! Figure 5's central component: "the Mapper materializes the request by
+//! applying the corresponding mapping rules on the execution trace. It
+//! collects all execution trace triples…, calls the Resource Repository
+//! for obtaining the final resource…, obtains the mapping rules from the
+//! Service Catalog. All these data and rules are then combined to construct
+//! an XQuery expression for building the provenance graph."
+//!
+//! Both of the paper's computation paths are available: the native
+//! pattern-join engine of `weblab-prov` (with any of its strategies) and
+//! the compiled-XQuery pipeline of `weblab-xquery`.
+
+use std::fmt;
+
+use weblab_prov::{
+    infer_provenance, EngineOptions, ExecutionTrace, ProvenanceGraph, RuleSet,
+};
+use weblab_xml::Document;
+use weblab_xquery::{infer_provenance_xquery, CompileError, XQueryStrategyOptions};
+
+/// Which computation path the Mapper uses.
+#[derive(Debug, Clone)]
+pub enum MapperStrategy {
+    /// Native pattern evaluation and algebraic join (Definition 8/9).
+    Native(EngineOptions),
+    /// Compile every rule to XQuery and evaluate on the final document
+    /// (Section 6, Example 9).
+    XQuery(XQueryStrategyOptions),
+}
+
+impl Default for MapperStrategy {
+    fn default() -> Self {
+        MapperStrategy::Native(EngineOptions::default())
+    }
+}
+
+/// Mapper failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperError {
+    /// A rule could not be compiled to XQuery.
+    Compile(CompileError),
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapperError {}
+
+/// The Mapper component.
+#[derive(Debug, Clone, Default)]
+pub struct Mapper {
+    /// Computation path.
+    pub strategy: MapperStrategy,
+}
+
+impl Mapper {
+    /// A mapper using the native engine with default options.
+    pub fn native() -> Self {
+        Mapper {
+            strategy: MapperStrategy::Native(EngineOptions::default()),
+        }
+    }
+
+    /// A mapper using compiled XQuery.
+    pub fn xquery() -> Self {
+        Mapper {
+            strategy: MapperStrategy::XQuery(XQueryStrategyOptions::default()),
+        }
+    }
+
+    /// Materialise the provenance graph of one execution.
+    pub fn materialize(
+        &self,
+        doc: &Document,
+        trace: &ExecutionTrace,
+        rules: &RuleSet,
+    ) -> Result<ProvenanceGraph, MapperError> {
+        match &self.strategy {
+            MapperStrategy::Native(opts) => Ok(infer_provenance(doc, trace, rules, opts)),
+            MapperStrategy::XQuery(opts) => infer_provenance_xquery(doc, trace, rules, opts)
+                .map_err(MapperError::Compile),
+        }
+    }
+
+    /// Compute only the links contributed by `trace.calls[first_call..]` —
+    /// the incremental path used by the Request Manager when new calls
+    /// arrive after a graph was already materialised.
+    pub fn materialize_since(
+        &self,
+        doc: &Document,
+        trace: &ExecutionTrace,
+        first_call: usize,
+        rules: &RuleSet,
+    ) -> Result<Vec<weblab_prov::ProvLink>, MapperError> {
+        match &self.strategy {
+            MapperStrategy::Native(opts) => Ok(weblab_prov::infer_links_since(
+                doc, trace, first_call, rules, opts,
+            )),
+            MapperStrategy::XQuery(opts) => {
+                let channel_map = trace.channel_map();
+                let mut links = Vec::new();
+                for call in &trace.calls[first_call.min(trace.calls.len())..] {
+                    for rule in rules.rules_for(&call.service) {
+                        let call_links =
+                            weblab_xquery::xquery_call_provenance(rule, doc, call, opts)
+                                .map_err(MapperError::Compile)?;
+                        links.extend(weblab_prov::filter_links_by_channel(
+                            &doc.view(),
+                            call_links,
+                            &call.channel,
+                            &channel_map,
+                        ));
+                    }
+                }
+                links.sort();
+                links.dedup();
+                Ok(links)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_prov::paper_example;
+
+    #[test]
+    fn native_and_xquery_mappers_agree_on_compilable_rules() {
+        let (doc, trace, _) = paper_example::build();
+        let mut rules = RuleSet::new();
+        rules
+            .add_parsed("LanguageExtractor", paper_example::M2)
+            .unwrap();
+        rules.add_parsed("Translator", paper_example::M3).unwrap();
+        let native = Mapper::native().materialize(&doc, &trace, &rules).unwrap();
+        let xquery = Mapper::xquery().materialize(&doc, &trace, &rules).unwrap();
+        assert_eq!(native.links, xquery.links);
+    }
+
+    #[test]
+    fn xquery_mapper_reports_compile_errors() {
+        let (doc, trace, rules) = paper_example::build(); // M1 has a position predicate
+        let err = Mapper::xquery().materialize(&doc, &trace, &rules).unwrap_err();
+        assert!(matches!(err, MapperError::Compile(_)));
+        // the native mapper handles the full rule language
+        assert!(Mapper::native().materialize(&doc, &trace, &rules).is_ok());
+    }
+}

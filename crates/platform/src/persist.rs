@@ -1,0 +1,291 @@
+//! Durable execution storage.
+//!
+//! Executions persist as two plain files per execution id inside a
+//! directory:
+//!
+//! * `<id>.xml` — the stamped WebLab document (resource metadata carried by
+//!   the `wl:id`/`wl:s`/`wl:t` attributes, so the file is self-contained);
+//! * `<id>.trace` — the execution trace in a line format mirroring the
+//!   Service Catalog's style:
+//!
+//! ```text
+//! call: Normaliser | 1 | 0,0 | 12,5 |  | weblab://res/a,weblab://res/b
+//! #       service    time  in     out  chan produced uris
+//! ```
+//!
+//! State marks serialise as `nodes,resources` counter pairs. A caveat
+//! applies after reload: XML serialisation is pre-order, so the reloaded
+//! arena's node ids follow document order, which can differ from the
+//! original creation order when later calls appended under earlier
+//! parents. The counters remain correct as *sizes*, but per-call
+//! `StateReplay` over a reloaded execution is not guaranteed to see the
+//! exact historical states; use the posthoc strategies
+//! (`TemporalRewrite`, `GroupedSinglePass`) on reloaded executions — they
+//! depend only on labels and the final state, exactly like
+//! `ExecutionTrace::reconstruct_from`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use weblab_prov::{CallRecord, ExecutionTrace};
+use weblab_xml::{parse_document, to_xml_string, Document, StateMark};
+
+/// Persistence failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The document file failed to parse.
+    Xml(String),
+    /// The trace file is malformed.
+    Trace {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Xml(m) => write!(f, "document error: {m}"),
+            PersistError::Trace { line, message } => {
+                write!(f, "trace format error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn mark_to_string(m: StateMark) -> String {
+    format!("{},{}", m.node_count(), m.resource_count())
+}
+
+fn mark_from_str(s: &str, line: usize) -> Result<StateMark, PersistError> {
+    let (n, r) = s.split_once(',').ok_or(PersistError::Trace {
+        line,
+        message: format!("expected 'nodes,resources', found {s:?}"),
+    })?;
+    let parse = |v: &str| {
+        v.trim().parse::<usize>().map_err(|_| PersistError::Trace {
+            line,
+            message: format!("invalid counter {v:?}"),
+        })
+    };
+    Ok(StateMark::from_counts(parse(n)?, parse(r)?))
+}
+
+/// Serialise a trace to the line format.
+pub fn trace_to_text(doc: &Document, trace: &ExecutionTrace) -> String {
+    let mut out = String::new();
+    for c in &trace.calls {
+        let uris: Vec<&str> = c
+            .produced
+            .iter()
+            .filter_map(|&n| doc.resource(n).map(|m| m.uri.as_str()))
+            .collect();
+        out.push_str(&format!(
+            "call: {} | {} | {} | {} | {} | {}\n",
+            c.service,
+            c.time,
+            mark_to_string(c.input),
+            mark_to_string(c.output),
+            c.channel,
+            uris.join(",")
+        ));
+    }
+    out
+}
+
+/// Parse a trace from the line format, resolving produced URIs against the
+/// document.
+pub fn trace_from_text(doc: &Document, text: &str) -> Result<ExecutionTrace, PersistError> {
+    let mut trace = ExecutionTrace::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let raw = raw.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let rest = raw.strip_prefix("call:").ok_or(PersistError::Trace {
+            line,
+            message: "expected 'call:' prefix".into(),
+        })?;
+        let parts: Vec<&str> = rest.split('|').map(str::trim).collect();
+        if parts.len() != 6 {
+            return Err(PersistError::Trace {
+                line,
+                message: format!("expected 6 fields, found {}", parts.len()),
+            });
+        }
+        let time = parts[1].parse().map_err(|_| PersistError::Trace {
+            line,
+            message: format!("invalid time {:?}", parts[1]),
+        })?;
+        let produced = if parts[5].is_empty() {
+            Vec::new()
+        } else {
+            parts[5]
+                .split(',')
+                .map(|u| {
+                    doc.node_by_uri(u.trim()).ok_or(PersistError::Trace {
+                        line,
+                        message: format!("produced uri {u:?} not in document"),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        trace.calls.push(CallRecord {
+            service: parts[0].to_string(),
+            time,
+            input: mark_from_str(parts[2], line)?,
+            output: mark_from_str(parts[3], line)?,
+            produced,
+            channel: parts[4].to_string(),
+        });
+    }
+    Ok(trace)
+}
+
+/// Write an execution (document + trace) into `dir`.
+pub fn save_execution(
+    dir: &Path,
+    exec_id: &str,
+    doc: &Document,
+    trace: &ExecutionTrace,
+) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(doc_path(dir, exec_id), to_xml_string(&doc.view()))?;
+    std::fs::write(trace_path(dir, exec_id), trace_to_text(doc, trace))?;
+    Ok(())
+}
+
+/// Load an execution written by [`save_execution`].
+pub fn load_execution(
+    dir: &Path,
+    exec_id: &str,
+) -> Result<(Document, ExecutionTrace), PersistError> {
+    let xml = std::fs::read_to_string(doc_path(dir, exec_id))?;
+    let doc = parse_document(&xml).map_err(|e| PersistError::Xml(e.to_string()))?;
+    let text = std::fs::read_to_string(trace_path(dir, exec_id))?;
+    let trace = trace_from_text(&doc, &text)?;
+    Ok((doc, trace))
+}
+
+fn doc_path(dir: &Path, exec_id: &str) -> PathBuf {
+    dir.join(format!("{}.xml", sanitise(exec_id)))
+}
+
+fn trace_path(dir: &Path, exec_id: &str) -> PathBuf {
+    dir.join(format!("{}.trace", sanitise(exec_id)))
+}
+
+fn sanitise(id: &str) -> String {
+    id.chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_prov::{infer_provenance, EngineOptions};
+    use weblab_workflow::generator::synthetic_workload;
+    use weblab_workflow::Orchestrator;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("weblab-persist-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_inference() {
+        let (mut doc, wf, rules) = synthetic_workload(21, 4, 3, 4);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let dir = tmpdir("roundtrip");
+        save_execution(&dir, "exec/1", &doc, &outcome.trace).unwrap();
+        let (doc2, trace2) = load_execution(&dir, "exec/1").unwrap();
+
+        // structure identical
+        assert_eq!(
+            to_xml_string(&doc.view()),
+            to_xml_string(&doc2.view())
+        );
+        // trace metadata identical (produced compared by uri)
+        assert_eq!(outcome.trace.len(), trace2.len());
+        for (a, b) in outcome.trace.calls.iter().zip(&trace2.calls) {
+            assert_eq!(a.service, b.service);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.channel, b.channel);
+            assert_eq!(a.produced.len(), b.produced.len());
+        }
+        // inference over the reloaded execution gives the same link pairs
+        let opts = EngineOptions::default();
+        let g1 = infer_provenance(&doc, &outcome.trace, &rules, &opts);
+        let g2 = infer_provenance(&doc2, &trace2, &rules, &opts);
+        let pairs = |g: &weblab_prov::ProvenanceGraph| {
+            g.links
+                .iter()
+                .map(|l| (l.from_uri.clone(), l.to_uri.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(&g1), pairs(&g2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_text_round_trips_channels_and_marks() {
+        let mut doc = Document::new("Resource");
+        let root = doc.root();
+        let d0 = doc.mark();
+        let a = doc.append_element(root, "A").unwrap();
+        doc.register_resource(a, "ra", Some(weblab_xml::CallLabel::new("S", 1)))
+            .unwrap();
+        let d1 = doc.mark();
+        let mut trace = ExecutionTrace::default();
+        trace.record_call_on_channel(&doc, "S", 1, d0, d1, "0.1");
+        let text = trace_to_text(&doc, &trace);
+        assert!(text.contains("| 0.1 |"));
+        let back = trace_from_text(&doc, &text).unwrap();
+        assert_eq!(back.calls[0].channel, "0.1");
+        assert_eq!(back.calls[0].input.node_count(), d0.node_count());
+        assert_eq!(back.calls[0].produced, vec![a]);
+    }
+
+    #[test]
+    fn malformed_trace_lines_are_rejected_with_line_numbers() {
+        let doc = Document::new("Resource");
+        for (text, expect_line) in [
+            ("garbage", 1),
+            ("call: S | x | 0,0 | 0,0 |  | ", 1),
+            ("call: S | 1 | 0 | 0,0 |  | ", 1),
+            ("\n\ncall: S | 1 | 0,0 | 0,0 |  | missing://uri", 3),
+        ] {
+            match trace_from_text(&doc, text) {
+                Err(PersistError::Trace { line, .. }) => assert_eq!(line, expect_line),
+                other => panic!("expected trace error, got {other:?}"),
+            }
+        }
+        // comments and blanks are fine
+        assert!(trace_from_text(&doc, "# empty\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let dir = tmpdir("missing");
+        assert!(matches!(
+            load_execution(&dir, "nope"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

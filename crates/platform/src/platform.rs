@@ -1,0 +1,495 @@
+//! The assembled WebLab PROV platform (Figure 5) and its Request Manager.
+//!
+//! [`Platform`] wires the Recorder, Resource Repository, Execution Trace
+//! store, Service Catalog, Mapper and Provenance triple store together.
+//! The Request Manager behaviour lives in [`Platform::provenance_query`]:
+//! "it first checks in the Provenance triple-store if the graph has
+//! already been materialized by a previous query. If not, the Mapper
+//! materializes the request…".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use weblab_prov::ProvenanceGraph;
+use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
+use weblab_workflow::{next_time, Orchestrator, Service, Workflow, WorkflowError};
+use weblab_xml::Document;
+
+use crate::catalog::{CatalogError, ServiceCatalog};
+use crate::mapper::{Mapper, MapperError};
+use crate::recorder::{Recorder, RecorderError};
+use crate::repository::ResourceRepository;
+use crate::trace_store::TraceStore;
+
+/// Platform-level failure.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Unknown execution id.
+    UnknownExecution(String),
+    /// A workflow step names a service with no registered implementation.
+    UnknownService(String),
+    /// Catalog manipulation failed.
+    Catalog(CatalogError),
+    /// A service call failed.
+    Workflow(WorkflowError),
+    /// Recording failed.
+    Recorder(RecorderError),
+    /// Provenance materialisation failed.
+    Mapper(MapperError),
+    /// A provenance query failed to parse.
+    Sparql(SparqlError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownExecution(e) => write!(f, "unknown execution {e:?}"),
+            PlatformError::UnknownService(s) => write!(f, "no implementation for service {s:?}"),
+            PlatformError::Catalog(e) => write!(f, "{e}"),
+            PlatformError::Workflow(e) => write!(f, "{e}"),
+            PlatformError::Recorder(e) => write!(f, "{e}"),
+            PlatformError::Mapper(e) => write!(f, "{e}"),
+            PlatformError::Sparql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<CatalogError> for PlatformError {
+    fn from(e: CatalogError) -> Self {
+        PlatformError::Catalog(e)
+    }
+}
+
+impl From<WorkflowError> for PlatformError {
+    fn from(e: WorkflowError) -> Self {
+        PlatformError::Workflow(e)
+    }
+}
+
+impl From<RecorderError> for PlatformError {
+    fn from(e: RecorderError) -> Self {
+        PlatformError::Recorder(e)
+    }
+}
+
+impl From<MapperError> for PlatformError {
+    fn from(e: MapperError) -> Self {
+        PlatformError::Mapper(e)
+    }
+}
+
+impl From<SparqlError> for PlatformError {
+    fn from(e: SparqlError) -> Self {
+        PlatformError::Sparql(e)
+    }
+}
+
+/// A declarative workflow specification over *registered service names*:
+/// the platform resolves each name against its service registry and builds
+/// the executable [`Workflow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecStep {
+    /// A single service call, by registered name.
+    Service(String),
+    /// A parallel block of branches (Section 8 extension).
+    Parallel(Vec<WorkflowSpec>),
+}
+
+/// An ordered list of [`SpecStep`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkflowSpec {
+    /// The steps.
+    pub steps: Vec<SpecStep>,
+}
+
+impl WorkflowSpec {
+    /// A sequential spec from service names.
+    pub fn sequence(names: &[&str]) -> Self {
+        WorkflowSpec {
+            steps: names
+                .iter()
+                .map(|n| SpecStep::Service(n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Append a service step.
+    pub fn then(mut self, name: impl Into<String>) -> Self {
+        self.steps.push(SpecStep::Service(name.into()));
+        self
+    }
+
+    /// Append a parallel block.
+    pub fn then_parallel(mut self, branches: Vec<WorkflowSpec>) -> Self {
+        self.steps.push(SpecStep::Parallel(branches));
+        self
+    }
+}
+
+/// The assembled platform.
+pub struct Platform {
+    repository: Arc<ResourceRepository>,
+    traces: Arc<TraceStore>,
+    recorder: Recorder,
+    catalog: RwLock<ServiceCatalog>,
+    services: RwLock<HashMap<String, Arc<dyn Service>>>,
+    provenance: RwLock<TripleStore>,
+    materialized: RwLock<HashMap<String, MaterializedGraph>>,
+    mapper: Mapper,
+}
+
+/// Cache entry: the graph as of a number of recorded calls.
+#[derive(Clone)]
+struct MaterializedGraph {
+    calls: usize,
+    graph: ProvenanceGraph,
+}
+
+impl Platform {
+    /// Build a platform with the given Mapper configuration.
+    pub fn new(mapper: Mapper) -> Self {
+        let repository = Arc::new(ResourceRepository::new());
+        let traces = Arc::new(TraceStore::new());
+        Platform {
+            recorder: Recorder {
+                repository: Arc::clone(&repository),
+                traces: Arc::clone(&traces),
+            },
+            repository,
+            traces,
+            catalog: RwLock::new(ServiceCatalog::new()),
+            services: RwLock::new(HashMap::new()),
+            provenance: RwLock::new(TripleStore::new()),
+            materialized: RwLock::new(HashMap::new()),
+            mapper,
+        }
+    }
+
+    /// Access the underlying Recorder (e.g. for out-of-process exchanges).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Access the catalog (read lock).
+    pub fn catalog_text(&self) -> String {
+        self.catalog.read().to_text()
+    }
+
+    /// Register a service implementation together with its catalog entry
+    /// (endpoint/signature defaults plus its mapping rules `M(s)`).
+    pub fn register_service(
+        &self,
+        service: Arc<dyn Service>,
+        rules: &[&str],
+    ) -> Result<(), PlatformError> {
+        let name = service.name().to_string();
+        self.catalog.write().register_simple(&name, rules)?;
+        self.services.write().insert(name, service);
+        Ok(())
+    }
+
+    /// Ingest an initial document as a new execution.
+    pub fn ingest(&self, exec_id: &str, doc: Document) {
+        self.repository.put(exec_id, doc);
+    }
+
+    /// Execute a sequential workflow (a sequence of registered service
+    /// names) over a stored execution's document, recording every call.
+    pub fn execute(&self, exec_id: &str, steps: &[&str]) -> Result<(), PlatformError> {
+        self.execute_spec(exec_id, &WorkflowSpec::sequence(steps))
+    }
+
+    /// Execute a [`WorkflowSpec`] — possibly containing parallel blocks —
+    /// over a stored execution's document. Branch calls are recorded with
+    /// their control-flow channels, which the Mapper's strategies respect
+    /// during inference.
+    pub fn execute_spec(&self, exec_id: &str, spec: &WorkflowSpec) -> Result<(), PlatformError> {
+        let mut doc = self
+            .repository
+            .get(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let mut start = next_time(&doc);
+        if let Some(t) = self.traces.get(exec_id) {
+            if let Some(last) = t.calls.last() {
+                start = start.max(last.time + 1);
+            }
+        }
+        let workflow = self.build_workflow(spec)?;
+        let outcome = Orchestrator::new().execute_starting_at(&workflow, &mut doc, start)?;
+        // persist: document into the repository, calls into the trace store
+        for call in &outcome.trace.calls {
+            let produced_uris: Vec<String> = call
+                .produced
+                .iter()
+                .filter_map(|&n| doc.resource(n).map(|m| m.uri.clone()))
+                .collect();
+            self.traces.record(exec_id, call.clone(), &produced_uris);
+        }
+        self.repository.put(exec_id, doc);
+        Ok(())
+    }
+
+    fn build_workflow(&self, spec: &WorkflowSpec) -> Result<Workflow, PlatformError> {
+        let services = self.services.read();
+        let mut wf = Workflow::new();
+        for step in &spec.steps {
+            match step {
+                SpecStep::Service(name) => {
+                    let svc = services
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| PlatformError::UnknownService(name.clone()))?;
+                    wf = wf.then(svc);
+                }
+                SpecStep::Parallel(branches) => {
+                    let built: Result<Vec<Workflow>, PlatformError> =
+                        branches.iter().map(|b| self.build_workflow(b)).collect();
+                    wf = wf.then_parallel(built?);
+                }
+            }
+        }
+        Ok(wf)
+    }
+
+    /// Materialise (or fetch) the provenance graph of an execution.
+    ///
+    /// Materialisation is **incremental**: a cached graph is extended with
+    /// the links of calls recorded since it was built, instead of
+    /// re-deriving everything. (The one operation this cannot absorb is a
+    /// later *promotion* of content predating cached calls; use
+    /// [`Platform::invalidate_provenance`] after such an ingest.)
+    pub fn provenance_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        let doc = self
+            .repository
+            .get(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let trace = self
+            .traces
+            .get(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let cached = self.materialized.read().get(exec_id).cloned();
+        if let Some(entry) = &cached {
+            if entry.calls == trace.len() {
+                return Ok(entry.graph.clone());
+            }
+        }
+        let first = cached.as_ref().map(|e| e.calls).unwrap_or(0);
+        let rules = self.catalog.read().rule_set();
+        let delta = self
+            .mapper
+            .materialize_since(&doc, &trace, first, &rules)?;
+        let mut graph = ProvenanceGraph::from_view(&doc.view());
+        if let Some(entry) = cached {
+            graph.add_links(entry.graph.links);
+        }
+        graph.add_links(delta);
+        self.provenance.write().extend(export_prov(&graph));
+        self.materialized.write().insert(
+            exec_id.to_string(),
+            MaterializedGraph {
+                calls: trace.len(),
+                graph: graph.clone(),
+            },
+        );
+        Ok(graph)
+    }
+
+    /// Drop the cached graph of an execution, forcing full
+    /// re-materialisation on the next query.
+    pub fn invalidate_provenance(&self, exec_id: &str) {
+        self.materialized.write().remove(exec_id);
+    }
+
+    /// Answer a SPARQL provenance query for an execution — the Request
+    /// Manager: materialise on first use, then query the Provenance triple
+    /// store.
+    pub fn provenance_query(
+        &self,
+        exec_id: &str,
+        sparql: &str,
+    ) -> Result<Vec<Solution>, PlatformError> {
+        if !self.is_materialized(exec_id) {
+            self.provenance_graph(exec_id)?;
+        }
+        let query = parse_select(sparql)?;
+        Ok(select(&self.provenance.read(), &query))
+    }
+
+    /// Whether the execution's graph is materialised and current (exposed
+    /// for tests and the cache-behaviour benchmark).
+    pub fn is_materialized(&self, exec_id: &str) -> bool {
+        let trace_len = self.traces.get(exec_id).map(|t| t.len()).unwrap_or(0);
+        self.materialized
+            .read()
+            .get(exec_id)
+            .map(|e| e.calls == trace_len)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_rdf::vocab::PROV_NS;
+    use weblab_workflow::generator::generate_corpus;
+    use weblab_workflow::services::{LanguageExtractor, Normaliser, Translator};
+
+    fn platform() -> Platform {
+        let p = Platform::new(Mapper::native());
+        p.register_service(
+            Arc::new(Normaliser),
+            &["//NativeContent[$x := @id] => //TextMediaUnit[@origin = $x]"],
+        )
+        .unwrap();
+        p.register_service(
+            Arc::new(LanguageExtractor),
+            &["//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]"],
+        )
+        .unwrap();
+        p.register_service(
+            Arc::new(Translator::default()),
+            &["//TextMediaUnit[$x := @id] => //TextMediaUnit[@translation-of = $x]"],
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn end_to_end_execution_and_query() {
+        let p = platform();
+        p.ingest("exec-1", generate_corpus(3, 2, 25));
+        p.execute(
+            "exec-1",
+            &["Normaliser", "LanguageExtractor", "Translator"],
+        )
+        .unwrap();
+        let graph = p.provenance_graph("exec-1").unwrap();
+        assert!(!graph.links.is_empty());
+        assert!(graph.is_acyclic());
+        // SPARQL over the materialised store
+        let sols = p
+            .provenance_query(
+                "exec-1",
+                &format!(
+                    "PREFIX prov: <{PROV_NS}> SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}"
+                ),
+            )
+            .unwrap();
+        assert_eq!(sols.len(), graph.links.len());
+        assert!(p.is_materialized("exec-1"));
+    }
+
+    #[test]
+    fn query_triggers_materialisation_once() {
+        let p = platform();
+        p.ingest("e", generate_corpus(5, 1, 20));
+        p.execute("e", &["Normaliser"]).unwrap();
+        assert!(!p.is_materialized("e"));
+        p.provenance_query("e", "SELECT ?s WHERE { ?s <p> ?o . }")
+            .unwrap();
+        assert!(p.is_materialized("e"));
+    }
+
+    #[test]
+    fn execute_makes_materialisation_stale_and_delta_restores_it() {
+        let p = platform();
+        p.ingest("e", generate_corpus(5, 1, 20));
+        p.execute("e", &["Normaliser"]).unwrap();
+        let g1 = p.provenance_graph("e").unwrap();
+        assert!(p.is_materialized("e"));
+        p.execute("e", &["LanguageExtractor"]).unwrap();
+        assert!(!p.is_materialized("e")); // stale: one call un-materialised
+        // incremental re-materialisation equals a from-scratch derivation
+        let g2 = p.provenance_graph("e").unwrap();
+        assert!(p.is_materialized("e"));
+        assert!(g2.links.len() > g1.links.len());
+        p.invalidate_provenance("e");
+        assert!(!p.is_materialized("e"));
+        let g3 = p.provenance_graph("e").unwrap();
+        assert_eq!(g2.links, g3.links);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let p = platform();
+        assert!(matches!(
+            p.execute("nope", &["Normaliser"]),
+            Err(PlatformError::UnknownExecution(_))
+        ));
+        p.ingest("e", generate_corpus(1, 1, 10));
+        assert!(matches!(
+            p.execute("e", &["NoSuchService"]),
+            Err(PlatformError::UnknownService(_))
+        ));
+        assert!(matches!(
+            p.provenance_graph("other"),
+            Err(PlatformError::UnknownExecution(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_spec_execution_records_channels() {
+        let p = platform();
+        // bilingual corpus processed by two parallel analysis branches
+        p.ingest("e", generate_corpus(8, 2, 30));
+        let spec = WorkflowSpec::default()
+            .then("Normaliser")
+            .then_parallel(vec![
+                WorkflowSpec::sequence(&["LanguageExtractor"]),
+                WorkflowSpec::sequence(&["Translator"]),
+            ]);
+        p.execute_spec("e", &spec).unwrap();
+        let trace = p.traces.get("e").unwrap();
+        let channels: Vec<&str> =
+            trace.calls.iter().map(|c| c.channel.as_str()).collect();
+        assert_eq!(channels, vec!["", "0", "1"]);
+        // provenance still materialises and stays acyclic
+        let g = p.provenance_graph("e").unwrap();
+        assert!(g.is_acyclic());
+        // the Translator branch could not see the sibling's annotations:
+        // every Translator dependency predates the fork
+        for l in &g.links {
+            if l.from_uri.contains("Translator") {
+                assert!(!l.to_uri.contains("LanguageExtractor"));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_service_in_spec_is_reported() {
+        let p = platform();
+        p.ingest("e", generate_corpus(1, 1, 10));
+        let spec = WorkflowSpec::default()
+            .then_parallel(vec![WorkflowSpec::sequence(&["Nope"])]);
+        assert!(matches!(
+            p.execute_spec("e", &spec),
+            Err(PlatformError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_text_lists_registered_services() {
+        let p = platform();
+        let text = p.catalog_text();
+        assert!(text.contains("[service] Normaliser"));
+        assert!(text.contains("rule: //NativeContent"));
+    }
+
+    #[test]
+    fn executions_share_the_provenance_store_but_not_graphs() {
+        let p = platform();
+        p.ingest("a", generate_corpus(1, 1, 15));
+        p.ingest("b", generate_corpus(2, 1, 15));
+        p.execute("a", &["Normaliser"]).unwrap();
+        p.execute("b", &["Normaliser"]).unwrap();
+        let ga = p.provenance_graph("a").unwrap();
+        let gb = p.provenance_graph("b").unwrap();
+        assert!(!ga.links.is_empty());
+        assert!(!gb.links.is_empty());
+        assert!(p.is_materialized("a") && p.is_materialized("b"));
+    }
+}

@@ -1,0 +1,96 @@
+//! The Resource Repository — the platform's versioned XML document store.
+//!
+//! Figure 5: the Recorder "replaces the updated WebLab document in the
+//! Resource Repository"; the Mapper later "calls the Resource Repository
+//! for obtaining the final resource of the workflow execution". Documents
+//! are keyed by execution id; because a [`Document`] carries its whole
+//! append-only history, storing the latest version retains every earlier
+//! state.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use weblab_xml::Document;
+
+/// Thread-safe store of workflow documents, keyed by execution id.
+#[derive(Debug, Default)]
+pub struct ResourceRepository {
+    docs: RwLock<HashMap<String, Document>>,
+}
+
+impl ResourceRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        ResourceRepository::default()
+    }
+
+    /// Store (or replace) the document of an execution.
+    pub fn put(&self, exec_id: impl Into<String>, doc: Document) {
+        self.docs.write().insert(exec_id.into(), doc);
+    }
+
+    /// Clone the stored document of an execution.
+    pub fn get(&self, exec_id: &str) -> Option<Document> {
+        self.docs.read().get(exec_id).cloned()
+    }
+
+    /// Read-only access without cloning.
+    pub fn with<R>(&self, exec_id: &str, f: impl FnOnce(&Document) -> R) -> Option<R> {
+        self.docs.read().get(exec_id).map(f)
+    }
+
+    /// Number of stored executions.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.read().is_empty()
+    }
+
+    /// Known execution ids, sorted.
+    pub fn execution_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.docs.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let repo = ResourceRepository::new();
+        let doc = Document::new("Resource");
+        repo.put("exec-1", doc);
+        assert!(repo.get("exec-1").is_some());
+        assert!(repo.get("exec-2").is_none());
+        assert_eq!(repo.execution_ids(), vec!["exec-1"]);
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn with_reads_in_place() {
+        let repo = ResourceRepository::new();
+        let mut doc = Document::new("Resource");
+        doc.append_element(doc.root(), "X").unwrap();
+        repo.put("e", doc);
+        let n = repo.with("e", |d| d.node_count()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(repo.with("missing", |d| d.node_count()), None);
+    }
+
+    #[test]
+    fn put_replaces_previous_version() {
+        let repo = ResourceRepository::new();
+        repo.put("e", Document::new("A"));
+        let mut v2 = Document::new("A");
+        v2.append_element(v2.root(), "More").unwrap();
+        repo.put("e", v2);
+        assert_eq!(repo.with("e", |d| d.node_count()).unwrap(), 2);
+        assert_eq!(repo.len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! The Execution Trace store.
+//!
+//! Figure 5: the Recorder "transmits all generated meta-data (service,
+//! timestamp, generated nodes) to the Execution Trace triple-store for
+//! future use". The store keeps the structured [`ExecutionTrace`] (what
+//! the Mapper consumes) and mirrors it into RDF triples so the trace is
+//! SPARQL-queryable like everything else in the architecture.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use weblab_prov::{CallRecord, ExecutionTrace};
+use weblab_rdf::{vocab, Term, Triple, TripleStore};
+
+/// Namespace predicates for trace triples.
+const WL_SERVICE: &str = "http://weblab.example.org/prov#service";
+const WL_TIME: &str = "http://weblab.example.org/prov#time";
+const WL_PRODUCED: &str = "http://weblab.example.org/prov#produced";
+const WL_IN_EXECUTION: &str = "http://weblab.example.org/prov#inExecution";
+
+/// Thread-safe store of execution traces.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    traces: RwLock<HashMap<String, ExecutionTrace>>,
+    triples: RwLock<TripleStore>,
+}
+
+impl TraceStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Record one call of an execution, extending both the structured
+    /// trace and the RDF mirror. `produced_uris` are the URIs of
+    /// `out(c_i)`.
+    pub fn record(&self, exec_id: &str, call: CallRecord, produced_uris: &[String]) {
+        let activity = Term::iri(vocab::activity_iri(&call.service, call.time));
+        {
+            let mut triples = self.triples.write();
+            triples.insert(Triple::new(
+                activity.clone(),
+                Term::iri(WL_IN_EXECUTION),
+                Term::lit(exec_id),
+            ));
+            triples.insert(Triple::new(
+                activity.clone(),
+                Term::iri(WL_SERVICE),
+                Term::lit(&call.service),
+            ));
+            triples.insert(Triple::new(
+                activity.clone(),
+                Term::iri(WL_TIME),
+                Term::int(call.time as i64),
+            ));
+            for uri in produced_uris {
+                triples.insert(Triple::new(
+                    activity.clone(),
+                    Term::iri(WL_PRODUCED),
+                    Term::iri(uri.clone()),
+                ));
+            }
+        }
+        self.traces
+            .write()
+            .entry(exec_id.to_string())
+            .or_default()
+            .calls
+            .push(call);
+    }
+
+    /// Store a complete trace at once (used when an orchestrator ran the
+    /// workflow outside the platform).
+    pub fn put(&self, exec_id: &str, trace: &ExecutionTrace, produced_uris: &[Vec<String>]) {
+        for (call, uris) in trace.calls.iter().zip(produced_uris) {
+            self.record(exec_id, call.clone(), uris);
+        }
+    }
+
+    /// The structured trace of an execution.
+    pub fn get(&self, exec_id: &str) -> Option<ExecutionTrace> {
+        self.traces.read().get(exec_id).cloned()
+    }
+
+    /// Snapshot of the RDF mirror.
+    pub fn triples(&self) -> TripleStore {
+        self.triples.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_xml::Document;
+
+    fn call(service: &str, time: u64) -> CallRecord {
+        let doc = Document::new("R");
+        CallRecord {
+            service: service.into(),
+            time,
+            input: doc.mark(),
+            output: doc.mark(),
+            produced: vec![],
+            channel: String::new(),
+        }
+    }
+
+    #[test]
+    fn record_builds_trace_and_triples() {
+        let store = TraceStore::new();
+        store.record("e1", call("Normaliser", 1), &["r4".into(), "r5".into()]);
+        store.record("e1", call("Translator", 3), &["r8".into()]);
+        let t = store.get("e1").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.calls[1].service, "Translator");
+
+        let triples = store.triples();
+        let produced = triples.matching(&None, &Some(Term::iri(WL_PRODUCED)), &None);
+        assert_eq!(produced.len(), 3);
+        let in_exec = triples.matching(&None, &Some(Term::iri(WL_IN_EXECUTION)), &Some(Term::lit("e1")));
+        assert_eq!(in_exec.len(), 2);
+    }
+
+    #[test]
+    fn executions_are_isolated() {
+        let store = TraceStore::new();
+        store.record("a", call("S", 1), &[]);
+        store.record("b", call("S", 1), &[]);
+        assert_eq!(store.get("a").unwrap().len(), 1);
+        assert_eq!(store.get("b").unwrap().len(), 1);
+        assert!(store.get("c").is_none());
+    }
+}

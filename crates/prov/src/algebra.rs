@@ -1,0 +1,275 @@
+//! Relational algebra over binding tables — the semantics of Definition 8.
+//!
+//! `M(d, d') = π_{$in,$out}( ρ_{$r/$in} R_{ϕ_S}(d)  ⋈  ρ_{$r/$out} R_{ϕ_T}(d') )`
+//!
+//! The join condition equates the shared binding variables of the two
+//! patterns. Skolem-constrained columns of the target (Section 5) are
+//! joined against the *rendered* term built from the source row's bindings.
+//!
+//! The implementation hash-partitions the source table on the join key, so
+//! a rule application costs `O(|R_S| + |R_T|)` plus output size, instead of
+//! the nested-loop `O(|R_S| · |R_T|)`. A nested-loop variant is retained
+//! for the ablation benchmark (X7 in DESIGN.md) and as the reference
+//! implementation in property tests.
+
+use std::collections::HashMap;
+
+use weblab_xml::NodeId;
+use weblab_xpath::{BindingRow, BindingTable, Value};
+
+/// One directed provenance link: the `from` resource was *generated using*
+/// the `to` resource (rows of the paper's `Provenance` table, e.g. `8 → 4`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProvLink {
+    /// Node of the generated (target) resource.
+    pub from: NodeId,
+    /// URI of the generated resource (`$out`).
+    pub from_uri: String,
+    /// Node of the used (source) resource.
+    pub to: NodeId,
+    /// URI of the used resource (`$in`).
+    pub to_uri: String,
+}
+
+impl std::fmt::Display for ProvLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.from_uri, self.to_uri)
+    }
+}
+
+/// Join strategy for [`join_tables`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgorithm {
+    /// Hash join on the shared variables (default).
+    #[default]
+    Hash,
+    /// Nested loops — reference implementation and ablation baseline.
+    NestedLoop,
+}
+
+/// Compute `π_{$in,$out}(ρ R_S ⋈ ρ R_T)`: pair every source row with every
+/// target row that agrees on the shared variables (and on the target's
+/// Skolem constraints), and project to provenance links
+/// `target.$r → source.$r`.
+pub fn join_tables(
+    source: &BindingTable,
+    target: &BindingTable,
+    algo: JoinAlgorithm,
+) -> Vec<ProvLink> {
+    let shared: Vec<(usize, usize)> = target
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(ti, _)| {
+            // skolem columns are handled separately
+            !target.skolem_columns.iter().any(|s| s.column == *ti)
+        })
+        .filter_map(|(ti, name)| source.column_index(name).map(|si| (si, ti)))
+        .collect();
+
+    let mut links = match algo {
+        JoinAlgorithm::NestedLoop => nested_loop(source, target, &shared),
+        JoinAlgorithm::Hash => hash_join(source, target, &shared),
+    };
+    links.sort();
+    links.dedup();
+    links
+}
+
+fn row_matches(
+    source: &BindingTable,
+    s: &BindingRow,
+    target: &BindingTable,
+    t: &BindingRow,
+    shared: &[(usize, usize)],
+) -> bool {
+    for &(si, ti) in shared {
+        if !s.values[si].sem_eq(&t.values[ti]) {
+            return false;
+        }
+    }
+    // Skolem constraints: the target's raw column value must equal the term
+    // rendered from the source row's bindings.
+    for sk in &target.skolem_columns {
+        let args: Option<Vec<Value>> = sk
+            .args
+            .iter()
+            .map(|a| source.column_index(a).map(|i| s.values[i].clone()))
+            .collect();
+        let Some(args) = args else {
+            // argument not bound by the source: unconstrained
+            continue;
+        };
+        let term = Value::skolem(sk.fun.clone(), args);
+        if !term.sem_eq(&t.values[sk.column]) {
+            return false;
+        }
+    }
+    true
+}
+
+fn link(s: &BindingRow, t: &BindingRow) -> ProvLink {
+    ProvLink {
+        from: t.node,
+        from_uri: t.uri.clone(),
+        to: s.node,
+        to_uri: s.uri.clone(),
+    }
+}
+
+fn nested_loop(
+    source: &BindingTable,
+    target: &BindingTable,
+    shared: &[(usize, usize)],
+) -> Vec<ProvLink> {
+    let mut out = Vec::new();
+    for s in &source.rows {
+        for t in &target.rows {
+            if row_matches(source, s, target, t, shared) {
+                out.push(link(s, t));
+            }
+        }
+    }
+    out
+}
+
+fn hash_join(
+    source: &BindingTable,
+    target: &BindingTable,
+    shared: &[(usize, usize)],
+) -> Vec<ProvLink> {
+    if shared.is_empty() {
+        // No equi-key: fall back to nested loops (Skolem constraints may
+        // still filter inside row_matches).
+        return nested_loop(source, target, shared);
+    }
+    // Build side: source rows keyed by canonical join key.
+    let mut buckets: HashMap<Vec<String>, Vec<&BindingRow>> = HashMap::new();
+    for s in &source.rows {
+        let key: Vec<String> = shared
+            .iter()
+            .map(|&(si, _)| s.values[si].canonical())
+            .collect();
+        buckets.entry(key).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for t in &target.rows {
+        let key: Vec<String> = shared
+            .iter()
+            .map(|&(_, ti)| t.values[ti].canonical())
+            .collect();
+        if let Some(candidates) = buckets.get(&key) {
+            for s in candidates {
+                if row_matches(source, s, target, t, shared) {
+                    out.push(link(s, t));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_xpath::{BindingRow, SkolemColumn};
+
+    fn table(columns: &[&str], rows: Vec<(usize, &str, Vec<Value>)>) -> BindingTable {
+        let mut t = BindingTable::with_columns(columns.iter().map(|s| s.to_string()).collect());
+        for (node, uri, values) in rows {
+            t.rows.push(BindingRow {
+                node: NodeId::from_index(node),
+                uri: uri.into(),
+                values,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn equi_join_on_shared_variable() {
+        let src = table(
+            &["x"],
+            vec![(5, "r5", vec![Value::str("r4")]), (9, "r9", vec![Value::str("r8")])],
+        );
+        let tgt = table(&["x"], vec![(6, "r6", vec![Value::str("r4")])]);
+        let links = join_tables(&src, &tgt, JoinAlgorithm::Hash);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].from_uri, "r6");
+        assert_eq!(links[0].to_uri, "r5");
+    }
+
+    #[test]
+    fn cartesian_when_no_shared_variables() {
+        let src = table(&[], vec![(1, "a", vec![]), (2, "b", vec![])]);
+        let tgt = table(&[], vec![(3, "c", vec![])]);
+        let links = join_tables(&src, &tgt, JoinAlgorithm::Hash);
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn hash_and_nested_agree() {
+        let src = table(
+            &["x", "y"],
+            vec![
+                (1, "a", vec![Value::str("1"), Value::str("p")]),
+                (2, "b", vec![Value::str("2"), Value::str("q")]),
+                (3, "c", vec![Value::str("1"), Value::str("q")]),
+            ],
+        );
+        let tgt = table(
+            &["x"],
+            vec![
+                (4, "d", vec![Value::str("1")]),
+                (5, "e", vec![Value::str("3")]),
+            ],
+        );
+        let h = join_tables(&src, &tgt, JoinAlgorithm::Hash);
+        let n = join_tables(&src, &tgt, JoinAlgorithm::NestedLoop);
+        assert_eq!(h, n);
+        assert_eq!(h.len(), 2); // d→a, d→c
+    }
+
+    #[test]
+    fn semantic_equality_bridges_int_and_str_keys() {
+        let src = table(&["x"], vec![(1, "a", vec![Value::int(5)])]);
+        let tgt = table(&["x"], vec![(2, "b", vec![Value::str("5")])]);
+        // hash join canonicalises, nested loop uses sem_eq: both must match
+        assert_eq!(join_tables(&src, &tgt, JoinAlgorithm::Hash).len(), 1);
+        assert_eq!(join_tables(&src, &tgt, JoinAlgorithm::NestedLoop).len(), 1);
+    }
+
+    #[test]
+    fn skolem_constraint_filters_pairs() {
+        let src = table(&["x"], vec![(1, "a1", vec![Value::str("k1")])]);
+        let mut tgt = table(
+            &["f($x)"],
+            vec![
+                (2, "c1", vec![Value::str("f(k1)")]),
+                (3, "c2", vec![Value::str("f(k2)")]),
+            ],
+        );
+        tgt.skolem_columns.push(SkolemColumn {
+            column: 0,
+            fun: "f".into(),
+            args: vec!["x".into()],
+        });
+        let links = join_tables(&src, &tgt, JoinAlgorithm::Hash);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].from_uri, "c1");
+    }
+
+    #[test]
+    fn duplicate_links_are_deduplicated() {
+        // two source rows with the same uri/node joining one target
+        let src = table(
+            &["x"],
+            vec![
+                (1, "a", vec![Value::str("1")]),
+                (1, "a", vec![Value::str("1")]),
+            ],
+        );
+        let tgt = table(&["x"], vec![(2, "b", vec![Value::str("1")])]);
+        assert_eq!(join_tables(&src, &tgt, JoinAlgorithm::Hash).len(), 1);
+    }
+}

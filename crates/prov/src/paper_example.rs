@@ -1,0 +1,166 @@
+//! The paper's running example as a reusable fixture.
+//!
+//! Builds the document of Figure 4 (states `d₀ ⊑ d₁ ⊑ d₂ ⊑ d₃`), the
+//! execution trace of Figure 1 (calls `c₁ = (Normaliser, t₁)`,
+//! `c₂ = (LanguageExtractor, t₂)`, `c₃ = (Translator, t₃)`) and the three
+//! provenance mappings of Figure 3. Node labels use the figure's
+//! single-letter abbreviations: `R`esource, `M`etaData, `N`ativeContent,
+//! `T`extMediaUnit, text`C`ontent, `A`nnotation, `L`anguage.
+//!
+//! Resource URIs are `r<n>` with `n` the node number of Figure 1(b).
+//! Nodes 7 and 11 (the `L` leaves) are plain nodes; nodes 9 and 10 are
+//! identified resources without labels, exactly as the Source table of
+//! Figure 2 lists only resources 3, 4, 5, 6 and 8. Node 2 (`M`) is the
+//! *parent* of the native content node 3 — Section 2's propagation remark
+//! ("node 4 depends on 2, which is an ancestor of 3") fixes the hierarchy
+//! that Figure 4's flat rendering leaves ambiguous; being unidentified,
+//! node 2 itself never enters the provenance graph (Definition 3 ranges
+//! over labelled resources only).
+//!
+//! A note on rule M3: Figure 3 writes it `[…='fr'] ⇒ […='en']`, i.e. the
+//! *source* (used) side is the French original and the *target* (generated)
+//! side is its English translation. The generated dependency link therefore
+//! runs `r8 → r4` (translation depends on original), matching the
+//! Provenance table of Figure 2.
+
+use weblab_xml::{CallLabel, Document, StateMark};
+
+use crate::ruleset::RuleSet;
+use crate::trace::ExecutionTrace;
+
+/// Figure 3's mapping M1 (adapted to the single-letter tags):
+/// every `NativeContent` feeds the first `TextMediaUnit`.
+pub const M1: &str = "/R//N => //T[1]";
+/// Figure 3's mapping M2: a language annotation depends on the text content
+/// of the same `TextMediaUnit` (join on `@id`).
+pub const M2: &str = "//T[$x := @id]/C => //T[$x := @id]/A[L]";
+/// Figure 3's mapping M3: an English `TextMediaUnit` is generated from a
+/// French one.
+pub const M3: &str = "//T[A/L = 'fr'] => //T[A/L = 'en']";
+
+/// The state marks `d₀ … d₃` of one run of the example.
+#[derive(Debug, Clone)]
+pub struct PaperStates {
+    /// Marks of `d₀`, `d₁`, `d₂`, `d₃` in order.
+    pub marks: Vec<StateMark>,
+}
+
+/// Build document, trace and rule set of the running example.
+pub fn build() -> (Document, ExecutionTrace, RuleSet) {
+    let (doc, trace, _) = build_with_states();
+    let mut rules = RuleSet::new();
+    rules.add_parsed("Normaliser", M1).unwrap();
+    rules.add_parsed("LanguageExtractor", M2).unwrap();
+    rules.add_parsed("Translator", M3).unwrap();
+    (doc, trace, rules)
+}
+
+/// Like [`build`] but also returning the four state marks (for tests that
+/// replay Example 5's per-state tables).
+pub fn build_with_states() -> (Document, ExecutionTrace, PaperStates) {
+    let mut d = Document::new("R");
+    let r1 = d.root();
+    d.register_resource(r1, "r1", None).unwrap();
+    let m2 = d.append_element(r1, "M").unwrap();
+    let n3 = d.append_element(m2, "N").unwrap();
+    d.append_text(n3, "raw native bytes").unwrap();
+    let d0 = d.mark();
+
+    // c1 = (Normaliser, 1): promotes node 3 to resource r3 (credited to the
+    // acquisition source at t0) and appends the normalised TextMediaUnit.
+    d.register_resource(n3, "r3", Some(CallLabel::new("Source", 0)))
+        .unwrap();
+    let t4 = d.append_element(r1, "T").unwrap();
+    d.register_resource(t4, "r4", Some(CallLabel::new("Normaliser", 1)))
+        .unwrap();
+    let c5 = d.append_element(t4, "C").unwrap();
+    d.register_resource(c5, "r5", Some(CallLabel::new("Normaliser", 1)))
+        .unwrap();
+    d.append_text(c5, "texte normalise").unwrap();
+    let d1 = d.mark();
+
+    // c2 = (LanguageExtractor, 2): annotates r4 with its language.
+    let a6 = d.append_element(t4, "A").unwrap();
+    d.register_resource(a6, "r6", Some(CallLabel::new("LanguageExtractor", 2)))
+        .unwrap();
+    let l7 = d.append_element(a6, "L").unwrap();
+    d.append_text(l7, "fr").unwrap();
+    let d2 = d.mark();
+
+    // c3 = (Translator, 3): appends the English translation r8 with its
+    // content r9 and annotation r10 (identified but unlabelled, as in the
+    // Source table of Figure 2).
+    let t8 = d.append_element(r1, "T").unwrap();
+    d.register_resource(t8, "r8", Some(CallLabel::new("Translator", 3)))
+        .unwrap();
+    let c9 = d.append_element(t8, "C").unwrap();
+    d.register_resource(c9, "r9", None).unwrap();
+    d.append_text(c9, "normalised text").unwrap();
+    let a10 = d.append_element(t8, "A").unwrap();
+    d.register_resource(a10, "r10", None).unwrap();
+    let l11 = d.append_element(a10, "L").unwrap();
+    d.append_text(l11, "en").unwrap();
+    let d3 = d.mark();
+
+    let mut trace = ExecutionTrace::default();
+    trace.record_call(&d, "Normaliser", 1, d0, d1);
+    trace.record_call(&d, "LanguageExtractor", 2, d1, d2);
+    trace.record_call(&d, "Translator", 3, d2, d3);
+
+    (
+        d,
+        trace,
+        PaperStates {
+            marks: vec![d0, d1, d2, d3],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_form_a_containment_chain() {
+        let (d, _, states) = build_with_states();
+        for w in states.marks.windows(2) {
+            assert!(d.view_at(w[0]).is_contained_in(&d.view_at(w[1])));
+        }
+    }
+
+    #[test]
+    fn figure4_final_difference() {
+        // d₃ \ d₀ is a set of two fragments rooted at r4 and r8 (plus the
+        // promotion of node 3 → r3).
+        let (d, _, states) = build_with_states();
+        let frags = d.new_fragments_since(states.marks[0]);
+        let names: Vec<_> = frags
+            .iter()
+            .filter_map(|&n| d.view().uri(n))
+            .collect();
+        assert_eq!(names, vec!["r4", "r8"]);
+    }
+
+    #[test]
+    fn figure2_source_table() {
+        let (d, trace, _) = build_with_states();
+        let v = d.view();
+        let expected = [
+            ("r3", "Source", 0),
+            ("r4", "Normaliser", 1),
+            ("r5", "Normaliser", 1),
+            ("r6", "LanguageExtractor", 2),
+            ("r8", "Translator", 3),
+        ];
+        for (uri, service, time) in expected {
+            let node = d.node_by_uri(uri).unwrap();
+            let label = v.label(node).unwrap();
+            assert_eq!(label.service, service);
+            assert_eq!(label.time, time);
+        }
+        // and out(cᵢ) per call
+        assert_eq!(trace.calls[0].produced.len(), 2); // r4, r5
+        assert_eq!(trace.calls[1].produced.len(), 1); // r6
+        assert_eq!(trace.calls[2].produced.len(), 1); // r8 (r9, r10 unlabelled)
+    }
+}

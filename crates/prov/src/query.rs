@@ -1,0 +1,208 @@
+//! Provenance queries over materialised graphs.
+//!
+//! The Request Manager's raw interface is SPARQL over the PROV-O export;
+//! this module provides the structured equivalents that the provenance
+//! literature names — *why-provenance* (the minimal justifying subgraph of
+//! a resource), depth-limited lineage, impact analysis, and common-origin
+//! discovery — operating directly on the [`ProvenanceGraph`].
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use weblab_xml::CallLabel;
+
+use crate::algebra::ProvLink;
+use crate::graph::ProvenanceGraph;
+
+/// The *why-provenance* of a resource: every resource and edge reachable
+/// from it along dependency links, i.e. the minimal subgraph justifying
+/// its existence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyProvenance {
+    /// The queried resource.
+    pub root: String,
+    /// All resources in the justification, including the root.
+    pub resources: BTreeSet<String>,
+    /// The edges of the justifying subgraph.
+    pub links: Vec<ProvLink>,
+    /// The service calls involved, deduplicated and sorted.
+    pub calls: Vec<CallLabel>,
+}
+
+/// Compute the why-provenance of `uri`.
+pub fn why(graph: &ProvenanceGraph, uri: &str) -> WhyProvenance {
+    let mut resources: BTreeSet<String> = BTreeSet::new();
+    resources.insert(uri.to_string());
+    let mut links = Vec::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(uri);
+    let mut seen: HashSet<&str> = HashSet::new();
+    seen.insert(uri);
+    while let Some(u) = queue.pop_front() {
+        for l in graph.links.iter().filter(|l| l.from_uri == u) {
+            links.push(l.clone());
+            resources.insert(l.to_uri.clone());
+            if seen.insert(&l.to_uri) {
+                queue.push_back(&l.to_uri);
+            }
+        }
+    }
+    links.sort();
+    links.dedup();
+    let mut calls: Vec<CallLabel> = resources
+        .iter()
+        .filter_map(|r| graph.label_of(r).cloned())
+        .collect();
+    calls.sort();
+    calls.dedup();
+    WhyProvenance {
+        root: uri.to_string(),
+        resources,
+        links,
+        calls,
+    }
+}
+
+/// Upstream lineage of `uri` limited to `depth` hops, as (resource, hop
+/// distance) pairs in breadth-first order. Depth 0 returns just the root.
+pub fn lineage_to_depth(
+    graph: &ProvenanceGraph,
+    uri: &str,
+    depth: usize,
+) -> Vec<(String, usize)> {
+    let mut out = vec![(uri.to_string(), 0)];
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(uri.to_string());
+    let mut frontier: Vec<String> = vec![uri.to_string()];
+    for d in 1..=depth {
+        let mut next = Vec::new();
+        for u in &frontier {
+            for l in graph.links.iter().filter(|l| &l.from_uri == u) {
+                if seen.insert(l.to_uri.clone()) {
+                    out.push((l.to_uri.clone(), d));
+                    next.push(l.to_uri.clone());
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// Impact analysis: every resource that transitively depends on `uri`
+/// (the blast radius of a corrupted input), in breadth-first order.
+pub fn impacted_by(graph: &ProvenanceGraph, uri: &str) -> Vec<String> {
+    let mut radj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for l in &graph.links {
+        radj.entry(l.to_uri.as_str())
+            .or_default()
+            .push(l.from_uri.as_str());
+    }
+    let mut out = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    seen.insert(uri);
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(uri);
+    while let Some(u) = queue.pop_front() {
+        if let Some(next) = radj.get(u) {
+            for &v in next {
+                if seen.insert(v) {
+                    out.push(v.to_string());
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Common origins of two resources: the resources that appear in both
+/// why-provenances (shared evidence), sorted.
+pub fn common_origins(graph: &ProvenanceGraph, a: &str, b: &str) -> Vec<String> {
+    let wa = why(graph, a);
+    let wb = why(graph, b);
+    wa.resources
+        .intersection(&wb.resources)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{infer_provenance, EngineOptions, InheritMode};
+    use crate::paper_example;
+
+    fn graph() -> ProvenanceGraph {
+        let (doc, trace, rules) = paper_example::build();
+        infer_provenance(
+            &doc,
+            &trace,
+            &rules,
+            &EngineOptions {
+                inherit: InheritMode::PatternRewrite,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn why_r8_reaches_the_source() {
+        let g = graph();
+        let w = why(&g, "r8");
+        assert!(w.resources.contains("r4"));
+        assert!(w.resources.contains("r3")); // via r4 → r3
+        assert!(w.resources.contains("r6")); // inherited link 8 → 6
+        // involved calls include the full chain back to acquisition
+        let services: Vec<&str> = w.calls.iter().map(|c| c.service.as_str()).collect();
+        assert!(services.contains(&"Normaliser"));
+        assert!(services.contains(&"Source"));
+        // every link endpoint is in the resource set
+        for l in &w.links {
+            assert!(w.resources.contains(&l.from_uri));
+            assert!(w.resources.contains(&l.to_uri));
+        }
+    }
+
+    #[test]
+    fn depth_limited_lineage() {
+        let g = graph();
+        let d1 = lineage_to_depth(&g, "r8", 1);
+        assert!(d1.iter().all(|(_, d)| *d <= 1));
+        assert!(d1.iter().any(|(u, d)| u == "r4" && *d == 1));
+        assert!(!d1.iter().any(|(u, _)| u == "r3")); // r3 is 2 hops away
+        let d2 = lineage_to_depth(&g, "r8", 2);
+        assert!(d2.iter().any(|(u, d)| u == "r3" && *d == 2));
+        let d0 = lineage_to_depth(&g, "r8", 0);
+        assert_eq!(d0, vec![("r8".to_string(), 0)]);
+    }
+
+    #[test]
+    fn impact_of_the_source_covers_everything_downstream() {
+        let g = graph();
+        let impacted = impacted_by(&g, "r3");
+        assert!(impacted.contains(&"r4".to_string()));
+        assert!(impacted.contains(&"r8".to_string()));
+        // a leaf has no impact
+        assert!(impacted_by(&g, "r8").is_empty());
+    }
+
+    #[test]
+    fn common_origins_of_translation_and_annotation() {
+        let g = graph();
+        // both r8 (translation) and r6 (annotation) trace back to r4/r3
+        let shared = common_origins(&g, "r8", "r6");
+        assert!(shared.contains(&"r4".to_string()) || shared.contains(&"r5".to_string()));
+    }
+
+    #[test]
+    fn why_of_unknown_resource_is_trivial() {
+        let g = graph();
+        let w = why(&g, "nope");
+        assert_eq!(w.resources.len(), 1);
+        assert!(w.links.is_empty());
+        assert!(w.calls.is_empty());
+    }
+}

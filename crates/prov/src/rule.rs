@@ -1,0 +1,257 @@
+//! Mapping rules `ϕ_S(x̄) ⇒ ϕ_T(x̄)` — Definition 5 of the paper.
+
+use std::fmt;
+
+use weblab_xpath::{parse_pattern, ParseError, Pattern};
+
+/// A provenance mapping rule: the target data (right-hand side) *depends on*
+/// the source data (left-hand side). Shared binding variables express the
+/// join condition between the two patterns.
+///
+/// Definition 5 requires every variable referenced by the target to be bound
+/// by the source (relaxable through Skolem functions, which
+/// [`MappingRule::validate`] accounts for).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingRule {
+    /// Optional rule name (M1, M2, … in the paper's figures).
+    pub name: Option<String>,
+    /// Source pattern `ϕ_S(x̄)` — the data that was *used*.
+    pub source: Pattern,
+    /// Target pattern `ϕ_T(x̄)` — the data that was *generated*.
+    pub target: Pattern,
+}
+
+/// Error produced when parsing or validating a mapping rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// The textual form lacks the `=>` separator.
+    MissingArrow,
+    /// A pattern failed to parse.
+    Pattern(ParseError),
+    /// The target references variables the source does not bind
+    /// (Definition 5's well-formedness condition).
+    UnboundTargetVariables(Vec<String>),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::MissingArrow => write!(f, "mapping rule must contain '=>'"),
+            RuleError::Pattern(e) => write!(f, "{e}"),
+            RuleError::UnboundTargetVariables(vs) => {
+                write!(f, "target references variables not bound by the source: ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<ParseError> for RuleError {
+    fn from(e: ParseError) -> Self {
+        RuleError::Pattern(e)
+    }
+}
+
+impl MappingRule {
+    /// Construct and validate a rule from already-parsed patterns.
+    ///
+    /// Target predicates of the form `[@attr = $x]` where `$x` is bound by
+    /// the *source* are normalised into binding assignments
+    /// `[$x := @attr]`: the two are logically equivalent (equality against
+    /// an injectively bound value), and the assignment form is what the
+    /// algebraic join of Definition 8 consumes as a join column.
+    pub fn new(source: Pattern, mut target: Pattern) -> Result<Self, RuleError> {
+        normalise_target(&mut target, &source.variables());
+        let rule = MappingRule {
+            name: None,
+            source,
+            target,
+        };
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    /// Parse the textual form `ϕ_S => ϕ_T`, e.g.
+    /// `//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]`.
+    pub fn parse(input: &str) -> Result<Self, RuleError> {
+        let (src, tgt) = input.split_once("=>").ok_or(RuleError::MissingArrow)?;
+        let source = parse_pattern(src.trim())?;
+        let target = parse_pattern(tgt.trim())?;
+        MappingRule::new(source, target)
+    }
+
+    /// Attach a display name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Variables shared between source and target — the join columns of
+    /// the algebraic semantics (Definition 8).
+    pub fn join_variables(&self) -> Vec<String> {
+        let src = self.source.variables();
+        self.target
+            .variables()
+            .into_iter()
+            .filter(|v| src.contains(v))
+            .collect()
+    }
+
+    /// Check Definition 5's well-formedness: every variable the target
+    /// *references* (in predicates or Skolem arguments) must be bound by the
+    /// source or by the target itself.
+    pub fn validate(&self) -> Result<(), RuleError> {
+        let src_vars = self.source.variables();
+        let unbound: Vec<String> = self
+            .target
+            .free_variables()
+            .into_iter()
+            .filter(|v| !src_vars.contains(v))
+            .collect();
+        if unbound.is_empty() {
+            Ok(())
+        } else {
+            Err(RuleError::UnboundTargetVariables(unbound))
+        }
+    }
+}
+
+/// Convert `[@attr = $x]` / `[$x = @attr]` predicates over source-bound
+/// variables into `[$x := @attr]` assignments (first occurrence per
+/// variable; later occurrences keep predicate form and are checked against
+/// the bound value during evaluation).
+fn normalise_target(target: &mut Pattern, source_vars: &[String]) {
+    use weblab_xpath::{Assignment, AssignTarget, BindingSource, CmpOp, Predicate, ValueExpr};
+    let mut bound: Vec<String> = target.variables();
+    for step in &mut target.steps {
+        let mut converted: Vec<Assignment> = Vec::new();
+        step.predicates.retain(|p| {
+            let (source, var) = match p {
+                Predicate::Compare(ValueExpr::Attr(a), CmpOp::Eq, ValueExpr::Var(x))
+                | Predicate::Compare(ValueExpr::Var(x), CmpOp::Eq, ValueExpr::Attr(a)) => {
+                    (BindingSource::Attr(a.clone()), x.clone())
+                }
+                Predicate::Compare(ValueExpr::Position, CmpOp::Eq, ValueExpr::Var(x))
+                | Predicate::Compare(ValueExpr::Var(x), CmpOp::Eq, ValueExpr::Position) => {
+                    (BindingSource::Position, x.clone())
+                }
+                _ => return true,
+            };
+            if bound.contains(&var) || !source_vars.contains(&var) {
+                return true;
+            }
+            bound.push(var.clone());
+            converted.push(Assignment {
+                target: AssignTarget::Var(var),
+                source,
+            });
+            false
+        });
+        step.assignments.extend(converted);
+    }
+}
+
+impl fmt::Display for MappingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n}: ")?;
+        }
+        write!(f, "{} => {}", self.source, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_rules_parse() {
+        let m1 = MappingRule::parse("/Resource//NativeContent => //TextMediaUnit[1]").unwrap();
+        assert!(m1.join_variables().is_empty());
+        let m2 = MappingRule::parse(
+            "//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]",
+        )
+        .unwrap();
+        assert_eq!(m2.join_variables(), vec!["x".to_string()]);
+        let m3 = MappingRule::parse(
+            "//TextMediaUnit[Annotation/Language = 'fr'] => //TextMediaUnit[Annotation/Language = 'en']",
+        )
+        .unwrap();
+        assert!(m3.join_variables().is_empty());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]";
+        let rule = MappingRule::parse(text).unwrap();
+        let printed = rule.to_string();
+        let reparsed = MappingRule::parse(&printed).unwrap();
+        assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn named_rules_prefix_display() {
+        let r = MappingRule::parse("//A => //B").unwrap().named("M1");
+        assert_eq!(r.to_string(), "M1: //A => //B");
+    }
+
+    #[test]
+    fn missing_arrow_is_an_error() {
+        assert_eq!(
+            MappingRule::parse("//A //B").unwrap_err(),
+            RuleError::MissingArrow
+        );
+    }
+
+    #[test]
+    fn unbound_target_variable_rejected() {
+        let e = MappingRule::parse("//A => //C[@id = $x]").unwrap_err();
+        assert_eq!(
+            e,
+            RuleError::UnboundTargetVariables(vec!["x".to_string()])
+        );
+    }
+
+    #[test]
+    fn skolem_arguments_must_be_bound_by_source() {
+        // f($x) in the target with $x bound by the source: fine
+        MappingRule::parse("//A[$x := @a] => //C[f($x) := @b]").unwrap();
+        // unbound: rejected
+        let e = MappingRule::parse("//A => //C[f($x) := @b]").unwrap_err();
+        assert!(matches!(e, RuleError::UnboundTargetVariables(_)));
+    }
+
+    #[test]
+    fn attr_equality_to_source_var_becomes_assignment() {
+        let r = MappingRule::parse("//Item[$x := @key] => //Item[@ref = $x]").unwrap();
+        assert_eq!(r.join_variables(), vec!["x".to_string()]);
+        // the normalised target prints in assignment form and round-trips
+        assert_eq!(r.target.to_string(), "//Item[$x := @ref]");
+        // equality against a *target*-bound variable is left as a predicate
+        let r2 = MappingRule::parse("//A => //Item[$y := @key]/Sub[@ref = $y]").unwrap();
+        assert!(r2.target.to_string().contains("@ref = $y"));
+    }
+
+    #[test]
+    fn position_equality_to_source_var_becomes_assignment() {
+        let r =
+            MappingRule::parse("//A[$p := position()]/B => //C[$p = position()]").unwrap();
+        assert_eq!(r.join_variables(), vec!["p".to_string()]);
+        assert_eq!(r.target.to_string(), "//C[$p := position()]");
+    }
+
+    #[test]
+    fn target_may_bind_its_own_variables() {
+        // $y bound in the target itself is not a join variable but is legal
+        let r = MappingRule::parse("//A[$x := @a] => //C[$y := @b]").unwrap();
+        assert!(r.join_variables().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-service rule registries — the `M(s)` of the paper.
+//!
+//! "The data dependencies of each service `s ∈ S` are described by a set of
+//! mapping rules `M(s)`." The registry is the static half of the model:
+//! rules are declared once per service type, independently of any concrete
+//! workflow, and connected to calls dynamically through the execution
+//! trace. This separation is what the paper credits with "facilitating the
+//! work of workflow designers".
+
+use std::collections::BTreeMap;
+
+use crate::rule::{MappingRule, RuleError};
+
+/// Mapping rules indexed by service name.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    by_service: BTreeMap<String, Vec<MappingRule>>,
+}
+
+impl RuleSet {
+    /// Empty registry.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Register a rule for a service.
+    pub fn add(&mut self, service: impl Into<String>, rule: MappingRule) {
+        self.by_service.entry(service.into()).or_default().push(rule);
+    }
+
+    /// Parse and register a rule in one step.
+    pub fn add_parsed(
+        &mut self,
+        service: impl Into<String>,
+        rule: &str,
+    ) -> Result<(), RuleError> {
+        self.add(service, MappingRule::parse(rule)?);
+        Ok(())
+    }
+
+    /// Rules registered for `service` — `M(s)`.
+    pub fn rules_for(&self, service: &str) -> &[MappingRule] {
+        self.by_service
+            .get(service)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Services with at least one rule, in name order.
+    pub fn services(&self) -> impl Iterator<Item = &str> {
+        self.by_service.keys().map(|s| s.as_str())
+    }
+
+    /// Total number of registered rules.
+    pub fn len(&self) -> usize {
+        self.by_service.values().map(Vec::len).sum()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_service.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_are_grouped_by_service() {
+        let mut rs = RuleSet::new();
+        rs.add_parsed("Translator", "//A => //B").unwrap();
+        rs.add_parsed("Translator", "//C => //D").unwrap();
+        rs.add_parsed("Normaliser", "//E => //F").unwrap();
+        assert_eq!(rs.rules_for("Translator").len(), 2);
+        assert_eq!(rs.rules_for("Normaliser").len(), 1);
+        assert_eq!(rs.rules_for("Unknown").len(), 0);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.services().collect::<Vec<_>>(), vec!["Normaliser", "Translator"]);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut rs = RuleSet::new();
+        assert!(rs.add_parsed("S", "no arrow here").is_err());
+        assert!(rs.is_empty());
+    }
+}

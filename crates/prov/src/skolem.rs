@@ -1,0 +1,155 @@
+//! Skolem-function aggregation mappings — Section 5 of the paper.
+//!
+//! Skolem functions replace existentially quantified variables in mapping
+//! rules, expressing how generated resources *aggregate* their inputs
+//! (following Cui & Widom's lineage classes). The four canonical shapes:
+//!
+//! | shape        | rule                                               |
+//! |--------------|----------------------------------------------------|
+//! | one-to-many  | `//A[$x := @a] ⇒ //C[f($x) := @b]` (many C per A)   |
+//! | many-to-one  | `//A[$x := @a][f($x) := @g] ⇒ //C[$g := @g]` *      |
+//! | one-to-one   | `//A[$x := @a] ⇒ //C[f($x) := @c]` (unique C per A) |
+//! | many-to-many | `//A[$x := @a] ⇒ //C[f($x) := @b]` (groups × groups)|
+//!
+//! (*) in our concrete syntax many-to-one is most naturally written with
+//! the Skolem term on the target and several A rows sharing the argument.
+//!
+//! Operationally (see `weblab-xpath`'s evaluator and the join in
+//! `algebra`): a Skolem assignment `f($x) := @b` on the target binds the
+//! raw `@b` value; at join time the engine renders the term `f(v)` from the
+//! source row's binding of `$x` and keeps the pair iff the canonical forms
+//! agree. Services that want Skolem-joinable output simply materialise the
+//! term as text, e.g. `b="f(a1)"` — which [`skolem_attr`] produces.
+
+use weblab_xpath::Value;
+
+use crate::rule::{MappingRule, RuleError};
+
+/// Render the canonical attribute value for a Skolem term `fun(args…)`, the
+/// form a data-producing service writes so that Skolem joins succeed.
+pub fn skolem_attr(fun: &str, args: &[&str]) -> String {
+    Value::skolem(
+        fun,
+        args.iter().map(|a| Value::str(*a)).collect::<Vec<_>>(),
+    )
+    .canonical()
+}
+
+/// Build the one-to-many aggregation rule: every `target_tag` node whose
+/// `target_attr` equals `fun(source @source_attr)` depends on that source.
+pub fn one_to_many(
+    source_tag: &str,
+    source_attr: &str,
+    fun: &str,
+    target_tag: &str,
+    target_attr: &str,
+) -> Result<MappingRule, RuleError> {
+    MappingRule::parse(&format!(
+        "//{source_tag}[$x := @{source_attr}] => //{target_tag}[{fun}($x) := @{target_attr}]"
+    ))
+}
+
+/// Build the many-to-one aggregation rule: a single `target_tag` node
+/// depends on *all* `source_tag` nodes sharing the grouped attribute value.
+/// Same rule shape as [`one_to_many`]; the cardinality lives in the data
+/// (many sources with the same `@source_attr`).
+pub fn many_to_one(
+    source_tag: &str,
+    source_attr: &str,
+    fun: &str,
+    target_tag: &str,
+    target_attr: &str,
+) -> Result<MappingRule, RuleError> {
+    one_to_many(source_tag, source_attr, fun, target_tag, target_attr)
+}
+
+/// Build the one-to-one rule: each source generates exactly one target
+/// (again the same join; uniqueness is a data property asserted by tests).
+pub fn one_to_one(
+    source_tag: &str,
+    source_attr: &str,
+    fun: &str,
+    target_tag: &str,
+    target_attr: &str,
+) -> Result<MappingRule, RuleError> {
+    one_to_many(source_tag, source_attr, fun, target_tag, target_attr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{join_tables, JoinAlgorithm};
+    use crate::engine::document_state_provenance;
+    use weblab_xml::Document;
+    use weblab_xpath::eval_pattern;
+
+    /// A document exercising the four aggregation shapes:
+    /// sources A(a=a1), A(a=a1), A(a=a2); targets C(b=f(a1)) ×2, C(b=f(a2)).
+    fn doc() -> Document {
+        let mut d = Document::new("Root");
+        let root = d.root();
+        for (i, a) in ["a1", "a1", "a2"].iter().enumerate() {
+            let n = d.append_element(root, "A").unwrap();
+            d.set_attr(n, "a", *a).unwrap();
+            d.register_resource(n, format!("A{i}"), None).unwrap();
+        }
+        for (i, b) in ["f(a1)", "f(a1)", "f(a2)"].iter().enumerate() {
+            let n = d.append_element(root, "C").unwrap();
+            d.set_attr(n, "b", *b).unwrap();
+            d.register_resource(n, format!("C{i}"), None).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn skolem_attr_matches_canonical_form() {
+        assert_eq!(skolem_attr("f", &["a1"]), "f(a1)");
+        assert_eq!(skolem_attr("g", &["x", "y"]), "g(x,y)");
+    }
+
+    #[test]
+    fn many_to_many_aggregation_links_groups() {
+        let d = doc();
+        let rule = one_to_many("A", "a", "f", "C", "b").unwrap();
+        let links = document_state_provenance(&rule, &d.view(), &d.view(), JoinAlgorithm::Hash);
+        // group a1: 2 sources × 2 targets = 4 links; group a2: 1×1
+        assert_eq!(links.len(), 5);
+        assert!(links
+            .iter()
+            .any(|l| l.from_uri == "C0" && l.to_uri == "A0"));
+        assert!(links
+            .iter()
+            .any(|l| l.from_uri == "C2" && l.to_uri == "A2"));
+        // no cross-group links
+        assert!(!links
+            .iter()
+            .any(|l| l.from_uri == "C2" && l.to_uri == "A0"));
+    }
+
+    #[test]
+    fn mismatched_skolem_terms_do_not_join() {
+        let mut d = Document::new("Root");
+        let root = d.root();
+        let a = d.append_element(root, "A").unwrap();
+        d.set_attr(a, "a", "a1").unwrap();
+        d.register_resource(a, "A0", None).unwrap();
+        let c = d.append_element(root, "C").unwrap();
+        d.set_attr(c, "b", "g(a1)").unwrap(); // wrong function symbol
+        d.register_resource(c, "C0", None).unwrap();
+        let rule = one_to_many("A", "a", "f", "C", "b").unwrap();
+        let links = document_state_provenance(&rule, &d.view(), &d.view(), JoinAlgorithm::Hash);
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn skolem_join_agrees_between_algorithms() {
+        let d = doc();
+        let rule = one_to_many("A", "a", "f", "C", "b").unwrap();
+        let s = eval_pattern(&rule.source, &d.view());
+        let t = eval_pattern(&rule.target, &d.view());
+        assert_eq!(
+            join_tables(&s, &t, JoinAlgorithm::Hash),
+            join_tables(&s, &t, JoinAlgorithm::NestedLoop)
+        );
+    }
+}

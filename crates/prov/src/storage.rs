@@ -1,0 +1,273 @@
+//! Compact provenance storage.
+//!
+//! Section 8: "We intend to thoroughly analyze our generated provenance
+//! information, in order to conceive efficient provenance storage and
+//! querying methods \[12, 5, 4\]." This module implements the two classic
+//! reduction ideas from that literature, adapted to WebLab graphs:
+//!
+//! * **String interning** — URIs repeat across many links; store each once.
+//! * **Grouped adjacency** — links cluster by generated resource (a call's
+//!   output typically depends on many inputs); store one source-list per
+//!   generated resource instead of one edge record each (the
+//!   "provenance factorisation" of Chapman et al. \[12\]).
+//!
+//! [`CompactGraph`] is a faithful, loss-free encoding: `expand` returns the
+//! original edge list, and the adjacency layout makes the two hot queries
+//! (dependencies-of, dependents-of) index lookups.
+
+use std::collections::HashMap;
+
+use weblab_xml::NodeId;
+
+use crate::algebra::ProvLink;
+use crate::graph::ProvenanceGraph;
+
+/// Interned identifier of a resource URI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UriId(u32);
+
+/// A compact, query-oriented encoding of a provenance graph's edges.
+#[derive(Debug, Clone, Default)]
+pub struct CompactGraph {
+    /// Interned URI strings; `UriId` indexes into this table.
+    uris: Vec<String>,
+    /// URI → id.
+    ids: HashMap<String, UriId>,
+    /// Node of each interned resource (for expansion back to [`ProvLink`]).
+    nodes: Vec<NodeId>,
+    /// Outgoing adjacency: generated resource → sorted used resources.
+    deps: HashMap<UriId, Vec<UriId>>,
+    /// Incoming adjacency: used resource → sorted dependents.
+    rdeps: HashMap<UriId, Vec<UriId>>,
+    /// Total number of edges.
+    edges: usize,
+}
+
+impl CompactGraph {
+    /// Build from a graph's edge list.
+    pub fn from_links(links: &[ProvLink]) -> Self {
+        let mut g = CompactGraph::default();
+        for l in links {
+            let from = g.intern(&l.from_uri, l.from);
+            let to = g.intern(&l.to_uri, l.to);
+            g.deps.entry(from).or_default().push(to);
+            g.rdeps.entry(to).or_default().push(from);
+            g.edges += 1;
+        }
+        for v in g.deps.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in g.rdeps.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        g
+    }
+
+    /// Build from a full provenance graph.
+    pub fn from_graph(graph: &ProvenanceGraph) -> Self {
+        Self::from_links(&graph.links)
+    }
+
+    fn intern(&mut self, uri: &str, node: NodeId) -> UriId {
+        if let Some(&id) = self.ids.get(uri) {
+            return id;
+        }
+        let id = UriId(self.uris.len() as u32);
+        self.uris.push(uri.to_string());
+        self.nodes.push(node);
+        self.ids.insert(uri.to_string(), id);
+        id
+    }
+
+    /// The interned id of a URI.
+    pub fn id_of(&self, uri: &str) -> Option<UriId> {
+        self.ids.get(uri).copied()
+    }
+
+    /// The URI of an interned id.
+    pub fn uri_of(&self, id: UriId) -> &str {
+        &self.uris[id.0 as usize]
+    }
+
+    /// Direct dependencies (used resources) of a generated resource.
+    pub fn dependencies(&self, uri: &str) -> Vec<&str> {
+        self.id_of(uri)
+            .and_then(|id| self.deps.get(&id))
+            .map(|v| v.iter().map(|&d| self.uri_of(d)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct dependents of a used resource.
+    pub fn dependents(&self, uri: &str) -> Vec<&str> {
+        self.id_of(uri)
+            .and_then(|id| self.rdeps.get(&id))
+            .map(|v| v.iter().map(|&d| self.uri_of(d)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of distinct resources.
+    pub fn resource_count(&self) -> usize {
+        self.uris.len()
+    }
+
+    /// Expand back to a sorted edge list — the inverse of
+    /// [`CompactGraph::from_links`] up to ordering and duplicate edges.
+    pub fn expand(&self) -> Vec<ProvLink> {
+        let mut out = Vec::with_capacity(self.edges);
+        let mut froms: Vec<&UriId> = self.deps.keys().collect();
+        froms.sort_unstable();
+        for &from in froms {
+            for &to in &self.deps[&from] {
+                out.push(ProvLink {
+                    from: self.nodes[from.0 as usize],
+                    from_uri: self.uris[from.0 as usize].clone(),
+                    to: self.nodes[to.0 as usize],
+                    to_uri: self.uris[to.0 as usize].clone(),
+                });
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Approximate heap footprint in bytes of this encoding.
+    pub fn approx_bytes(&self) -> usize {
+        let strings: usize = self.uris.iter().map(|u| u.len() + 24).sum();
+        let ids: usize = self.ids.len() * 48;
+        let adj: usize = self
+            .deps
+            .values()
+            .chain(self.rdeps.values())
+            .map(|v| v.len() * 4 + 32)
+            .sum();
+        strings + ids + adj + self.nodes.len() * 4
+    }
+
+    /// Approximate heap footprint of the naive edge-list encoding of the
+    /// same graph, for comparison.
+    pub fn approx_naive_bytes(links: &[ProvLink]) -> usize {
+        links
+            .iter()
+            .map(|l| l.from_uri.len() + l.to_uri.len() + 2 * 24 + 8)
+            .sum()
+    }
+}
+
+/// Size statistics for reporting (the X9 storage experiment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Edge count.
+    pub edges: usize,
+    /// Distinct resources.
+    pub resources: usize,
+    /// Bytes in the naive edge-list encoding.
+    pub naive_bytes: usize,
+    /// Bytes in the compact encoding.
+    pub compact_bytes: usize,
+}
+
+/// Compute storage statistics for a graph.
+pub fn storage_stats(graph: &ProvenanceGraph) -> StorageStats {
+    let compact = CompactGraph::from_graph(graph);
+    StorageStats {
+        edges: graph.links.len(),
+        resources: compact.resource_count(),
+        naive_bytes: CompactGraph::approx_naive_bytes(&graph.links),
+        compact_bytes: compact.approx_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{infer_provenance, EngineOptions, InheritMode};
+    use crate::paper_example;
+
+    fn sample_links() -> Vec<ProvLink> {
+        let (doc, trace, rules) = paper_example::build();
+        infer_provenance(
+            &doc,
+            &trace,
+            &rules,
+            &EngineOptions {
+                inherit: InheritMode::PatternRewrite,
+                ..Default::default()
+            },
+        )
+        .links
+    }
+
+    #[test]
+    fn expand_is_lossless() {
+        let links = sample_links();
+        let compact = CompactGraph::from_links(&links);
+        assert_eq!(compact.expand(), links);
+        assert_eq!(compact.edge_count(), links.len());
+    }
+
+    #[test]
+    fn adjacency_queries_match_graph_queries() {
+        let (doc, trace, rules) = paper_example::build();
+        let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+        let compact = CompactGraph::from_graph(&graph);
+        for s in &graph.sources {
+            let mut a = graph.dependencies_of(&s.uri);
+            let mut b = compact.dependencies(&s.uri);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "dependencies of {}", s.uri);
+            let mut a = graph.dependents_of(&s.uri);
+            let mut b = compact.dependents(&s.uri);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "dependents of {}", s.uri);
+        }
+    }
+
+    #[test]
+    fn compact_encoding_is_smaller_on_fan_heavy_graphs() {
+        // many links sharing endpoints → interning + grouping win:
+        // 10 aggregates each depending on the same 50 sources (500 edges,
+        // 60 distinct URIs)
+        let mut links = Vec::new();
+        for a in 0..10 {
+            for i in 0..50 {
+                links.push(ProvLink {
+                    from: NodeId::from_index(1000 + a),
+                    from_uri: format!("weblab://res/aggregate-with-a-long-uri-{a}"),
+                    to: NodeId::from_index(i),
+                    to_uri: format!("weblab://src/input-resource-number-{i}"),
+                });
+            }
+        }
+        let compact = CompactGraph::from_links(&links);
+        assert!(compact.approx_bytes() < CompactGraph::approx_naive_bytes(&links) / 3);
+        assert_eq!(compact.resource_count(), 60);
+        assert_eq!(compact.edge_count(), 500);
+    }
+
+    #[test]
+    fn unknown_uris_return_empty() {
+        let compact = CompactGraph::from_links(&sample_links());
+        assert!(compact.dependencies("nope").is_empty());
+        assert!(compact.dependents("nope").is_empty());
+        assert!(compact.id_of("nope").is_none());
+    }
+
+    #[test]
+    fn stats_report_both_encodings() {
+        let (doc, trace, rules) = paper_example::build();
+        let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+        let stats = storage_stats(&graph);
+        assert_eq!(stats.edges, graph.links.len());
+        assert!(stats.resources > 0);
+        assert!(stats.naive_bytes > 0 && stats.compact_bytes > 0);
+    }
+}

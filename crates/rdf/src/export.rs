@@ -1,0 +1,141 @@
+//! Exporting provenance graphs to RDF-PROV (PROV-O).
+//!
+//! The mapping follows the paper's architecture (Section 6): the
+//! Provenance triple store holds the graph in the PROV ontology, queryable
+//! through SPARQL.
+//!
+//! | WebLab PROV concept            | PROV-O                               |
+//! |--------------------------------|--------------------------------------|
+//! | labelled resource `r`          | `prov:Entity` (IRI = resource URI)   |
+//! | service call `(s, t)` = `λ(r)` | `prov:Activity` + `prov:startedAtTime` |
+//! | service `s`                    | `prov:Agent` via `prov:wasAssociatedWith` |
+//! | `λ(r) = c`                     | `r prov:wasGeneratedBy c`            |
+//! | edge `r → r'` ∈ E              | `r prov:wasDerivedFrom r'` and `λ(r) prov:used r'` |
+
+use weblab_prov::ProvenanceGraph;
+
+use crate::store::TripleStore;
+use crate::term::{Term, Triple};
+use crate::vocab::{
+    activity_iri, agent_iri, PROV_ACTIVITY, PROV_AGENT, PROV_ENTITY, PROV_STARTED_AT_TIME,
+    PROV_USED, PROV_WAS_ASSOCIATED_WITH, PROV_WAS_DERIVED_FROM, PROV_WAS_GENERATED_BY, RDF_TYPE,
+};
+
+/// Convert a provenance graph into PROV-O triples.
+pub fn export_prov(graph: &ProvenanceGraph) -> Vec<Triple> {
+    let mut out = Vec::new();
+    let type_iri = Term::iri(RDF_TYPE);
+
+    for s in &graph.sources {
+        let entity = Term::iri(&s.uri);
+        let activity = Term::iri(activity_iri(&s.label.service, s.label.time));
+        let agent = Term::iri(agent_iri(&s.label.service));
+        out.push(Triple::new(
+            entity.clone(),
+            type_iri.clone(),
+            Term::iri(PROV_ENTITY),
+        ));
+        out.push(Triple::new(
+            activity.clone(),
+            type_iri.clone(),
+            Term::iri(PROV_ACTIVITY),
+        ));
+        out.push(Triple::new(
+            agent.clone(),
+            type_iri.clone(),
+            Term::iri(PROV_AGENT),
+        ));
+        out.push(Triple::new(
+            entity,
+            Term::iri(PROV_WAS_GENERATED_BY),
+            activity.clone(),
+        ));
+        out.push(Triple::new(
+            activity.clone(),
+            Term::iri(PROV_WAS_ASSOCIATED_WITH),
+            agent,
+        ));
+        out.push(Triple::new(
+            activity,
+            Term::iri(PROV_STARTED_AT_TIME),
+            Term::int(s.label.time as i64),
+        ));
+    }
+
+    for l in &graph.links {
+        out.push(Triple::new(
+            Term::iri(&l.from_uri),
+            Term::iri(PROV_WAS_DERIVED_FROM),
+            Term::iri(&l.to_uri),
+        ));
+        // the generating activity used the source entity
+        if let Some(label) = graph.label_of(&l.from_uri) {
+            out.push(Triple::new(
+                Term::iri(activity_iri(&label.service, label.time)),
+                Term::iri(PROV_USED),
+                Term::iri(&l.to_uri),
+            ));
+        }
+    }
+    out
+}
+
+/// Export directly into a [`TripleStore`], returning the triple count.
+pub fn export_prov_into(graph: &ProvenanceGraph, store: &mut TripleStore) -> usize {
+    let triples = export_prov(graph);
+    let n = triples.len();
+    store.extend(triples);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_prov::{infer_provenance, paper_example, EngineOptions};
+
+    #[test]
+    fn paper_example_exports_expected_shapes() {
+        let (doc, trace, rules) = paper_example::build();
+        let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+        let mut store = TripleStore::new();
+        export_prov_into(&graph, &mut store);
+
+        // r8 wasDerivedFrom r4 (Example 7)
+        assert!(store.contains(&Triple::new(
+            Term::iri("r8"),
+            Term::iri(PROV_WAS_DERIVED_FROM),
+            Term::iri("r4"),
+        )));
+        // the Translator call used r4
+        assert!(store.contains(&Triple::new(
+            Term::iri(activity_iri("Translator", 3)),
+            Term::iri(PROV_USED),
+            Term::iri("r4"),
+        )));
+        // r8 wasGeneratedBy the Translator call
+        assert!(store.contains(&Triple::new(
+            Term::iri("r8"),
+            Term::iri(PROV_WAS_GENERATED_BY),
+            Term::iri(activity_iri("Translator", 3)),
+        )));
+        // every labelled resource is an Entity
+        let entities = store.matching(
+            &None,
+            &Some(Term::iri(RDF_TYPE)),
+            &Some(Term::iri(PROV_ENTITY)),
+        );
+        assert_eq!(entities.len(), graph.sources.len());
+    }
+
+    #[test]
+    fn export_into_is_idempotent() {
+        let (doc, trace, rules) = paper_example::build();
+        let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+        let mut store = TripleStore::new();
+        let n1 = export_prov_into(&graph, &mut store);
+        let total = store.len();
+        let n2 = export_prov_into(&graph, &mut store);
+        assert_eq!(n1, n2);
+        assert_eq!(store.len(), total); // no duplicates
+    }
+}

@@ -1,0 +1,49 @@
+//! # weblab-rdf — PROV-O triple store, Turtle, and SPARQL-lite
+//!
+//! The metadata substrate of the WebLab PROV architecture (Figure 5 of the
+//! paper): in the original platform, execution traces and provenance
+//! graphs live in Sesame RDF repositories queried through SPARQL. This
+//! crate provides the equivalent building blocks:
+//!
+//! * [`TripleStore`] — an in-memory store with SPO/POS/OSP indexes;
+//! * [`export_prov`] / [`export_prov_into`] — provenance graph → PROV-O
+//!   (entities, activities, agents, `wasDerivedFrom`/`used`/
+//!   `wasGeneratedBy` edges);
+//! * [`to_turtle`] / [`parse_turtle`] — Turtle serialisation;
+//! * [`parse_select`] / [`select`] — a SPARQL SELECT subset (BGP +
+//!   FILTER) with greedy index-aware join ordering.
+//!
+//! ```
+//! use weblab_prov::{infer_provenance, EngineOptions, paper_example};
+//! use weblab_rdf::{export_prov_into, parse_select, select, TripleStore, vocab};
+//!
+//! let (doc, trace, rules) = paper_example::build();
+//! let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+//! let mut store = TripleStore::new();
+//! export_prov_into(&graph, &mut store);
+//!
+//! // "which resources did the Translator call use?"
+//! let q = parse_select(&format!(
+//!     "PREFIX prov: <{}> SELECT ?u WHERE {{ <{}> prov:used ?u . }}",
+//!     vocab::PROV_NS, vocab::activity_iri("Translator", 3))).unwrap();
+//! let solutions = select(&store, &q);
+//! assert_eq!(solutions.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod provxml;
+mod sparql;
+mod store;
+mod term;
+mod turtle;
+pub mod vocab;
+
+pub use export::{export_prov, export_prov_into};
+pub use provxml::{derivations_from_prov_xml, export_prov_xml};
+pub use sparql::{parse_select, select, Filter, PatTerm, SelectQuery, Solution, SparqlError, TriplePattern};
+pub use store::{TermPattern, TripleStore};
+pub use term::{Term, Triple};
+pub use turtle::{parse_turtle, to_turtle, TurtleError};

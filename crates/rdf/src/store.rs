@@ -1,0 +1,195 @@
+//! An in-memory indexed triple store.
+//!
+//! Plays the role of the paper's Sesame repositories (Execution Trace and
+//! Provenance triple stores of Figure 5). Three permutation indexes (SPO,
+//! POS, OSP) give every single-bound lookup a sorted range scan; the
+//! SPARQL-lite engine picks the index per pattern.
+
+use std::collections::BTreeSet;
+
+use crate::term::{Term, Triple};
+
+/// Triple pattern component: bound term or wildcard.
+pub type TermPattern = Option<Term>;
+
+/// Indexed triple store.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    spo: BTreeSet<(Term, Term, Term)>,
+    pos: BTreeSet<(Term, Term, Term)>,
+    osp: BTreeSet<(Term, Term, Term)>,
+}
+
+impl TripleStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Insert a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let Triple { s, p, o } = t;
+        let fresh = self.spo.insert((s.clone(), p.clone(), o.clone()));
+        if fresh {
+            self.pos.insert((p.clone(), o.clone(), s.clone()));
+            self.osp.insert((o, s, p));
+        }
+        fresh
+    }
+
+    /// Bulk insert.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo
+            .contains(&(t.s.clone(), t.p.clone(), t.o.clone()))
+    }
+
+    /// All triples, in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo
+            .iter()
+            .map(|(s, p, o)| Triple::new(s.clone(), p.clone(), o.clone()))
+    }
+
+    /// Match a pattern, using the best index for the bound components.
+    pub fn matching(
+        &self,
+        s: &TermPattern,
+        p: &TermPattern,
+        o: &TermPattern,
+    ) -> Vec<Triple> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s.clone(), p.clone(), o.clone());
+                if self.contains(&t) {
+                    vec![t]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), _, _) => self
+                .range_spo(s)
+                .filter(|t| matches(&t.p, p) && matches(&t.o, o))
+                .collect(),
+            (None, Some(p), _) => self
+                .range_pos(p)
+                .filter(|t| matches(&t.o, o))
+                .collect(),
+            (None, None, Some(o)) => self.range_osp(o).collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    fn range_spo<'a>(&'a self, s: &Term) -> impl Iterator<Item = Triple> + 'a {
+        let lo = (s.clone(), min_term(), min_term());
+        let s2 = s.clone();
+        self.spo
+            .range(lo..)
+            .take_while(move |(ts, _, _)| *ts == s2)
+            .map(|(s, p, o)| Triple::new(s.clone(), p.clone(), o.clone()))
+    }
+
+    fn range_pos<'a>(&'a self, p: &Term) -> impl Iterator<Item = Triple> + 'a {
+        let lo = (p.clone(), min_term(), min_term());
+        let p2 = p.clone();
+        self.pos
+            .range(lo..)
+            .take_while(move |(tp, _, _)| *tp == p2)
+            .map(|(p, o, s)| Triple::new(s.clone(), p.clone(), o.clone()))
+    }
+
+    fn range_osp<'a>(&'a self, o: &Term) -> impl Iterator<Item = Triple> + 'a {
+        let lo = (o.clone(), min_term(), min_term());
+        let o2 = o.clone();
+        self.osp
+            .range(lo..)
+            .take_while(move |(to, _, _)| *to == o2)
+            .map(|(o, s, p)| Triple::new(s.clone(), p.clone(), o.clone()))
+    }
+}
+
+fn matches(t: &Term, pat: &TermPattern) -> bool {
+    pat.as_ref().map(|p| p == t).unwrap_or(true)
+}
+
+/// The smallest term in the derive(Ord) order (`Iri("")`).
+fn min_term() -> Term {
+    Term::Iri(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut st = TripleStore::new();
+        assert!(st.insert(t("a", "p", "b")));
+        assert!(!st.insert(t("a", "p", "b")));
+        assert_eq!(st.len(), 1);
+        assert!(st.contains(&t("a", "p", "b")));
+    }
+
+    #[test]
+    fn pattern_matching_uses_all_shapes() {
+        let mut st = TripleStore::new();
+        st.extend([
+            t("a", "p", "b"),
+            t("a", "q", "c"),
+            t("d", "p", "b"),
+            t("d", "p", "e"),
+        ]);
+        assert_eq!(st.matching(&Some(Term::iri("a")), &None, &None).len(), 2);
+        assert_eq!(st.matching(&None, &Some(Term::iri("p")), &None).len(), 3);
+        assert_eq!(st.matching(&None, &None, &Some(Term::iri("b"))).len(), 2);
+        assert_eq!(
+            st.matching(&None, &Some(Term::iri("p")), &Some(Term::iri("b")))
+                .len(),
+            2
+        );
+        assert_eq!(
+            st.matching(&Some(Term::iri("a")), &Some(Term::iri("p")), &Some(Term::iri("b")))
+                .len(),
+            1
+        );
+        assert_eq!(st.matching(&None, &None, &None).len(), 4);
+    }
+
+    #[test]
+    fn literals_and_blanks_participate() {
+        let mut st = TripleStore::new();
+        st.insert(Triple::new(
+            Term::Blank("b0".into()),
+            Term::iri("p"),
+            Term::lit("v"),
+        ));
+        assert_eq!(st.matching(&None, &None, &Some(Term::lit("v"))).len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let mut st = TripleStore::new();
+        st.extend([t("a", "p", "b"), t("c", "p", "d")]);
+        assert_eq!(st.iter().count(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Turtle serialisation and a matching subset parser.
+//!
+//! The writer groups triples by subject and abbreviates IRIs through the
+//! prefix table; the parser accepts the writer's output plus the common
+//! Turtle conveniences (`@prefix`, `a`, `;` and `,` continuation).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::term::{escape_literal, Term, Triple};
+use crate::vocab::{default_prefixes, RDF_TYPE};
+
+/// Serialise triples to Turtle, grouping by subject.
+pub fn to_turtle(triples: &[Triple]) -> String {
+    let prefixes = default_prefixes();
+    let mut out = String::new();
+    for (p, ns) in &prefixes {
+        let _ = writeln!(out, "@prefix {p}: <{ns}> .");
+    }
+    out.push('\n');
+
+    let mut by_subject: BTreeMap<Term, Vec<&Triple>> = BTreeMap::new();
+    for t in triples {
+        by_subject.entry(t.s.clone()).or_default().push(t);
+    }
+    for (s, ts) in by_subject {
+        let _ = write!(out, "{}", fmt_term(&s, &prefixes));
+        for (i, t) in ts.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, " ;\n    ");
+            } else {
+                out.push(' ');
+            }
+            let _ = write!(
+                out,
+                "{} {}",
+                fmt_pred(&t.p, &prefixes),
+                fmt_term(&t.o, &prefixes)
+            );
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+fn fmt_pred(p: &Term, prefixes: &[(&str, &str)]) -> String {
+    if p.as_iri() == Some(RDF_TYPE) {
+        return "a".into();
+    }
+    fmt_term(p, prefixes)
+}
+
+fn fmt_term(t: &Term, prefixes: &[(&str, &str)]) -> String {
+    match t {
+        Term::Iri(iri) => {
+            for (p, ns) in prefixes {
+                if let Some(local) = iri.strip_prefix(ns) {
+                    if !local.is_empty()
+                        && local
+                            .chars()
+                            .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+                    {
+                        return format!("{p}:{local}");
+                    }
+                }
+            }
+            format!("<{iri}>")
+        }
+        Term::Literal {
+            value,
+            datatype: None,
+        } => format!("\"{}\"", escape_literal(value)),
+        Term::Literal {
+            value,
+            datatype: Some(dt),
+        } => {
+            let dts = fmt_term(&Term::iri(dt.clone()), prefixes);
+            format!("\"{}\"^^{dts}", escape_literal(value))
+        }
+        Term::Blank(l) => format!("_:{l}"),
+    }
+}
+
+/// Turtle parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "turtle parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Parse the Turtle subset the writer emits.
+pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, TurtleError> {
+    let mut p = TP {
+        input,
+        pos: 0,
+        prefixes: BTreeMap::new(),
+    };
+    let mut out = Vec::new();
+    loop {
+        p.ws();
+        if p.at_end() {
+            break;
+        }
+        if p.eat("@prefix") {
+            p.ws();
+            let name = p.until(':')?;
+            p.expect(":")?;
+            p.ws();
+            p.expect("<")?;
+            let ns = p.until('>')?;
+            p.expect(">")?;
+            p.ws();
+            p.expect(".")?;
+            p.prefixes.insert(name, ns);
+            continue;
+        }
+        // subject
+        let s = p.term()?;
+        loop {
+            p.ws();
+            let pred = p.term()?;
+            loop {
+                p.ws();
+                let o = p.term()?;
+                out.push(Triple::new(s.clone(), pred.clone(), o));
+                p.ws();
+                if p.eat(",") {
+                    continue;
+                }
+                break;
+            }
+            if p.eat(";") {
+                p.ws();
+                // allow trailing "; ." style
+                if p.peek(".") {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        p.ws();
+        p.expect(".")?;
+    }
+    Ok(out)
+}
+
+struct TP<'a> {
+    input: &'a str,
+    pos: usize,
+    prefixes: BTreeMap<String, String>,
+}
+
+impl<'a> TP<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn err(&self, m: impl Into<String>) -> TurtleError {
+        TurtleError {
+            offset: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let t = r.trim_start();
+            self.pos += r.len() - t.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(i) => self.pos += i + 1,
+                    None => self.pos = self.input.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), TurtleError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn until(&mut self, c: char) -> Result<String, TurtleError> {
+        let r = self.rest();
+        let end = r.find(c).ok_or_else(|| self.err(format!("expected {c:?}")))?;
+        let s = r[..end].trim().to_string();
+        self.pos += end;
+        Ok(s)
+    }
+
+    fn term(&mut self) -> Result<Term, TurtleError> {
+        self.ws();
+        if self.eat("<") {
+            let iri = self.until('>')?;
+            self.expect(">")?;
+            return Ok(Term::Iri(iri));
+        }
+        if self.eat("\"") {
+            let mut value = String::new();
+            let mut chars = self.rest().char_indices();
+            let mut consumed = 0;
+            let mut closed = false;
+            while let Some((i, c)) = chars.next() {
+                if c == '\\' {
+                    if let Some((_, n)) = chars.next() {
+                        value.push(match n {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    }
+                } else if c == '"' {
+                    consumed = i + 1;
+                    closed = true;
+                    break;
+                } else {
+                    value.push(c);
+                }
+            }
+            if !closed {
+                return Err(self.err("unterminated literal"));
+            }
+            self.pos += consumed;
+            if self.eat("^^") {
+                let dt = self.term()?;
+                let Term::Iri(dt) = dt else {
+                    return Err(self.err("datatype must be an IRI"));
+                };
+                return Ok(Term::typed(value, dt));
+            }
+            return Ok(Term::lit(value));
+        }
+        if self.eat("_:") {
+            let r = self.rest();
+            let end = r
+                .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+                .unwrap_or(r.len());
+            let label = r[..end].to_string();
+            self.pos += end;
+            return Ok(Term::Blank(label));
+        }
+        // 'a' keyword or prefixed name
+        let r = self.rest();
+        if r.starts_with("a ") || r.starts_with("a\t") || r.starts_with("a\n") {
+            self.pos += 1;
+            return Ok(Term::iri(RDF_TYPE));
+        }
+        let end = r
+            .find(|c: char| c.is_whitespace() || matches!(c, ';' | ',' | '.'))
+            .unwrap_or(r.len());
+        let token = &r[..end];
+        let Some(colon) = token.find(':') else {
+            return Err(self.err(format!("unrecognised token {token:?}")));
+        };
+        let (prefix, local) = (&token[..colon], &token[colon + 1..]);
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.err(format!("unknown prefix {prefix:?}")))?;
+        self.pos += end;
+        Ok(Term::Iri(format!("{ns}{local}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{PROV_ENTITY, PROV_WAS_DERIVED_FROM};
+
+    #[test]
+    fn round_trip_preserves_triples() {
+        let triples = vec![
+            Triple::new(Term::iri("http://x/r8"), Term::iri(RDF_TYPE), Term::iri(PROV_ENTITY)),
+            Triple::new(
+                Term::iri("http://x/r8"),
+                Term::iri(PROV_WAS_DERIVED_FROM),
+                Term::iri("http://x/r4"),
+            ),
+            Triple::new(
+                Term::iri("http://x/act"),
+                Term::iri("http://www.w3.org/ns/prov#startedAtTime"),
+                Term::int(3),
+            ),
+            Triple::new(Term::Blank("b0".into()), Term::iri("http://x/p"), Term::lit("v \"q\"")),
+        ];
+        let ttl = to_turtle(&triples);
+        let mut parsed = parse_turtle(&ttl).unwrap();
+        let mut original = triples;
+        parsed.sort();
+        original.sort();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn writer_uses_prefixes_and_a() {
+        let triples = vec![Triple::new(
+            Term::iri("http://www.w3.org/ns/prov#Entity"),
+            Term::iri(RDF_TYPE),
+            Term::iri("http://www.w3.org/ns/prov#Entity"),
+        )];
+        let ttl = to_turtle(&triples);
+        assert!(ttl.contains("prov:Entity a prov:Entity ."));
+    }
+
+    #[test]
+    fn parser_handles_comments_and_lists() {
+        let ttl = "@prefix ex: <http://e/> .\n# a comment\nex:a ex:p ex:b , ex:c ; ex:q \"v\" .";
+        let parsed = parse_turtle(ttl).unwrap();
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        assert!(parse_turtle("zz:a zz:b zz:c .").is_err());
+    }
+}

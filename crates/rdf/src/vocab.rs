@@ -1,0 +1,69 @@
+//! Vocabulary constants: PROV-O, RDF, XSD, and the WebLab namespace.
+//!
+//! The paper stores provenance as RDF-PROV \[8\] (PROV-O); these are the
+//! terms the exporter emits and the SPARQL examples query.
+
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+
+/// PROV-O namespace.
+pub const PROV_NS: &str = "http://www.w3.org/ns/prov#";
+/// `prov:Entity` — a resource (identified XML fragment).
+pub const PROV_ENTITY: &str = "http://www.w3.org/ns/prov#Entity";
+/// `prov:Activity` — a service call `(s, t)`.
+pub const PROV_ACTIVITY: &str = "http://www.w3.org/ns/prov#Activity";
+/// `prov:Agent` — a service.
+pub const PROV_AGENT: &str = "http://www.w3.org/ns/prov#Agent";
+/// `prov:wasGeneratedBy` — entity → activity (the labelling function λ).
+pub const PROV_WAS_GENERATED_BY: &str = "http://www.w3.org/ns/prov#wasGeneratedBy";
+/// `prov:used` — activity → entity.
+pub const PROV_USED: &str = "http://www.w3.org/ns/prov#used";
+/// `prov:wasDerivedFrom` — entity → entity (the data-dependency edges E).
+pub const PROV_WAS_DERIVED_FROM: &str = "http://www.w3.org/ns/prov#wasDerivedFrom";
+/// `prov:wasAssociatedWith` — activity → agent.
+pub const PROV_WAS_ASSOCIATED_WITH: &str = "http://www.w3.org/ns/prov#wasAssociatedWith";
+/// `prov:startedAtTime` — activity → instant.
+pub const PROV_STARTED_AT_TIME: &str = "http://www.w3.org/ns/prov#startedAtTime";
+
+/// WebLab namespace for activities/agents minted by the exporter.
+pub const WL_NS: &str = "http://weblab.example.org/prov#";
+
+/// IRI of the activity for call `(service, time)`.
+pub fn activity_iri(service: &str, time: u64) -> String {
+    format!("{WL_NS}call/{service}/t{time}")
+}
+
+/// IRI of the agent for a service.
+pub fn agent_iri(service: &str) -> String {
+    format!("{WL_NS}service/{service}")
+}
+
+/// Well-known prefixes for the Turtle writer.
+pub fn default_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"),
+        ("xsd", "http://www.w3.org/2001/XMLSchema#"),
+        ("prov", PROV_NS),
+        ("wl", WL_NS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_minting() {
+        assert_eq!(
+            activity_iri("Translator", 3),
+            "http://weblab.example.org/prov#call/Translator/t3"
+        );
+        assert_eq!(
+            agent_iri("Translator"),
+            "http://weblab.example.org/prov#service/Translator"
+        );
+    }
+}

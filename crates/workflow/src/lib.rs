@@ -1,0 +1,48 @@
+//! # weblab-workflow — black-box services and workflow executions
+//!
+//! The execution substrate of the WebLab PROV reproduction: sequential
+//! service workflows over a single growing XML document (Definition 2 of
+//! the paper), with the append-only contract enforced and every call
+//! recorded into the execution trace the provenance engine consumes.
+//!
+//! * [`Service`] / [`CallContext`] — the black-box service abstraction;
+//!   services append fragments and register the resources they create,
+//!   which stamps the `(service, timestamp)` labels of Definition 3.
+//! * [`Orchestrator`] / [`Workflow`] — sequential execution with strictly
+//!   increasing call instants, trace recording, and an optional *eager*
+//!   mode that computes provenance during execution (the intrusive
+//!   baseline the paper argues against).
+//! * [`services`] — media-mining analogues (Normaliser, LanguageExtractor,
+//!   Translator, Tokeniser, EntityExtractor, Summariser, SentimentAnalyser,
+//!   KeywordExtractor, Indexer) with their mapping rules
+//!   ([`services::default_rules`]).
+//! * [`generator`] — synthetic corpora and parametric scaling workloads.
+//!
+//! ```
+//! use weblab_workflow::{Orchestrator, Workflow};
+//! use weblab_workflow::services::{self, Normaliser, LanguageExtractor, Translator};
+//! use weblab_workflow::generator::generate_corpus;
+//! use weblab_prov::{infer_provenance, EngineOptions};
+//!
+//! let mut doc = generate_corpus(42, 2, 30);
+//! let wf = Workflow::new()
+//!     .then(Normaliser)
+//!     .then(LanguageExtractor)
+//!     .then(Translator::default());
+//! let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+//! let graph = infer_provenance(
+//!     &doc, &outcome.trace, &services::default_rules(), &EngineOptions::default());
+//! assert!(graph.is_acyclic());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+mod orchestrator;
+mod service;
+pub mod services;
+pub mod text;
+
+pub use orchestrator::{next_time, ExecutionOutcome, Orchestrator, Workflow};
+pub use service::{CallContext, Service, WorkflowError};

@@ -1,0 +1,432 @@
+//! Workflow orchestration (Definition 2) with trace recording.
+//!
+//! The orchestrator drives a control flow `c₁ … cₙ` over a single document,
+//! producing the data flow `d₀ ⊑ d₁ ⊑ … ⊑ dₙ` and the execution trace the
+//! provenance engine consumes. It assigns strictly increasing call
+//! instants, validates the append-only contract after every call, and
+//! optionally computes provenance links *during* execution (the intrusive
+//! "eager" mode the paper argues against — kept as the X3 baseline).
+//!
+//! ## Parallel executions (Section 8 extension)
+//!
+//! The paper sketches the extension to "more complex execution patterns
+//! including nesting and parallel service executions … by adding
+//! additional meta-data for identifying different control flow channels".
+//! [`Workflow::then_parallel`] adds a block of branches that logically run
+//! concurrently: each branch executes on a *fork* of the document taken at
+//! the block entry (so sibling branches cannot see each other's output,
+//! exactly as concurrent processes could not), and its new fragments are
+//! then merged back into the main arena, call by call, preserving resource
+//! metadata. Every call record carries its *channel* (a path of branch
+//! indices); the provenance engine uses channel compatibility to restrict
+//! which resources a parallel call may depend on.
+
+use weblab_prov::{
+    document_state_provenance, EngineOptions, ExecutionTrace, ProvLink, RuleSet,
+};
+use weblab_xml::{Document, NodeId, Timestamp};
+
+use crate::service::{CallContext, Service, WorkflowError};
+
+/// One step of a workflow: a service call or a parallel block.
+pub enum WorkflowStep {
+    /// A single black-box service call.
+    Service(Box<dyn Service>),
+    /// Branches that logically execute in parallel on forks of the
+    /// document taken at block entry, merged back afterwards.
+    Parallel(Vec<Workflow>),
+}
+
+/// A workflow: an ordered list of steps (Definition 2, plus the Section 8
+/// parallel extension).
+#[derive(Default)]
+pub struct Workflow {
+    steps: Vec<WorkflowStep>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new() -> Self {
+        Workflow::default()
+    }
+
+    /// Append a service step.
+    pub fn then(mut self, service: impl Service + 'static) -> Self {
+        self.steps.push(WorkflowStep::Service(Box::new(service)));
+        self
+    }
+
+    /// Append a boxed service step.
+    pub fn then_boxed(mut self, service: Box<dyn Service>) -> Self {
+        self.steps.push(WorkflowStep::Service(service));
+        self
+    }
+
+    /// Append a parallel block of branches.
+    pub fn then_parallel(mut self, branches: Vec<Workflow>) -> Self {
+        self.steps.push(WorkflowStep::Parallel(branches));
+        self
+    }
+
+    /// Number of steps (a parallel block counts as one step).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the workflow has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Service names in control-flow order; parallel blocks are rendered
+    /// as `[branch0 | branch1 | …]`.
+    pub fn step_names(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                WorkflowStep::Service(svc) => svc.name().to_string(),
+                WorkflowStep::Parallel(branches) => {
+                    let inner: Vec<String> = branches
+                        .iter()
+                        .map(|b| b.step_names().join(","))
+                        .collect();
+                    format!("[{}]", inner.join(" | "))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Result of an execution: the trace plus, in eager mode, the provenance
+/// links computed along the way.
+#[derive(Debug, Default)]
+pub struct ExecutionOutcome {
+    /// Trace of the calls (`out(c_i)`, state marks, labels).
+    pub trace: ExecutionTrace,
+    /// Links computed during execution (eager mode only).
+    pub eager_links: Vec<ProvLink>,
+}
+
+/// The workflow execution engine.
+#[derive(Debug, Clone, Default)]
+pub struct Orchestrator {
+    /// Compute provenance during execution using these rules (the
+    /// intrusive mode; `None` = non-invasive, provenance is inferred
+    /// posthoc from the trace).
+    pub eager_rules: Option<RuleSet>,
+}
+
+impl Orchestrator {
+    /// A non-invasive orchestrator (provenance inferred after the fact).
+    pub fn new() -> Self {
+        Orchestrator { eager_rules: None }
+    }
+
+    /// An orchestrator that evaluates mapping rules after every call — the
+    /// paper's rejected-but-measured eager alternative.
+    pub fn eager(rules: RuleSet) -> Self {
+        Orchestrator {
+            eager_rules: Some(rules),
+        }
+    }
+
+    /// Execute `workflow` over `doc`, starting call instants after any
+    /// label already present in the document.
+    pub fn execute(
+        &self,
+        workflow: &Workflow,
+        doc: &mut Document,
+    ) -> Result<ExecutionOutcome, WorkflowError> {
+        let start = next_time(doc);
+        self.execute_starting_at(workflow, doc, start)
+    }
+
+    /// Execute with an explicit first call instant (used by the platform
+    /// to keep instants strictly increasing across multiple `execute`
+    /// invocations on the same execution, even when earlier calls produced
+    /// no labelled resources).
+    pub fn execute_starting_at(
+        &self,
+        workflow: &Workflow,
+        doc: &mut Document,
+        start: Timestamp,
+    ) -> Result<ExecutionOutcome, WorkflowError> {
+        let mut outcome = ExecutionOutcome::default();
+        let mut time = start;
+        self.exec_steps(&workflow.steps, doc, &mut time, "", &mut outcome)?;
+        outcome.eager_links.sort();
+        outcome.eager_links.dedup();
+        Ok(outcome)
+    }
+
+    fn exec_steps(
+        &self,
+        steps: &[WorkflowStep],
+        doc: &mut Document,
+        time: &mut Timestamp,
+        channel: &str,
+        outcome: &mut ExecutionOutcome,
+    ) -> Result<(), WorkflowError> {
+        for step in steps {
+            match step {
+                WorkflowStep::Service(service) => {
+                    self.exec_service(service.as_ref(), doc, time, channel, outcome)?;
+                }
+                WorkflowStep::Parallel(branches) => {
+                    let fork_mark = doc.mark();
+                    for (bi, branch) in branches.iter().enumerate() {
+                        let child_channel = if channel.is_empty() {
+                            bi.to_string()
+                        } else {
+                            format!("{channel}.{bi}")
+                        };
+                        // a fork of the document at block entry: the branch
+                        // cannot observe sibling output
+                        let mut fork = doc.materialize_state(fork_mark);
+                        let mut branch_outcome = ExecutionOutcome::default();
+                        self.exec_steps(
+                            &branch.steps,
+                            &mut fork,
+                            time,
+                            &child_channel,
+                            &mut branch_outcome,
+                        )?;
+                        merge_branch(doc, &fork, fork_mark, branch_outcome, outcome)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_service(
+        &self,
+        service: &dyn Service,
+        doc: &mut Document,
+        time: &mut Timestamp,
+        channel: &str,
+        outcome: &mut ExecutionOutcome,
+    ) -> Result<(), WorkflowError> {
+        let input = doc.mark();
+        let mut ctx = CallContext::new(service.name(), *time);
+        service.call(doc, &mut ctx)?;
+        let output = doc.mark();
+        validate_append_only(doc, input, output, service.name())?;
+        outcome.trace.record_call_on_channel(
+            doc,
+            service.name(),
+            *time,
+            input,
+            output,
+            channel,
+        );
+        if let Some(rules) = &self.eager_rules {
+            let call = outcome.trace.calls.last().expect("just recorded");
+            let produced: std::collections::HashSet<NodeId> =
+                call.produced.iter().copied().collect();
+            let opts = EngineOptions::default();
+            let in_view = doc.view_at(input.with_resources_of(output));
+            let out_view = doc.view_at(output);
+            for rule in rules.rules_for(service.name()) {
+                outcome.eager_links.extend(
+                    document_state_provenance(rule, &in_view, &out_view, opts.join)
+                        .into_iter()
+                        .filter(|l| produced.contains(&l.from)),
+                );
+            }
+        }
+        *time += 1;
+        Ok(())
+    }
+}
+
+/// Merge a completed branch fork back into the main arena: per branch
+/// call, copy its node range (ids remapped), replay its resource
+/// registrations, and record a channel-tagged call in the main trace with
+/// marks taken around its own merge. Eager links computed inside the fork
+/// are remapped alongside.
+fn merge_branch(
+    main: &mut Document,
+    fork: &Document,
+    fork_mark: weblab_xml::StateMark,
+    branch_outcome: ExecutionOutcome,
+    outcome: &mut ExecutionOutcome,
+) -> Result<(), WorkflowError> {
+    use std::collections::HashMap;
+    let mut idmap: HashMap<NodeId, NodeId> = HashMap::new();
+    let fork_nodes = fork_mark.node_count();
+    let map_id = |idmap: &HashMap<NodeId, NodeId>, n: NodeId| -> NodeId {
+        if n.index() < fork_nodes {
+            n // pre-fork nodes keep their ids (materialize preserves them)
+        } else {
+            *idmap.get(&n).expect("branch node merged before use")
+        }
+    };
+
+    let fork_resources: Vec<NodeId> = fork.resource_nodes().to_vec();
+    for call in &branch_outcome.trace.calls {
+        let main_input = main.mark();
+        // copy this call's node range
+        for idx in call.input.node_count()..call.output.node_count() {
+            let id = NodeId::from_index(idx);
+            let node = fork.node(id).expect("fork node exists");
+            let copy = match node.kind() {
+                weblab_xml::NodeKind::Element { name } => main.create_element(name.clone()),
+                weblab_xml::NodeKind::Text { value } => main.create_text(value.clone()),
+            };
+            for (k, v) in node.attrs() {
+                if node.name().is_some() {
+                    main.set_attr(copy, k.clone(), v.clone())?;
+                }
+            }
+            if let Some(parent) = node.parent() {
+                main.attach(map_id(&idmap, parent), copy)?;
+            }
+            idmap.insert(id, copy);
+        }
+        // replay this call's resource registrations (including promotions
+        // of pre-fork nodes)
+        for &n in &fork_resources[call.input.resource_count()..call.output.resource_count()] {
+            let meta = fork.resource(n).expect("registered");
+            main.register_resource(map_id(&idmap, n), meta.uri.clone(), meta.label.clone())?;
+        }
+        let main_output = main.mark();
+        let mut record = call.clone();
+        record.input = main_input;
+        record.output = main_output;
+        record.produced = call.produced.iter().map(|&n| map_id(&idmap, n)).collect();
+        outcome.trace.calls.push(record);
+    }
+    for mut link in branch_outcome.eager_links {
+        link.from = map_id(&idmap, link.from);
+        link.to = map_id(&idmap, link.to);
+        outcome.eager_links.push(link);
+    }
+    Ok(())
+}
+
+/// First unused call instant: one past the largest label in the document.
+pub fn next_time(doc: &Document) -> Timestamp {
+    doc.resource_nodes()
+        .iter()
+        .filter_map(|&n| doc.resource(n).and_then(|m| m.label.as_ref()))
+        .map(|l| l.time)
+        .max()
+        .map(|t| t + 1)
+        .unwrap_or(1)
+}
+
+/// The arena makes deletions impossible, but a service could still mutate
+/// attributes of pre-existing nodes through `set_attr`. Verifying full
+/// containment would require a snapshot; instead the orchestrator checks
+/// the cheap structural half (monotone node/resource counts) and relies on
+/// the arena for the rest.
+fn validate_append_only(
+    doc: &Document,
+    input: weblab_xml::StateMark,
+    output: weblab_xml::StateMark,
+    service: &str,
+) -> Result<(), WorkflowError> {
+    if output.node_count() < input.node_count()
+        || output.resource_count() < input.resource_count()
+    {
+        return Err(WorkflowError::AppendViolation {
+            service: service.into(),
+        });
+    }
+    let _ = doc;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_prov::{infer_provenance, EngineOptions};
+
+    struct AppendOne;
+    impl Service for AppendOne {
+        fn name(&self) -> &str {
+            "AppendOne"
+        }
+        fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+            let root = doc.root();
+            let n = doc.append_element(root, "Item")?;
+            ctx.register(doc, n)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn execute_records_one_call_per_step() {
+        let wf = Workflow::new().then(AppendOne).then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        assert_eq!(outcome.trace.len(), 2);
+        assert_eq!(outcome.trace.calls[0].time, 1);
+        assert_eq!(outcome.trace.calls[1].time, 2);
+        assert_eq!(outcome.trace.calls[0].produced.len(), 1);
+        assert_eq!(doc.view().children(doc.root()).len(), 2);
+    }
+
+    #[test]
+    fn time_continues_after_existing_labels() {
+        let mut doc = Document::new("Resource");
+        let root = doc.root();
+        let n = doc.append_element(root, "Old").unwrap();
+        doc.register_resource(n, "old", Some(weblab_xml::CallLabel::new("X", 7)))
+            .unwrap();
+        assert_eq!(next_time(&doc), 8);
+        let wf = Workflow::new().then(AppendOne);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        assert_eq!(outcome.trace.calls[0].time, 8);
+    }
+
+    struct LinkedAppend;
+    impl Service for LinkedAppend {
+        fn name(&self) -> &str {
+            "LinkedAppend"
+        }
+        fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+            let root = doc.root();
+            // reference the previous item's uri (if any) through @ref
+            let prev_uri = doc
+                .resource_nodes()
+                .iter()
+                .rev()
+                .find_map(|&n| doc.view().uri(n).map(|u| u.to_string()));
+            let n = doc.append_element(root, "Item")?;
+            if let Some(u) = prev_uri {
+                doc.set_attr(n, "ref", u)?;
+            }
+            ctx.register(doc, n)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn eager_links_match_posthoc_inference() {
+        let mut rules = RuleSet::new();
+        rules
+            .add_parsed("LinkedAppend", "//Item[$x := @id] => //Item[@ref = $x]")
+            .unwrap();
+        let wf = Workflow::new()
+            .then(LinkedAppend)
+            .then(LinkedAppend)
+            .then(LinkedAppend);
+        let mut doc = Document::new("Resource");
+        let outcome = Orchestrator::eager(rules.clone())
+            .execute(&wf, &mut doc)
+            .unwrap();
+        let posthoc = infer_provenance(&doc, &outcome.trace, &rules, &EngineOptions::default());
+        assert_eq!(outcome.eager_links, posthoc.links);
+        assert_eq!(outcome.eager_links.len(), 2); // item2→item1, item3→item2
+    }
+
+    #[test]
+    fn step_names_reflect_control_flow() {
+        let wf = Workflow::new().then(AppendOne).then(LinkedAppend);
+        assert_eq!(wf.step_names(), vec!["AppendOne", "LinkedAppend"]);
+        assert_eq!(wf.len(), 2);
+        assert!(!wf.is_empty());
+    }
+}

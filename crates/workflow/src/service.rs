@@ -1,0 +1,176 @@
+//! Black-box services and call contexts.
+//!
+//! A WebLab service is a black box that receives the single workflow
+//! document and *extends* it — never deleting or modifying existing content
+//! (the append semantics of Section 2). Services register the resources
+//! they create through the [`CallContext`], which stamps them with the
+//! call's label `(service, time)` and a generated URI; this is the metadata
+//! the provenance engine later reads back as the virtual `@id`/`@s`/`@t`
+//! attributes.
+
+use std::fmt;
+
+use weblab_xml::{CallLabel, Document, NodeId, Timestamp};
+
+/// Error raised by a service call or by the orchestrator's validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// The service itself failed.
+    Service {
+        /// Service name.
+        service: String,
+        /// Failure description.
+        message: String,
+    },
+    /// The service violated the append-only contract (detected by the
+    /// orchestrator's containment check).
+    AppendViolation {
+        /// Service name.
+        service: String,
+    },
+    /// An underlying document operation failed.
+    Xml(weblab_xml::Error),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Service { service, message } => {
+                write!(f, "service {service} failed: {message}")
+            }
+            WorkflowError::AppendViolation { service } => {
+                write!(f, "service {service} violated append-only semantics")
+            }
+            WorkflowError::Xml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<weblab_xml::Error> for WorkflowError {
+    fn from(e: weblab_xml::Error) -> Self {
+        WorkflowError::Xml(e)
+    }
+}
+
+/// Per-call context handed to a service: the call's identity plus URI
+/// generation for the resources it creates.
+#[derive(Debug)]
+pub struct CallContext {
+    service: String,
+    time: Timestamp,
+    counter: u64,
+    doc_uri_prefix: String,
+}
+
+impl CallContext {
+    /// Create a context for call `(service, time)`.
+    pub fn new(service: impl Into<String>, time: Timestamp) -> Self {
+        CallContext {
+            service: service.into(),
+            time,
+            counter: 0,
+            doc_uri_prefix: "weblab://res".into(),
+        }
+    }
+
+    /// The call's service name.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// The call's instant.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The call's label.
+    pub fn label(&self) -> CallLabel {
+        CallLabel::new(self.service.clone(), self.time)
+    }
+
+    /// Generate a fresh URI unique within the execution.
+    pub fn fresh_uri(&mut self) -> String {
+        self.counter += 1;
+        format!("{}/{}-t{}-{}", self.doc_uri_prefix, self.service, self.time, self.counter)
+    }
+
+    /// Register `node` as a resource produced by this call.
+    pub fn register(&mut self, doc: &mut Document, node: NodeId) -> Result<String, WorkflowError> {
+        let uri = self.fresh_uri();
+        doc.register_resource(node, uri.clone(), Some(self.label()))?;
+        Ok(uri)
+    }
+
+    /// Register `node` as a resource credited to another origin (used for
+    /// *promotions* of pre-existing content, e.g. node 3 → r3 credited to
+    /// `(Source, t₀)` in Figure 4).
+    pub fn register_promoted(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        origin: CallLabel,
+    ) -> Result<String, WorkflowError> {
+        let uri = self.fresh_uri();
+        doc.register_resource(node, uri.clone(), Some(origin))?;
+        Ok(uri)
+    }
+}
+
+/// A black-box workflow service.
+pub trait Service: Send + Sync {
+    /// Stable service name `s ∈ S` (also the key into the rule registry).
+    fn name(&self) -> &str;
+
+    /// Extend the document. The orchestrator snapshots the state before and
+    /// after and records the trace; implementations must only append.
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError>;
+}
+
+impl Service for std::sync::Arc<dyn Service> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        self.as_ref().call(doc, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_uris_are_unique_and_labelled() {
+        let mut ctx = CallContext::new("Normaliser", 3);
+        let a = ctx.fresh_uri();
+        let b = ctx.fresh_uri();
+        assert_ne!(a, b);
+        assert!(a.contains("Normaliser"));
+        assert!(a.contains("t3"));
+        assert_eq!(ctx.label(), CallLabel::new("Normaliser", 3));
+    }
+
+    #[test]
+    fn register_stamps_label() {
+        let mut doc = Document::new("Resource");
+        let root = doc.root();
+        let n = doc.append_element(root, "X").unwrap();
+        let mut ctx = CallContext::new("S", 1);
+        let uri = ctx.register(&mut doc, n).unwrap();
+        assert_eq!(doc.view().uri(n), Some(uri.as_str()));
+        assert_eq!(doc.view().label(n), Some(&CallLabel::new("S", 1)));
+    }
+
+    #[test]
+    fn promoted_registration_keeps_origin_label() {
+        let mut doc = Document::new("Resource");
+        let root = doc.root();
+        let n = doc.append_element(root, "X").unwrap();
+        let mut ctx = CallContext::new("Normaliser", 5);
+        ctx.register_promoted(&mut doc, n, CallLabel::new("Source", 0))
+            .unwrap();
+        assert_eq!(doc.view().label(n), Some(&CallLabel::new("Source", 0)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Tiny deterministic text-processing helpers behind the media-mining
+//! service analogues.
+//!
+//! The originals behind the paper's platform are commercial NLP components;
+//! these replacements are deliberately simple (stop-word language
+//! detection, dictionary translation, lexicon sentiment) but produce the
+//! same *document shapes*, which is all the black-box provenance model ever
+//! observes.
+
+/// Common French function words used for language detection and as the
+/// toy translation dictionary's domain.
+pub const FRENCH_WORDS: &[(&str, &str)] = &[
+    ("le", "the"),
+    ("la", "the"),
+    ("les", "the"),
+    ("un", "a"),
+    ("une", "a"),
+    ("et", "and"),
+    ("est", "is"),
+    ("sont", "are"),
+    ("dans", "in"),
+    ("pour", "for"),
+    ("avec", "with"),
+    ("texte", "text"),
+    ("document", "document"),
+    ("analyse", "analysis"),
+    ("langue", "language"),
+    ("service", "service"),
+    ("donnees", "data"),
+    ("resultat", "result"),
+    ("guerre", "war"),
+    ("paix", "peace"),
+];
+
+/// English function words for detection.
+pub const ENGLISH_MARKERS: &[&str] = &[
+    "the", "a", "and", "is", "are", "in", "for", "with", "of", "to",
+];
+
+/// Detect `"fr"` or `"en"` by counting marker words; ties resolve to `"en"`.
+pub fn detect_language(text: &str) -> &'static str {
+    let mut fr = 0usize;
+    let mut en = 0usize;
+    for w in text.split_whitespace() {
+        let w = w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase();
+        if FRENCH_WORDS.iter().any(|(f, _)| *f == w) {
+            fr += 1;
+        }
+        if ENGLISH_MARKERS.contains(&w.as_str()) {
+            en += 1;
+        }
+    }
+    if fr > en {
+        "fr"
+    } else {
+        "en"
+    }
+}
+
+/// Word-by-word dictionary translation FR → EN; unknown words pass through
+/// with a `*` marker so translations are visibly distinct from originals.
+pub fn translate_fr_en(text: &str) -> String {
+    text.split_whitespace()
+        .map(|w| {
+            let key = w.to_lowercase();
+            FRENCH_WORDS
+                .iter()
+                .find(|(f, _)| *f == key)
+                .map(|(_, e)| (*e).to_string())
+                .unwrap_or_else(|| format!("{w}*"))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Normalise raw content: collapse whitespace and strip control
+/// characters, preserving case (capitalisation carries signal for the
+/// downstream entity extractor).
+pub fn normalise(text: &str) -> String {
+    text.split_whitespace()
+        .map(|w| w.trim_matches(char::is_control))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Naive named-entity extraction: maximal runs of capitalised words,
+/// excluding sentence-initial singletons that are common words.
+pub fn extract_entities(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut run: Vec<&str> = Vec::new();
+    for w in text.split_whitespace() {
+        let w = w.trim_matches(|c: char| !c.is_alphanumeric());
+        let capitalised = w
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false);
+        if capitalised {
+            run.push(w);
+        } else {
+            if !run.is_empty() && !run.is_empty() {
+                out.push(run.join(" "));
+            }
+            run.clear();
+        }
+    }
+    if !run.is_empty() {
+        out.push(run.join(" "));
+    }
+    out.dedup();
+    out
+}
+
+/// First sentence (up to the first `.`/`!`/`?`), capped at `max_words`.
+pub fn summarise(text: &str, max_words: usize) -> String {
+    let first = text
+        .split(['.', '!', '?'])
+        .next()
+        .unwrap_or(text);
+    first
+        .split_whitespace()
+        .take(max_words)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Lexicon sentiment in `[-1, 1]` (per-word average).
+pub fn sentiment(text: &str) -> f64 {
+    const POSITIVE: &[&str] = &["good", "great", "peace", "paix", "excellent", "success"];
+    const NEGATIVE: &[&str] = &["bad", "war", "guerre", "failure", "terrible", "crisis"];
+    let mut score = 0i64;
+    let mut count = 0i64;
+    for w in text.split_whitespace() {
+        let w = w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase();
+        if POSITIVE.contains(&w.as_str()) {
+            score += 1;
+        } else if NEGATIVE.contains(&w.as_str()) {
+            score -= 1;
+        }
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        score as f64 / count as f64
+    }
+}
+
+/// Top-`k` most frequent words of length ≥ 4 (deterministic order: by
+/// frequency, then alphabetically).
+pub fn keywords(text: &str, k: usize) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut freq: HashMap<String, usize> = HashMap::new();
+    for w in text.split_whitespace() {
+        let w = w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase();
+        if w.len() >= 4 {
+            *freq.entry(w).or_default() += 1;
+        }
+    }
+    let mut pairs: Vec<(String, usize)> = freq.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.into_iter().take(k).map(|(w, _)| w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn language_detection() {
+        assert_eq!(detect_language("le texte est dans la langue"), "fr");
+        assert_eq!(detect_language("the text is in the language"), "en");
+        assert_eq!(detect_language(""), "en");
+    }
+
+    #[test]
+    fn translation_marks_unknown_words() {
+        assert_eq!(translate_fr_en("le texte xyz"), "the text xyz*");
+    }
+
+    #[test]
+    fn normalisation_is_idempotent() {
+        let once = normalise("  Some\tTEXT  here ");
+        assert_eq!(once, "Some TEXT here");
+        assert_eq!(normalise(&once), once);
+    }
+
+    #[test]
+    fn entity_runs_are_maximal() {
+        let e = extract_entities("talks with Jean Dupont in Paris about data");
+        assert_eq!(e, vec!["Jean Dupont", "Paris"]);
+    }
+
+    #[test]
+    fn summary_stops_at_sentence_end() {
+        assert_eq!(summarise("First part. Second part.", 10), "First part");
+        assert_eq!(summarise("one two three four", 2), "one two");
+    }
+
+    #[test]
+    fn sentiment_is_bounded() {
+        assert!(sentiment("war war war") < 0.0);
+        assert!(sentiment("peace is good") > 0.0);
+        assert_eq!(sentiment(""), 0.0);
+    }
+
+    #[test]
+    fn keyword_extraction_orders_by_frequency() {
+        let k = keywords("data data analysis pipeline data analysis", 2);
+        assert_eq!(k, vec!["data", "analysis"]);
+    }
+}

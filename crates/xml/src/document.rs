@@ -1,0 +1,722 @@
+//! WebLab documents: trees + resource URIs + service-call labels + states.
+//!
+//! Implements Definition 1 (WebLab document `(τ, uri)`), the labelling
+//! function `λ` of Definition 3, and the state machinery behind workflow
+//! executions (Definition 2): every [`StateMark`] captures one document state
+//! `d_i`, and [`DocView`] exposes a read-only view of that state without
+//! copying the tree.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::iter::{Ancestors, Descendants};
+use crate::tree::{Arena, Node, NodeId, NodeKind};
+
+/// Logical timestamps `t ∈ T` of the paper's infinite ordered domain.
+///
+/// The model only requires a total order on call instants; the orchestrator
+/// assigns consecutive integers.
+pub type Timestamp = u64;
+
+/// A service-call label `(s, t) ∈ C = S × T` (Definition 2/3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallLabel {
+    /// Service name `s ∈ S`.
+    pub service: String,
+    /// Call instant `t ∈ T`.
+    pub time: Timestamp,
+}
+
+impl CallLabel {
+    /// Construct a label from a service name and call instant.
+    pub fn new(service: impl Into<String>, time: Timestamp) -> Self {
+        CallLabel {
+            service: service.into(),
+            time,
+        }
+    }
+}
+
+impl fmt::Display for CallLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, t{})", self.service, self.time)
+    }
+}
+
+/// Resource metadata attached to an identified node: its URI and, if known,
+/// the service call that produced it.
+///
+/// The paper encodes these as virtual attributes `@id`, `@s` and `@t` on
+/// resource nodes; the XPath evaluator resolves those names against this
+/// struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceMeta {
+    /// Unique resource URI assigned by the `uri` function of Definition 1.
+    pub uri: String,
+    /// Producing service call, if the node is labelled (`λ` of Definition 3).
+    pub label: Option<CallLabel>,
+}
+
+/// A high-water mark identifying one document state `d_i`.
+///
+/// Because the arena and the resource log are append-only, the pair of
+/// counters fully determines the state: a node belongs to the state iff its
+/// id is below `nodes`, and a resource registration is visible iff its log
+/// position is below `resources`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateMark {
+    pub(crate) nodes: u32,
+    pub(crate) resources: u32,
+}
+
+impl StateMark {
+    /// Number of nodes that exist at this state.
+    pub fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Number of resource registrations visible at this state.
+    pub fn resource_count(&self) -> usize {
+        self.resources as usize
+    }
+
+    /// Construct a mark from raw counters.
+    ///
+    /// Advanced use (tests, trace deserialisation): the counters must
+    /// describe a state the document actually passed through — `nodes`
+    /// nodes existed and the first `resources` registrations of the log had
+    /// been made — otherwise views behave safely but meaninglessly.
+    pub fn from_counts(nodes: usize, resources: usize) -> StateMark {
+        StateMark {
+            nodes: nodes as u32,
+            resources: resources as u32,
+        }
+    }
+
+    /// A hybrid mark: the *structure* of `self` with the *resource
+    /// identification* of `other`.
+    ///
+    /// URIs are only ever added, never changed (Definition 1), so a later
+    /// state's `uri` function restricted to an earlier state's nodes is
+    /// well defined. The replay evaluation strategy uses this to see
+    /// promotions the way the paper's posthoc strategies do: node 3 of
+    /// Figure 4 is matched as resource `r3` even when the pattern runs on
+    /// the structure of `d₀`.
+    pub fn with_resources_of(self, other: StateMark) -> StateMark {
+        StateMark {
+            nodes: self.nodes,
+            resources: other.resources,
+        }
+    }
+}
+
+/// A WebLab document `d = (τ, uri)` together with its full evolution history.
+///
+/// One `Document` value stores the *final* state of a workflow execution and
+/// every intermediate state reachable through [`Document::mark`] /
+/// [`Document::view_at`]. All mutating operations append; nothing is ever
+/// deleted, mirroring the platform's append semantics.
+#[derive(Debug, Clone)]
+pub struct Document {
+    arena: Arena,
+    root: NodeId,
+    /// Append-only log of resource registrations, in registration order.
+    resource_log: Vec<NodeId>,
+    /// Metadata per registered node, paired with its registration position
+    /// in the log (so state views can test visibility in O(1)).
+    resources: HashMap<NodeId, (u32, ResourceMeta)>,
+    /// Reverse map uri → node for uniqueness checks and lookups.
+    uri_index: HashMap<String, NodeId>,
+}
+
+impl Document {
+    /// Create a document with a fresh root element named `root_name`.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        let mut arena = Arena::default();
+        let root = arena.alloc(NodeKind::Element {
+            name: root_name.into(),
+        });
+        Document {
+            arena,
+            root,
+            resource_log: Vec::new(),
+            resources: HashMap::new(),
+            uri_index: HashMap::new(),
+        }
+    }
+
+    /// The root node (always id `#0`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes in the (final) document.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Access a node, failing if the id is foreign.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.arena.get(id).ok_or(Error::UnknownNode(id))
+    }
+
+    /// Access a node, panicking on a foreign id. Internal fast path.
+    #[inline]
+    pub(crate) fn node_unchecked(&self, id: NodeId) -> &Node {
+        &self.arena.nodes[id.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Construction (append-only)
+    // ------------------------------------------------------------------
+
+    /// Allocate a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.arena.alloc(NodeKind::Element { name: name.into() })
+    }
+
+    /// Allocate a detached text node.
+    pub fn create_text(&mut self, value: impl Into<String>) -> NodeId {
+        self.arena.alloc(NodeKind::Text {
+            value: value.into(),
+        })
+    }
+
+    /// Append a previously created, still-detached node as the last child of
+    /// `parent`.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        if self.arena.get(child).is_none() {
+            return Err(Error::UnknownNode(child));
+        }
+        let p = self.arena.get(parent).ok_or(Error::UnknownNode(parent))?;
+        if !p.is_element() {
+            return Err(Error::NotAnElement(parent));
+        }
+        if self.arena.get(child).unwrap().parent.is_some() {
+            return Err(Error::AlreadyAttached(child));
+        }
+        // Reject cycles: parent must not be a descendant of child (nor child
+        // itself). Ancestor chains are short; walk up from `parent`.
+        let mut cur = Some(parent);
+        while let Some(n) = cur {
+            if n == child {
+                return Err(Error::WouldCycle(child));
+            }
+            cur = self.arena.get(n).unwrap().parent;
+        }
+        self.arena.get_mut(child).unwrap().parent = Some(parent);
+        self.arena.get_mut(parent).unwrap().children.push(child);
+        Ok(())
+    }
+
+    /// Create an element and append it to `parent` in one step.
+    pub fn append_element(&mut self, parent: NodeId, name: impl Into<String>) -> Result<NodeId> {
+        let id = self.create_element(name);
+        self.attach(parent, id)?;
+        Ok(id)
+    }
+
+    /// Create a text node and append it to `parent` in one step.
+    pub fn append_text(&mut self, parent: NodeId, value: impl Into<String>) -> Result<NodeId> {
+        let id = self.create_text(value);
+        self.attach(parent, id)?;
+        Ok(id)
+    }
+
+    /// Set an explicit attribute on an element.
+    ///
+    /// Attributes participate in state views only insofar as the node itself
+    /// does: a well-behaved service sets attributes on the nodes it creates
+    /// before the orchestrator takes the next [`StateMark`]. The workflow
+    /// engine enforces this discipline.
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<()> {
+        let n = self.arena.get_mut(node).ok_or(Error::UnknownNode(node))?;
+        if !n.is_element() {
+            return Err(Error::NotAnElement(node));
+        }
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = n.attrs.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+        } else {
+            n.attrs.push((name, value));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Resources
+    // ------------------------------------------------------------------
+
+    /// Register `node` as a resource with the given URI and optional label.
+    ///
+    /// Models both initial identification (root of `d₀`) and the *promotion*
+    /// of an existing plain node to a resource (node 3 → r3 in Figure 4 of
+    /// the paper). A node can be registered at most once and URIs are unique
+    /// per document — the paper's `uri` function is injective and never
+    /// modified, only extended.
+    pub fn register_resource(
+        &mut self,
+        node: NodeId,
+        uri: impl Into<String>,
+        label: Option<CallLabel>,
+    ) -> Result<()> {
+        if self.arena.get(node).is_none() {
+            return Err(Error::UnknownNode(node));
+        }
+        if self.resources.contains_key(&node) {
+            return Err(Error::AlreadyResource(node));
+        }
+        let uri = uri.into();
+        if self.uri_index.contains_key(&uri) {
+            return Err(Error::DuplicateUri(uri));
+        }
+        self.uri_index.insert(uri.clone(), node);
+        let pos = self.resource_log.len() as u32;
+        self.resources.insert(node, (pos, ResourceMeta { uri, label }));
+        self.resource_log.push(node);
+        Ok(())
+    }
+
+    /// Resource metadata of `node` in the final state, if registered.
+    #[inline]
+    pub fn resource(&self, node: NodeId) -> Option<&ResourceMeta> {
+        self.resources.get(&node).map(|(_, m)| m)
+    }
+
+    /// Node identified by `uri`, if any.
+    #[inline]
+    pub fn node_by_uri(&self, uri: &str) -> Option<NodeId> {
+        self.uri_index.get(uri).copied()
+    }
+
+    /// All registered resource nodes in registration order.
+    pub fn resource_nodes(&self) -> &[NodeId] {
+        &self.resource_log
+    }
+
+    // ------------------------------------------------------------------
+    // States
+    // ------------------------------------------------------------------
+
+    /// Capture the current state as a mark `d_i`.
+    pub fn mark(&self) -> StateMark {
+        StateMark {
+            nodes: self.arena.len() as u32,
+            resources: self.resource_log.len() as u32,
+        }
+    }
+
+    /// The empty-history mark (before any node existed). Rarely useful
+    /// directly; mostly an identity for diff computations.
+    pub fn mark_zero() -> StateMark {
+        StateMark {
+            nodes: 0,
+            resources: 0,
+        }
+    }
+
+    /// A read-only view of the document at `mark`.
+    ///
+    /// Marks taken from a *different* document yield unspecified (but safe)
+    /// views; callers are expected to pair marks with their document, which
+    /// the workflow engine does.
+    pub fn view_at(&self, mark: StateMark) -> DocView<'_> {
+        DocView { doc: self, mark }
+    }
+
+    /// A view of the final (current) state.
+    pub fn view(&self) -> DocView<'_> {
+        self.view_at(self.mark())
+    }
+
+    /// Roots of the maximal new fragments appended since `mark`
+    /// — the bag `d \ d_mark` of the paper, in document order.
+    ///
+    /// A node is a fragment root iff it is new (`id ≥ mark`) and attached to
+    /// an old parent (or detached).
+    pub fn new_fragments_since(&self, mark: StateMark) -> Vec<NodeId> {
+        let mut roots = Vec::new();
+        for idx in mark.nodes as usize..self.arena.len() {
+            let id = NodeId(idx as u32);
+            let n = self.node_unchecked(id);
+            match n.parent {
+                Some(p) if p.0 < mark.nodes => roots.push(id),
+                None => roots.push(id),
+                _ => {}
+            }
+        }
+        roots
+    }
+
+    /// Resource nodes registered since `mark`, in registration order.
+    ///
+    /// For a service call `c_i` with input mark `d_{i-1}` and output mark
+    /// `d_i`, this is `out(c_i)` of the paper.
+    pub fn new_resources_since(&self, mark: StateMark) -> Vec<NodeId> {
+        self.resource_log[mark.resources as usize..].to_vec()
+    }
+
+    /// Deep-copy the state at `mark` into a standalone document.
+    ///
+    /// Node ids are preserved (states are prefixes of the arena), so marks
+    /// taken on `self` up to `mark` remain valid on the copy. This is the
+    /// expensive per-state materialisation that the paper's "simple, but
+    /// also inefficient solution" performs; the replay strategy benchmarks
+    /// use it, everything else uses zero-copy [`Document::view_at`].
+    pub fn materialize_state(&self, mark: StateMark) -> Document {
+        let nodes = mark.nodes as usize;
+        let mut arena = Arena::default();
+        arena.nodes.reserve(nodes);
+        for node in &self.arena.nodes[..nodes] {
+            let mut copy = node.clone();
+            copy.children.retain(|c| (c.0 as usize) < nodes);
+            if let Some(p) = copy.parent {
+                if p.0 >= mark.nodes {
+                    copy.parent = None;
+                }
+            }
+            arena.nodes.push(copy);
+        }
+        // Registrations visible at the mark whose node exists structurally
+        // (a hybrid mark may expose registrations of not-yet-created nodes;
+        // those are dropped).
+        let resource_log: Vec<NodeId> = self.resource_log[..mark.resources as usize]
+            .iter()
+            .copied()
+            .filter(|n| n.0 < mark.nodes)
+            .collect();
+        let mut resources = HashMap::with_capacity(resource_log.len());
+        let mut uri_index = HashMap::with_capacity(resource_log.len());
+        for (pos, &n) in resource_log.iter().enumerate() {
+            let meta = self.resources[&n].1.clone();
+            uri_index.insert(meta.uri.clone(), n);
+            resources.insert(n, (pos as u32, meta));
+        }
+        Document {
+            arena,
+            root: self.root,
+            resource_log,
+            resources,
+            uri_index,
+        }
+    }
+}
+
+/// Read-only view of one document state `d_i`.
+///
+/// Navigation methods filter the underlying arena by the state's high-water
+/// marks; the tree is never copied. All pattern evaluation in the rest of
+/// the system works against `DocView`, which is what makes the paper's
+/// "evaluate everything on the final document" strategies and the naive
+/// per-state replay strategy share one code path.
+#[derive(Debug, Clone, Copy)]
+pub struct DocView<'d> {
+    pub(crate) doc: &'d Document,
+    pub(crate) mark: StateMark,
+}
+
+impl<'d> DocView<'d> {
+    /// The underlying document.
+    #[inline]
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// The state mark this view captures.
+    #[inline]
+    pub fn mark(&self) -> StateMark {
+        self.mark
+    }
+
+    /// Whether `node` exists at this state.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.mark.nodes && node.index() < self.doc.node_count()
+    }
+
+    /// Root of the document (exists in every state; documents are created
+    /// with their root).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.doc.root
+    }
+
+    /// The node's label/attrs, if it exists at this state.
+    pub fn node(&self, id: NodeId) -> Option<&'d Node> {
+        if self.contains(id) {
+            self.doc.arena.get(id)
+        } else {
+            None
+        }
+    }
+
+    /// Children of `node` visible at this state (ids below the mark).
+    ///
+    /// Children are appended in id order, so the visible children form a
+    /// prefix of the final child list.
+    pub fn children(&self, node: NodeId) -> &'d [NodeId] {
+        let Some(n) = self.node(node) else {
+            return &[];
+        };
+        // Children ids are strictly increasing; binary search for the mark.
+        let cut = n
+            .children
+            .partition_point(|c| c.0 < self.mark.nodes);
+        &n.children[..cut]
+    }
+
+    /// Parent of `node` at this state.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.node(node).and_then(|n| n.parent)
+    }
+
+    /// Element name of `node`, if it is an element visible here.
+    pub fn name(&self, node: NodeId) -> Option<&'d str> {
+        self.node(node).and_then(|n| n.name())
+    }
+
+    /// Explicit attribute value.
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&'d str> {
+        self.node(node).and_then(|n| n.attr(name))
+    }
+
+    /// Resource metadata visible at this state.
+    ///
+    /// A registration is visible iff its log position is below the state's
+    /// resource mark — this is how node 3 of the paper is a plain node in
+    /// `d₀` and the resource `r3` from `d₁` onwards.
+    pub fn resource(&self, node: NodeId) -> Option<&'d ResourceMeta> {
+        if !self.contains(node) {
+            return None;
+        }
+        let (pos, meta) = self.doc.resources.get(&node)?;
+        if *pos < self.mark.resources {
+            Some(meta)
+        } else {
+            None
+        }
+    }
+
+    /// URI of `node` at this state (the paper's virtual `@id`).
+    pub fn uri(&self, node: NodeId) -> Option<&'d str> {
+        self.resource(node).map(|m| m.uri.as_str())
+    }
+
+    /// Producing service-call label of `node` at this state.
+    pub fn label(&self, node: NodeId) -> Option<&'d CallLabel> {
+        self.resource(node).and_then(|m| m.label.as_ref())
+    }
+
+    /// Resource nodes registered at this state, in registration order.
+    pub fn resource_nodes(&self) -> &'d [NodeId] {
+        &self.doc.resource_log[..self.mark.resources as usize]
+    }
+
+    /// Concatenated text content of the subtree rooted at `node`.
+    pub fn text_content(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(node, &mut out);
+        out
+    }
+
+    fn collect_text(&self, node: NodeId, out: &mut String) {
+        let Some(n) = self.node(node) else { return };
+        if let Some(t) = n.kind().text_value() {
+            out.push_str(t);
+        }
+        for &c in self.children(node) {
+            self.collect_text(c, out);
+        }
+    }
+
+    /// Depth-first pre-order iterator over the subtree rooted at `node`,
+    /// restricted to this state.
+    pub fn descendants(&self, node: NodeId) -> Descendants<'d> {
+        Descendants::new(*self, node)
+    }
+
+    /// Iterator over `node`'s proper ancestors, closest first.
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'d> {
+        Ancestors::new(*self, node)
+    }
+
+    /// Is `a` an ancestor-or-self of `b` at this state?
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.contains(a) || !self.contains(b) {
+            return false;
+        }
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Structural containment check `self ⊑_uri other` (paper, Section 3).
+    ///
+    /// Views over the *same* document are contained by construction whenever
+    /// `self.mark ≤ other.mark`; for independent documents this delegates to
+    /// the general structural algorithm.
+    pub fn is_contained_in(&self, other: &DocView<'_>) -> bool {
+        if std::ptr::eq(self.doc, other.doc) {
+            return self.mark.nodes <= other.mark.nodes
+                && self.mark.resources <= other.mark.resources;
+        }
+        crate::contain::is_contained(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, StateMark) {
+        let mut d = Document::new("R");
+        let root = d.root();
+        d.register_resource(root, "r1", None).unwrap();
+        let m = d.append_element(root, "M").unwrap();
+        let n = d.append_element(root, "N").unwrap();
+        d.append_text(n, "native").unwrap();
+        let d0 = d.mark();
+        (d, m, n, d0)
+    }
+
+    #[test]
+    fn states_partition_children() {
+        let (mut d, _m, _n, d0) = sample();
+        let root = d.root();
+        let t = d.append_element(root, "T").unwrap();
+        let d1 = d.mark();
+
+        assert_eq!(d.view_at(d0).children(root).len(), 2);
+        assert_eq!(d.view_at(d1).children(root).len(), 3);
+        assert!(!d.view_at(d0).contains(t));
+        assert!(d.view_at(d1).contains(t));
+    }
+
+    #[test]
+    fn promotion_is_state_dependent() {
+        let (mut d, _m, n, d0) = sample();
+        d.register_resource(n, "r3", Some(CallLabel::new("Source", 0)))
+            .unwrap();
+        let d1 = d.mark();
+
+        assert_eq!(d.view_at(d0).uri(n), None);
+        assert_eq!(d.view_at(d1).uri(n), Some("r3"));
+        assert_eq!(
+            d.view_at(d1).label(n),
+            Some(&CallLabel::new("Source", 0))
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (mut d, _m, n, _d0) = sample();
+        d.register_resource(n, "rX", None).unwrap();
+        assert_eq!(
+            d.register_resource(n, "rY", None),
+            Err(Error::AlreadyResource(n))
+        );
+        let m2 = d.append_element(d.root(), "Z").unwrap();
+        assert_eq!(
+            d.register_resource(m2, "rX", None),
+            Err(Error::DuplicateUri("rX".into()))
+        );
+    }
+
+    #[test]
+    fn new_fragments_are_maximal_roots() {
+        let (mut d, _m, n, d0) = sample();
+        let root = d.root();
+        // fragment 1: T with child C
+        let t = d.append_element(root, "T").unwrap();
+        let _c = d.append_element(t, "C").unwrap();
+        // fragment 2: annotation under the old node n
+        let a = d.append_element(n, "A").unwrap();
+        let frags = d.new_fragments_since(d0);
+        assert_eq!(frags, vec![t, a]);
+    }
+
+    #[test]
+    fn out_of_state_nodes_are_invisible() {
+        let (mut d, _m, n, d0) = sample();
+        let a = d.append_element(n, "A").unwrap();
+        let v0 = d.view_at(d0);
+        assert_eq!(v0.node(a), None);
+        assert_eq!(v0.children(n).len(), 1); // only the text node
+        assert_eq!(v0.parent(a), None);
+    }
+
+    #[test]
+    fn attach_rejects_cycles_and_double_attach() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        let x = d.append_element(root, "X").unwrap();
+        let y = d.append_element(x, "Y").unwrap();
+        // y is attached already
+        assert_eq!(d.attach(root, y), Err(Error::AlreadyAttached(y)));
+        // detached node cycling onto itself is impossible by construction,
+        // but attaching an ancestor under a descendant must fail:
+        let z = d.create_element("Z");
+        d.attach(y, z).unwrap();
+        let w = d.create_element("W");
+        d.attach(z, w).unwrap();
+        // attempt to attach z (already attached) anywhere fails first
+        assert_eq!(d.attach(w, z), Err(Error::AlreadyAttached(z)));
+    }
+
+    #[test]
+    fn text_content_concatenates_in_order() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        d.append_text(root, "a").unwrap();
+        let e = d.append_element(root, "E").unwrap();
+        d.append_text(e, "b").unwrap();
+        d.append_text(root, "c").unwrap();
+        assert_eq!(d.view().text_content(root), "abc");
+    }
+
+    #[test]
+    fn same_doc_containment_by_marks() {
+        let (mut d, ..) = sample();
+        let d0 = d.mark();
+        d.append_element(d.root(), "T").unwrap();
+        let d1 = d.mark();
+        assert!(d.view_at(d0).is_contained_in(&d.view_at(d1)));
+        assert!(!d.view_at(d1).is_contained_in(&d.view_at(d0)));
+    }
+
+    #[test]
+    fn ancestor_or_self_respects_state() {
+        let (mut d, _m, n, d0) = sample();
+        let a = d.append_element(n, "A").unwrap();
+        let v1 = d.view();
+        assert!(v1.is_ancestor_or_self(n, a));
+        assert!(v1.is_ancestor_or_self(d.root(), a));
+        assert!(!v1.is_ancestor_or_self(a, n));
+        let v0 = d.view_at(d0);
+        assert!(!v0.is_ancestor_or_self(n, a)); // a not in d0
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        d.set_attr(root, "k", "1").unwrap();
+        d.set_attr(root, "k", "2").unwrap();
+        assert_eq!(d.view().attr(root, "k"), Some("2"));
+    }
+}

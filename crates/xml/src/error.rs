@@ -1,0 +1,55 @@
+//! Error type shared across the XML substrate.
+
+use std::fmt;
+
+use crate::tree::NodeId;
+
+/// Errors produced by document construction, parsing, and diffing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A node id does not belong to the document it was used with.
+    UnknownNode(NodeId),
+    /// Attempted to append a child to a text node.
+    NotAnElement(NodeId),
+    /// Attempted to register a resource twice for the same node.
+    AlreadyResource(NodeId),
+    /// Attempted to register a URI that is already assigned to another node.
+    DuplicateUri(String),
+    /// Attempted to attach a node that already has a parent.
+    AlreadyAttached(NodeId),
+    /// Attempted to attach a node under one of its own descendants (cycle).
+    WouldCycle(NodeId),
+    /// Attribute mutation on a node that is already frozen into a state mark.
+    FrozenNode(NodeId),
+    /// XML syntax error at a byte offset.
+    Parse {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode(n) => write!(f, "node {n} does not belong to this document"),
+            Error::NotAnElement(n) => write!(f, "node {n} is not an element"),
+            Error::AlreadyResource(n) => write!(f, "node {n} is already a resource"),
+            Error::DuplicateUri(u) => write!(f, "uri {u:?} is already assigned"),
+            Error::AlreadyAttached(n) => write!(f, "node {n} is already attached to a parent"),
+            Error::WouldCycle(n) => write!(f, "attaching node {n} would create a cycle"),
+            Error::FrozenNode(n) => {
+                write!(f, "node {n} belongs to a frozen state and cannot be modified")
+            }
+            Error::Parse { offset, message } => {
+                write!(f, "xml parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,91 @@
+//! Minimal XML escaping/unescaping for the five predefined entities.
+
+/// Escape text content (`&`, `<`, `>`).
+pub(crate) fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value (additionally `"`).
+pub(crate) fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Resolve the predefined entities and decimal/hex character references.
+/// Returns `None` on a malformed reference.
+pub(crate) fn unescape(s: &str) -> Option<String> {
+    if !s.contains('&') {
+        return Some(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let end = rest.find(';')?;
+        let name = &rest[..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..].parse().ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let original = r#"a<b>&"quote" 'tick'"#;
+        let mut esc = String::new();
+        escape_attr(original, &mut esc);
+        assert_eq!(unescape(&esc).unwrap(), original);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn malformed_references_rejected() {
+        assert!(unescape("&bogus;").is_none());
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&unterminated").is_none());
+    }
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(unescape("hello").unwrap(), "hello");
+    }
+}

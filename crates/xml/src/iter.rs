@@ -1,0 +1,104 @@
+//! Navigation iterators over document-state views.
+
+use crate::document::DocView;
+use crate::tree::NodeId;
+
+/// Depth-first pre-order traversal of a subtree, restricted to one state.
+#[derive(Debug)]
+pub struct Descendants<'d> {
+    view: DocView<'d>,
+    stack: Vec<NodeId>,
+}
+
+impl<'d> Descendants<'d> {
+    pub(crate) fn new(view: DocView<'d>, root: NodeId) -> Self {
+        let stack = if view.contains(root) {
+            vec![root]
+        } else {
+            Vec::new()
+        };
+        Descendants { view, stack }
+    }
+}
+
+impl<'d> Iterator for Descendants<'d> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = self.stack.pop()?;
+        let children = self.view.children(next);
+        // Push in reverse so the leftmost child is visited first.
+        self.stack.extend(children.iter().rev().copied());
+        Some(next)
+    }
+}
+
+/// Iterator over the proper ancestors of a node, closest first.
+#[derive(Debug)]
+pub struct Ancestors<'d> {
+    view: DocView<'d>,
+    cur: Option<NodeId>,
+}
+
+impl<'d> Ancestors<'d> {
+    pub(crate) fn new(view: DocView<'d>, node: NodeId) -> Self {
+        let cur = view.parent(node);
+        Ancestors { view, cur }
+    }
+}
+
+impl<'d> Iterator for Ancestors<'d> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.cur?;
+        self.cur = self.view.parent(n);
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Document;
+
+    #[test]
+    fn preorder_traversal() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        let a = d.append_element(root, "A").unwrap();
+        let b = d.append_element(a, "B").unwrap();
+        let c = d.append_element(root, "C").unwrap();
+        let order: Vec<_> = d.view().descendants(root).collect();
+        assert_eq!(order, vec![root, a, b, c]);
+    }
+
+    #[test]
+    fn traversal_respects_state() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        let a = d.append_element(root, "A").unwrap();
+        let d0 = d.mark();
+        let _b = d.append_element(a, "B").unwrap();
+        let order: Vec<_> = d.view_at(d0).descendants(root).collect();
+        assert_eq!(order, vec![root, a]);
+    }
+
+    #[test]
+    fn ancestors_closest_first() {
+        let mut d = Document::new("R");
+        let root = d.root();
+        let a = d.append_element(root, "A").unwrap();
+        let b = d.append_element(a, "B").unwrap();
+        let anc: Vec<_> = d.view().ancestors(b).collect();
+        assert_eq!(anc, vec![a, root]);
+        assert!(d.view().ancestors(root).next().is_none());
+    }
+
+    #[test]
+    fn descendants_of_invisible_node_is_empty() {
+        let mut d = Document::new("R");
+        let d0 = d.mark();
+        let a = d.append_element(d.root(), "A").unwrap();
+        assert_eq!(d.view_at(d0).descendants(a).count(), 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! A small XML parser for WebLab documents.
+//!
+//! Supports the fragment of XML that WebLab payloads use: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions (skipped), and the predefined/numeric entity references.
+//! Doctypes and namespaces-as-semantics are out of scope; namespace
+//! prefixes are kept verbatim in names.
+//!
+//! Resource metadata round-trips through three reserved attributes:
+//! `wl:id` (URI), `wl:s` (producing service) and `wl:t` (timestamp).
+//! On parse they are consumed into [`crate::ResourceMeta`]; the serialiser
+//! re-emits them. This mirrors the paper's assumption that "each resource
+//! node has two attributes `@t` and `@s` defining its service call label".
+
+use crate::document::{CallLabel, Document};
+use crate::error::{Error, Result};
+use crate::escape::unescape;
+use crate::tree::NodeId;
+
+/// Reserved attribute carrying the resource URI.
+pub(crate) const ATTR_URI: &str = "wl:id";
+/// Reserved attribute carrying the producing service name.
+pub(crate) const ATTR_SERVICE: &str = "wl:s";
+/// Reserved attribute carrying the producing call timestamp.
+pub(crate) const ATTR_TIME: &str = "wl:t";
+
+/// Parse a complete document from XML text.
+pub fn parse_document(input: &str) -> Result<Document> {
+    let mut p = Parser::new(input);
+    p.skip_prolog();
+    let (name, attrs, self_closing) = p.parse_open_tag()?;
+    let mut doc = Document::new(name);
+    let root = doc.root();
+    apply_attrs(&mut doc, root, attrs)?;
+    if !self_closing {
+        p.parse_children(&mut doc, root)?;
+    }
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(p.err("trailing content after document element"));
+    }
+    Ok(doc)
+}
+
+/// Parse an XML fragment (one element) and attach it under `parent` of an
+/// existing document. Returns the fragment root.
+pub fn parse_fragment_into(doc: &mut Document, parent: NodeId, input: &str) -> Result<NodeId> {
+    let mut p = Parser::new(input);
+    p.skip_misc();
+    let (name, attrs, self_closing) = p.parse_open_tag()?;
+    let node = doc.append_element(parent, name)?;
+    apply_attrs(doc, node, attrs)?;
+    if !self_closing {
+        p.parse_children(doc, node)?;
+    }
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(p.err("trailing content after fragment"));
+    }
+    Ok(node)
+}
+
+fn apply_attrs(doc: &mut Document, node: NodeId, attrs: Vec<(String, String)>) -> Result<()> {
+    let mut uri: Option<String> = None;
+    let mut service: Option<String> = None;
+    let mut time: Option<u64> = None;
+    for (k, v) in attrs {
+        match k.as_str() {
+            ATTR_URI => uri = Some(v),
+            ATTR_SERVICE => service = Some(v),
+            ATTR_TIME => {
+                time = Some(v.parse().map_err(|_| Error::Parse {
+                    offset: 0,
+                    message: format!("invalid {ATTR_TIME} value {v:?}"),
+                })?)
+            }
+            _ => doc.set_attr(node, k, v)?,
+        }
+    }
+    if let Some(uri) = uri {
+        let label = match (service, time) {
+            (Some(s), Some(t)) => Some(CallLabel::new(s, t)),
+            _ => None,
+        };
+        doc.register_resource(node, uri, label)?;
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_until(&mut self, end: &str, what: &str) -> Result<()> {
+        match self.rest().find(end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated {what}"))),
+        }
+    }
+
+    /// Skip XML declaration, doctype, comments and PIs before the root.
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<?") {
+                if self.skip_until("?>", "processing instruction").is_err() {
+                    return;
+                }
+            } else if self.rest().starts_with("<!--") {
+                if self.skip_until("-->", "comment").is_err() {
+                    return;
+                }
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                if self.skip_until(">", "doctype").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Skip whitespace/comments/PIs (used after the root element).
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                if self.skip_until("-->", "comment").is_err() {
+                    return;
+                }
+            } else if self.rest().starts_with("<?") {
+                if self.skip_until("?>", "processing instruction").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !is_name_char(c))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a name"));
+        }
+        let name = &rest[..end];
+        self.pos += end;
+        Ok(name.to_string())
+    }
+
+    /// Parse `<name attr="v" …>` or `<name …/>`. Assumes the cursor is on `<`.
+    #[allow(clippy::type_complexity)]
+    fn parse_open_tag(&mut self) -> Result<(String, Vec<(String, String)>, bool)> {
+        if !self.eat("<") {
+            return Err(self.err("expected '<'"));
+        }
+        let name = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("/>") {
+                return Ok((name, attrs, true));
+            }
+            if self.eat(">") {
+                return Ok((name, attrs, false));
+            }
+            let aname = self.parse_name()?;
+            self.skip_ws();
+            if !self.eat("=") {
+                return Err(self.err("expected '=' in attribute"));
+            }
+            self.skip_ws();
+            let quote = if self.eat("\"") {
+                '"'
+            } else if self.eat("'") {
+                '\''
+            } else {
+                return Err(self.err("expected quoted attribute value"));
+            };
+            let rest = self.rest();
+            let end = rest
+                .find(quote)
+                .ok_or_else(|| self.err("unterminated attribute value"))?;
+            let raw = &rest[..end];
+            self.pos += end + 1;
+            let value =
+                unescape(raw).ok_or_else(|| self.err("malformed entity in attribute"))?;
+            attrs.push((aname, value));
+        }
+    }
+
+    /// Parse the children of an element until its matching close tag.
+    fn parse_children(&mut self, doc: &mut Document, parent: NodeId) -> Result<()> {
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(self.err("unexpected end of input inside element"));
+            }
+            if self.rest().starts_with("</") {
+                flush_text(doc, parent, &mut text)?;
+                self.pos += 2;
+                let name = self.parse_name()?;
+                self.skip_ws();
+                if !self.eat(">") {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                let expected = doc.node(parent)?.name().unwrap_or_default().to_string();
+                if name != expected {
+                    return Err(self.err(format!(
+                        "mismatched close tag: expected </{expected}>, found </{name}>"
+                    )));
+                }
+                return Ok(());
+            }
+            if self.rest().starts_with("<!--") {
+                self.skip_until("-->", "comment")?;
+                continue;
+            }
+            if self.rest().starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let rest = self.rest();
+                let end = rest
+                    .find("]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA"))?;
+                text.push_str(&rest[..end]);
+                self.pos += end + 3;
+                continue;
+            }
+            if self.rest().starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+                continue;
+            }
+            if self.rest().starts_with('<') {
+                flush_text(doc, parent, &mut text)?;
+                let (name, attrs, self_closing) = self.parse_open_tag()?;
+                let node = doc.append_element(parent, name)?;
+                apply_attrs(doc, node, attrs)?;
+                if !self_closing {
+                    self.parse_children(doc, node)?;
+                }
+                continue;
+            }
+            // character data
+            let rest = self.rest();
+            let end = rest.find('<').unwrap_or(rest.len());
+            let raw = &rest[..end];
+            self.pos += end;
+            let decoded =
+                unescape(raw).ok_or_else(|| self.err("malformed entity in character data"))?;
+            text.push_str(&decoded);
+        }
+    }
+}
+
+fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) -> Result<()> {
+    if !text.trim().is_empty() {
+        doc.append_text(parent, std::mem::take(text))?;
+    } else {
+        text.clear();
+    }
+    Ok(())
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse_document(
+            r#"<?xml version="1.0"?>
+               <Resource><MetaData k="v"/><NativeContent>hello &amp; bye</NativeContent></Resource>"#,
+        )
+        .unwrap();
+        let v = doc.view();
+        let root = doc.root();
+        assert_eq!(v.name(root), Some("Resource"));
+        let kids = v.children(root);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(v.attr(kids[0], "k"), Some("v"));
+        assert_eq!(v.text_content(kids[1]), "hello & bye");
+    }
+
+    #[test]
+    fn reserved_attrs_become_resource_meta() {
+        let doc = parse_document(
+            r#"<Resource wl:id="r1"><TextMediaUnit wl:id="r4" wl:s="Normaliser" wl:t="1"/></Resource>"#,
+        )
+        .unwrap();
+        let v = doc.view();
+        let root = doc.root();
+        assert_eq!(v.uri(root), Some("r1"));
+        assert_eq!(v.label(root), None);
+        let tmu = v.children(root)[0];
+        assert_eq!(v.uri(tmu), Some("r4"));
+        assert_eq!(v.label(tmu), Some(&CallLabel::new("Normaliser", 1)));
+    }
+
+    #[test]
+    fn cdata_and_comments() {
+        let doc = parse_document(
+            "<a><!-- note --><![CDATA[<raw>&stuff]]></a>",
+        )
+        .unwrap();
+        let v = doc.view();
+        assert_eq!(v.text_content(doc.root()), "<raw>&stuff");
+    }
+
+    #[test]
+    fn mismatched_close_tag_is_an_error() {
+        let e = parse_document("<a><b></a></a>").unwrap_err();
+        assert!(matches!(e, Error::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_document("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn fragment_parse_attaches_under_parent() {
+        let mut doc = parse_document("<Resource/>").unwrap();
+        let root = doc.root();
+        let frag =
+            parse_fragment_into(&mut doc, root, r#"<Annotation><Language>fr</Language></Annotation>"#)
+                .unwrap();
+        let v = doc.view();
+        assert_eq!(v.name(frag), Some("Annotation"));
+        assert_eq!(v.parent(frag), Some(root));
+        assert_eq!(v.text_content(frag), "fr");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.view().children(doc.root()).len(), 1);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse_document("<a k='v &#65;'/>").unwrap();
+        assert_eq!(doc.view().attr(doc.root(), "k"), Some("v A"));
+    }
+
+    #[test]
+    fn invalid_time_attribute_is_an_error() {
+        assert!(parse_document(r#"<a wl:id="r1" wl:s="S" wl:t="notanumber"/>"#).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Arena-based ordered node-labelled trees.
+//!
+//! The tree domain `D` of the paper: ordered ranked trees over an infinite
+//! domain of labelled nodes `N`. Nodes live in a flat arena and are addressed
+//! by [`NodeId`]; allocation order doubles as document order of creation,
+//! which the append-only model turns into a cheap state-versioning scheme
+//! (see [`crate::Document`]).
+
+use std::fmt;
+
+/// Identifier of a node within one [`crate::Document`]'s arena.
+///
+/// Ids are dense, start at `0` (the root) and increase in allocation order.
+/// Because WebLab documents are append-only, `a < b` implies node `a` was
+/// created no later than node `b`, and a *document state* is simply the set
+/// of nodes below a high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Numeric index of the node in the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a node id from a raw index.
+    ///
+    /// Only meaningful together with the document that produced the index;
+    /// mostly useful for tests and for deserialising traces.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The label of a node: an element with a tag name, or a text leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node, e.g. `<TextMediaUnit>`.
+    Element {
+        /// Tag name of the element.
+        name: String,
+    },
+    /// A text node.
+    Text {
+        /// Character content.
+        value: String,
+    },
+}
+
+impl NodeKind {
+    /// Tag name if this is an element.
+    #[inline]
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            NodeKind::Element { name } => Some(name),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// Text content if this is a text node.
+    #[inline]
+    pub fn text_value(&self) -> Option<&str> {
+        match self {
+            NodeKind::Text { value } => Some(value),
+            NodeKind::Element { .. } => None,
+        }
+    }
+}
+
+/// A single node of the arena: label, explicit attributes, and links.
+///
+/// Attributes are stored as an ordered small vector of `(name, value)` pairs;
+/// WebLab elements carry very few explicit attributes (typically just `id`),
+/// so linear scans beat hashing here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) attrs: Vec<(String, String)>,
+}
+
+impl Node {
+    /// The node's label.
+    #[inline]
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Parent node, `None` for the root (or a detached fragment root).
+    #[inline]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Child ids in document order.
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Explicit attributes in insertion order.
+    #[inline]
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// Value of the explicit attribute `name`, if present.
+    #[inline]
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Element tag name; `None` for text nodes.
+    #[inline]
+    pub fn name(&self) -> Option<&str> {
+        self.kind.element_name()
+    }
+
+    /// Whether this node is an element.
+    #[inline]
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+}
+
+/// The raw arena. Wrapped by [`crate::Document`], which layers resource
+/// metadata and state marks on top.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Arena {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Arena {
+    pub(crate) fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.index())
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_dense_and_ordered() {
+        let mut arena = Arena::default();
+        let a = arena.alloc(NodeKind::Element { name: "a".into() });
+        let b = arena.alloc(NodeKind::Text { value: "t".into() });
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert!(a < b);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn attr_lookup_is_by_name() {
+        let mut arena = Arena::default();
+        let a = arena.alloc(NodeKind::Element { name: "a".into() });
+        arena
+            .get_mut(a)
+            .unwrap()
+            .attrs
+            .push(("lang".into(), "fr".into()));
+        assert_eq!(arena.get(a).unwrap().attr("lang"), Some("fr"));
+        assert_eq!(arena.get(a).unwrap().attr("id"), None);
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let e = NodeKind::Element { name: "x".into() };
+        let t = NodeKind::Text { value: "v".into() };
+        assert_eq!(e.element_name(), Some("x"));
+        assert_eq!(e.text_value(), None);
+        assert_eq!(t.element_name(), None);
+        assert_eq!(t.text_value(), Some("v"));
+    }
+
+    #[test]
+    fn display_node_id() {
+        assert_eq!(NodeId(7).to_string(), "#7");
+    }
+}

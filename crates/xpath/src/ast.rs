@@ -1,0 +1,475 @@
+//! Abstract syntax of XPath patterns (Definition 4 of the paper).
+//!
+//! A pattern is a sequence of steps `step₁/…/step_k`, each step being
+//! `axis :: filter [predicate]* [α]?` where the axis is `child` (`/`) or
+//! `descendant` (`//`), the filter is a tag name or `*`, predicates are
+//! Core-XPath qualifiers, and `α` is an optional sequence of *variable
+//! assignments* `$x := @attr` (plus the Section 5 extensions:
+//! `$p := position()` and Skolem-term constraints `f($x) := @attr`).
+//!
+//! Every pattern has an implicit final assignment `$r := @id`: the result
+//! node must be an identified resource and `$r` carries its URI
+//! (condition (3) of Definition 4).
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Navigation axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — children of the context node.
+    Child,
+    /// `//` — proper descendants of the context node (descendant axis; the
+    /// leading `//` of a pattern reaches every node of the document because
+    /// evaluation starts above the root).
+    Descendant,
+    /// `descendant-or-self` — used by the inherited-provenance rewriting of
+    /// Section 4 ("adding to all XPath patterns an additional step
+    /// `descendant-or-self::*`").
+    DescendantOrSelf,
+}
+
+/// Node filter of a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// Match elements with this tag name.
+    Name(String),
+    /// `*` — match any element.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Does `name` satisfy this test?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            NodeTest::Name(n) => n == name,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+/// Source of a variable assignment inside `[… := …]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BindingSource {
+    /// `@attr` — the attribute's value on the step's node. Implies the
+    /// existence constraint `[@attr]` (condition (2) of Definition 4).
+    Attr(String),
+    /// `position()` — the node's 1-based position among the siblings matched
+    /// by this step's node test (Section 5 extension).
+    Position,
+}
+
+/// Left-hand side of an assignment item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AssignTarget {
+    /// `$x := …` — bind the variable.
+    Var(String),
+    /// `f($x,…) := …` — Skolem constraint: the source value must equal the
+    /// rendered term `f(bindings…)` (Section 5 aggregation mappings).
+    Skolem {
+        /// Function symbol.
+        fun: String,
+        /// Variables whose bindings are the term's arguments.
+        args: Vec<String>,
+    },
+}
+
+/// An assignment item `target := source`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// What is being bound or constrained.
+    pub target: AssignTarget,
+    /// Where the value comes from.
+    pub source: BindingSource,
+}
+
+/// A value-producing expression inside a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueExpr {
+    /// `@attr` of the context node (virtual attributes `@id`, `@s`, `@t`
+    /// resolve to resource metadata).
+    Attr(String),
+    /// A previously bound variable `$x`.
+    Var(String),
+    /// A literal string or integer.
+    Literal(Value),
+    /// `position()` of the context node.
+    Position,
+    /// Text content of the first element reached by a relative path, e.g.
+    /// `Annotation/Language` in `[Annotation/Language='fr']`.
+    PathText(RelPath),
+    /// Attribute at the end of a relative path, e.g. `Annotation/@conf`.
+    PathAttr(RelPath, String),
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the operator on an ordering outcome / equality outcome.
+    pub fn test(self, eq: bool, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => !eq,
+            CmpOp::Lt => ord == Some(Less),
+            CmpOp::Le => matches!(ord, Some(Less) | Some(Equal)),
+            CmpOp::Gt => ord == Some(Greater),
+            CmpOp::Ge => matches!(ord, Some(Greater) | Some(Equal)),
+        }
+    }
+}
+
+/// A relative path used inside predicates: a chain of name tests separated
+/// by `/` or `//`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelPath {
+    /// Steps of the path: (descendant?, name test).
+    pub steps: Vec<(bool, NodeTest)>,
+}
+
+/// A Core-XPath qualifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `[RelPath]` — some node is reachable by the path.
+    Exists(RelPath),
+    /// `[@attr]` — the attribute is present.
+    AttrExists(String),
+    /// `[expr op expr]`.
+    Compare(ValueExpr, CmpOp, ValueExpr),
+    /// `[3]` — positional shorthand: the node is the i-th sibling matched by
+    /// the step's node test (1-based).
+    PositionIs(usize),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// `[created-before(t)]` — the node's effective creation instant is
+    /// strictly before `t`. The effective instant of a node is its resource
+    /// label's timestamp, or 0 when the node is unlabelled (initial
+    /// content). Inserted by the temporal rewriting of Section 4.
+    CreatedBefore(u64),
+    /// `[produced-by(s, t)]` — the node carries the label `(s, t)`.
+    /// Inserted into target patterns by the temporal rewriting.
+    ProducedBy(String, u64),
+}
+
+/// One step of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Axis connecting to the previous step (or to the virtual root for the
+    /// first step).
+    pub axis: Axis,
+    /// Node test.
+    pub test: NodeTest,
+    /// Qualifiers, all of which must hold.
+    pub predicates: Vec<Predicate>,
+    /// Variable assignments / Skolem constraints.
+    pub assignments: Vec<Assignment>,
+}
+
+impl Step {
+    /// A bare step with no predicates or assignments.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+            assignments: Vec::new(),
+        }
+    }
+}
+
+/// An XPath pattern `ϕ(x̄)` (Definition 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// The steps, first to last.
+    pub steps: Vec<Step>,
+}
+
+impl Pattern {
+    /// The set of binding variables `x̄`, in first-occurrence order
+    /// (excluding the implicit result variable `$r`).
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        for step in &self.steps {
+            for a in &step.assignments {
+                if let AssignTarget::Var(v) = &a.target {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// Variables *referenced* (as `$x` in predicates or Skolem arguments)
+    /// but not bound by this pattern — these must be supplied by the
+    /// environment (i.e. bound by the source pattern of a mapping rule).
+    pub fn free_variables(&self) -> Vec<String> {
+        let bound = self.variables();
+        let mut free = Vec::new();
+        let mut visit_expr = |e: &ValueExpr, free: &mut Vec<String>| {
+            if let ValueExpr::Var(v) = e {
+                if !bound.contains(v) && !free.contains(v) {
+                    free.push(v.clone());
+                }
+            }
+        };
+        fn visit_pred(
+            p: &Predicate,
+            free: &mut Vec<String>,
+            visit_expr: &mut impl FnMut(&ValueExpr, &mut Vec<String>),
+        ) {
+            match p {
+                Predicate::Compare(a, _, b) => {
+                    visit_expr(a, free);
+                    visit_expr(b, free);
+                }
+                Predicate::And(ps) | Predicate::Or(ps) => {
+                    for q in ps {
+                        visit_pred(q, free, visit_expr);
+                    }
+                }
+                Predicate::Not(q) => visit_pred(q, free, visit_expr),
+                _ => {}
+            }
+        }
+        for step in &self.steps {
+            for p in &step.predicates {
+                visit_pred(p, &mut free, &mut visit_expr);
+            }
+            for a in &step.assignments {
+                if let AssignTarget::Skolem { args, .. } = &a.target {
+                    for v in args {
+                        if !bound.contains(v) && !free.contains(v) {
+                            free.push(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        free
+    }
+
+    /// The final step (patterns are non-empty by construction of the
+    /// parser; an empty pattern has no result).
+    pub fn last_step(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display: concrete syntax round-trip
+// ---------------------------------------------------------------------
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+impl fmt::Display for RelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (desc, test)) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "{}", if *desc { "//" } else { "/" })?;
+            } else if *desc {
+                // leading descendant inside a relative path
+                write!(f, ".//")?;
+            }
+            write!(f, "{test}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ValueExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueExpr::Attr(a) => write!(f, "@{a}"),
+            ValueExpr::Var(v) => write!(f, "${v}"),
+            ValueExpr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            ValueExpr::Literal(v) => write!(f, "{v}"),
+            ValueExpr::Position => write!(f, "position()"),
+            ValueExpr::PathText(p) => write!(f, "{p}"),
+            ValueExpr::PathAttr(p, a) => write!(f, "{p}/@{a}"),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+impl Predicate {
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Exists(p) => write!(f, "{p}"),
+            Predicate::AttrExists(a) => write!(f, "@{a}"),
+            Predicate::Compare(l, op, r) => write!(f, "{l} {op} {r}"),
+            Predicate::PositionIs(i) => write!(f, "{i}"),
+            Predicate::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    p.fmt_inner(f)?;
+                }
+                Ok(())
+            }
+            Predicate::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    p.fmt_inner(f)?;
+                }
+                Ok(())
+            }
+            Predicate::Not(p) => {
+                write!(f, "not(")?;
+                p.fmt_inner(f)?;
+                write!(f, ")")
+            }
+            Predicate::CreatedBefore(t) => write!(f, "created-before({t})"),
+            Predicate::ProducedBy(s, t) => write!(f, "produced-by('{s}', {t})"),
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            AssignTarget::Var(v) => write!(f, "${v} := ")?,
+            AssignTarget::Skolem { fun, args } => {
+                write!(f, "{fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "${a}")?;
+                }
+                write!(f, ") := ")?;
+            }
+        }
+        match &self.source {
+            BindingSource::Attr(a) => write!(f, "@{a}"),
+            BindingSource::Position => write!(f, "position()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        for a in &self.assignments {
+            write!(f, "[{a}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            let sep = match step.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+                Axis::DescendantOrSelf => "/descendant-or-self::",
+            };
+            write!(f, "{sep}{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let mut s1 = Step::new(Axis::Descendant, NodeTest::Name("T".into()));
+        s1.assignments.push(Assignment {
+            target: AssignTarget::Var("x".into()),
+            source: BindingSource::Attr("id".into()),
+        });
+        let mut s2 = Step::new(Axis::Child, NodeTest::Name("C".into()));
+        s2.assignments.push(Assignment {
+            target: AssignTarget::Var("y".into()),
+            source: BindingSource::Position,
+        });
+        let p = Pattern {
+            steps: vec![s1, s2],
+        };
+        assert_eq!(p.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn free_variables_are_unbound_references() {
+        let mut s = Step::new(Axis::Descendant, NodeTest::Name("C".into()));
+        s.predicates.push(Predicate::Compare(
+            ValueExpr::Attr("id".into()),
+            CmpOp::Eq,
+            ValueExpr::Var("x".into()),
+        ));
+        let p = Pattern { steps: vec![s] };
+        assert_eq!(p.free_variables(), vec!["x".to_string()]);
+        assert!(p.variables().is_empty());
+    }
+
+    #[test]
+    fn skolem_args_are_free_when_unbound() {
+        let mut s = Step::new(Axis::Descendant, NodeTest::Name("C".into()));
+        s.assignments.push(Assignment {
+            target: AssignTarget::Skolem {
+                fun: "f".into(),
+                args: vec!["x".into()],
+            },
+            source: BindingSource::Attr("b".into()),
+        });
+        let p = Pattern { steps: vec![s] };
+        assert_eq!(p.free_variables(), vec!["x".to_string()]);
+    }
+}

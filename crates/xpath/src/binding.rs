@@ -1,0 +1,171 @@
+//! Binding tables — pattern results `R_ϕ(d)` (Definition 7 of the paper).
+//!
+//! Evaluating a pattern `ϕ(x̄)` over a document state yields the *set* of
+//! binding tuples `x̄/ε = (id, v₁, …, vₙ)`, one per embedding `ε`. The
+//! table keeps, per row, the matched result node (needed to intersect with
+//! `out(c_i)` and to build graph edges), the implicit `$r` binding (the
+//! node's URI) and the values of the explicit variables.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use weblab_xml::NodeId;
+
+use crate::value::Value;
+
+/// Declaration of a Skolem-constrained column produced by a target pattern
+/// assignment `f($x,…) := @attr` (Section 5).
+///
+/// The evaluator binds the raw attribute value into a synthetic column; the
+/// mapping-rule join later equates it with the rendered term
+/// `f(source bindings…)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkolemColumn {
+    /// Index of the synthetic column in [`BindingTable::columns`].
+    pub column: usize,
+    /// Function symbol of the term.
+    pub fun: String,
+    /// Variables whose (source-side) bindings are the term's arguments.
+    pub args: Vec<String>,
+}
+
+/// A single binding tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BindingRow {
+    /// The node matched by the last step of the pattern.
+    pub node: NodeId,
+    /// The implicit result binding `$r` — the node's URI.
+    pub uri: String,
+    /// Values of the explicit columns, aligned with
+    /// [`BindingTable::columns`].
+    pub values: Vec<Value>,
+}
+
+/// The result table of a pattern evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BindingTable {
+    /// Explicit column names (binding variables, in pattern order, followed
+    /// by any synthetic Skolem columns).
+    pub columns: Vec<String>,
+    /// Skolem constraints over synthetic columns.
+    pub skolem_columns: Vec<SkolemColumn>,
+    /// The tuples (set semantics — no duplicates).
+    pub rows: Vec<BindingRow>,
+}
+
+impl BindingTable {
+    /// Empty table with the given column names.
+    pub fn with_columns(columns: Vec<String>) -> Self {
+        BindingTable {
+            columns,
+            skolem_columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Insert a row, keeping set semantics.
+    ///
+    /// Prefer [`BindingTable::dedup`] after bulk pushes; this linear-scan
+    /// variant is for small tables and tests.
+    pub fn insert(&mut self, row: BindingRow) {
+        if !self.rows.contains(&row) {
+            self.rows.push(row);
+        }
+    }
+
+    /// Remove duplicate rows (set semantics of Definition 7) while keeping
+    /// first-occurrence order.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<BindingRow> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value of column `name` in `row`, if the column exists.
+    pub fn value<'a>(&self, row: &'a BindingRow, name: &str) -> Option<&'a Value> {
+        self.column_index(name).and_then(|i| row.values.get(i))
+    }
+}
+
+impl fmt::Display for BindingTable {
+    /// Render as the paper renders its `R_ϕ(d_j)` tables: a header row
+    /// `$r | $x …` followed by one line per tuple.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r")?;
+        for c in &self.columns {
+            write!(f, " | ${c}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{}", row.uri)?;
+            for v in &row.values {
+                write!(f, " | {v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(uri: &str, vals: Vec<Value>) -> BindingRow {
+        BindingRow {
+            node: NodeId::from_index(0),
+            uri: uri.into(),
+            values: vals,
+        }
+    }
+
+    #[test]
+    fn insert_enforces_set_semantics() {
+        let mut t = BindingTable::with_columns(vec!["x".into()]);
+        t.insert(row("r5", vec![Value::str("r4")]));
+        t.insert(row("r5", vec![Value::str("r4")]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let mut t = BindingTable::with_columns(vec!["x".into()]);
+        t.rows.push(row("a", vec![Value::str("1")]));
+        t.rows.push(row("b", vec![Value::str("2")]));
+        t.rows.push(row("a", vec![Value::str("1")]));
+        t.dedup();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0].uri, "a");
+        assert_eq!(t.rows[1].uri, "b");
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = BindingTable::with_columns(vec!["x".into(), "y".into()]);
+        assert_eq!(t.column_index("y"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+        let r = row("r", vec![Value::int(1), Value::int(2)]);
+        assert_eq!(t.value(&r, "y"), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let mut t = BindingTable::with_columns(vec!["x".into()]);
+        t.insert(row("r5", vec![Value::str("r4")]));
+        assert_eq!(t.to_string(), "$r | $x\nr5 | r4\n");
+    }
+}

@@ -1,0 +1,73 @@
+//! # weblab-xpath — XPath patterns with variables for WebLab PROV
+//!
+//! Implements Definition 4–7 of *"WebLab PROV: Computing fine-grained
+//! provenance links for XML artifacts"* (EDBT 2013):
+//!
+//! * **XPath patterns** ([`Pattern`], [`Step`]): Core XPath (child and
+//!   descendant axes, qualifier predicates — no functions) enriched with
+//!   *variable assignments* `[$x := @attr]` that collect attribute values
+//!   into binding variables, plus the Section 5 extensions —
+//!   `[$p := position()]` bindings and Skolem-term constraints
+//!   `[f($x) := @attr]` for aggregation mappings.
+//! * **Embeddings** ([`eval_pattern`]): tree homomorphisms from the pattern
+//!   into a document state, preserving structure and predicates and binding
+//!   variables (Definition 6).
+//! * **Pattern results** ([`BindingTable`]): the set of binding tuples
+//!   produced by all embeddings (Definition 7), with the implicit result
+//!   variable `$r` bound to the matched resource's URI.
+//! * **Rewritings** ([`add_source_constraints`], [`add_target_constraints`],
+//!   [`extend_descendant_or_self`]): the Section 4 transformations that let
+//!   mapping rules be evaluated posthoc on the final document state, using
+//!   the `@s`/`@t` service-call metadata stamped on resource nodes.
+//!
+//! The concrete syntax follows the paper, e.g.
+//!
+//! ```text
+//! //TextMediaUnit[$x := @id]/TextContent
+//! //TextMediaUnit[Annotation/Language = 'fr']
+//! /Resource//NativeContent
+//! ```
+//!
+//! ```
+//! use weblab_xpath::{parse_pattern, eval_pattern};
+//! use weblab_xml::{Document, CallLabel};
+//!
+//! let mut doc = Document::new("Resource");
+//! let root = doc.root();
+//! doc.register_resource(root, "r1", None).unwrap();
+//! let tmu = doc.append_element(root, "TextMediaUnit").unwrap();
+//! doc.register_resource(tmu, "r4", Some(CallLabel::new("Normaliser", 1))).unwrap();
+//! let tc = doc.append_element(tmu, "TextContent").unwrap();
+//! doc.register_resource(tc, "r5", Some(CallLabel::new("Normaliser", 1))).unwrap();
+//!
+//! let pattern = parse_pattern("//TextMediaUnit[$x := @id]/TextContent").unwrap();
+//! let result = eval_pattern(&pattern, &doc.view());
+//! assert_eq!(result.rows.len(), 1);
+//! assert_eq!(result.rows[0].uri, "r5");          // $r
+//! assert_eq!(result.rows[0].values[0].to_string(), "r4"); // $x
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod binding;
+mod eval;
+mod index;
+mod parser;
+mod rewrite;
+mod value;
+
+pub use ast::{
+    AssignTarget, Assignment, Axis, BindingSource, CmpOp, NodeTest, Pattern, Predicate, RelPath,
+    Step, ValueExpr,
+};
+pub use binding::{BindingRow, BindingTable, SkolemColumn};
+pub use eval::{
+    effective_label, effective_time, eval_pattern, eval_pattern_indexed, eval_pattern_with, Env,
+    EvalOptions,
+};
+pub use index::ElementIndex;
+pub use parser::{parse_pattern, ParseError};
+pub use rewrite::{add_source_constraints, add_target_constraints, extend_descendant_or_self};
+pub use value::Value;

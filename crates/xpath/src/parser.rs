@@ -1,0 +1,633 @@
+//! Concrete syntax parser for XPath patterns.
+//!
+//! Grammar (the paper's notation, Figures 3 and Section 5):
+//!
+//! ```text
+//! pattern    := (('/' | '//') step)+
+//! step       := nametest item*
+//! nametest   := NAME | '*'
+//! item       := '[' (assignment | expr) ']'
+//! assignment := ('$' NAME | NAME '(' $args ')') ':=' ('@' NAME | 'position()')
+//! expr       := andexpr ('or' andexpr)*
+//! andexpr    := unary ('and' unary)*
+//! unary      := 'not' '(' expr ')' | atom
+//! atom       := INTEGER                          -- positional [1]
+//!             | value (CMP value)?               -- comparison or existence
+//!             | 'created-before' '(' INT ')'     -- temporal (Section 4)
+//!             | 'produced-by' '(' STR ',' INT ')'
+//! value      := '@' NAME | '$' NAME | STRING | INTEGER
+//!             | 'position()' | relpath ('/@' NAME)?
+//! relpath    := nametest (('/' | '//') nametest)*
+//! ```
+
+use std::fmt;
+
+use crate::ast::{
+    Assignment, AssignTarget, Axis, BindingSource, CmpOp, NodeTest, Pattern, Predicate, RelPath,
+    Step, ValueExpr,
+};
+use crate::value::Value;
+
+/// Pattern syntax error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a pattern from its concrete syntax, e.g.
+/// `//TextMediaUnit[$x := @id]/TextContent`.
+pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
+    let mut p = P::new(input);
+    let pat = p.pattern()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after pattern"));
+    }
+    Ok(pat)
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> Self {
+        P { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let r = self.rest();
+        let t = r.trim_start();
+        self.pos += r.len() - t.len();
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Eat a keyword followed by a non-name character.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        let r = self.rest();
+        if let Some(after) = r.strip_prefix(kw) {
+            if after
+                .chars()
+                .next()
+                .map(|c| !is_name_char(c))
+                .unwrap_or(true)
+            {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let r = self.rest();
+        let end = r.find(|c: char| !is_name_char(c)).unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected a name"));
+        }
+        self.pos += end;
+        Ok(r[..end].to_string())
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        let r = self.rest();
+        let neg = r.starts_with('-');
+        let body = if neg { &r[1..] } else { r };
+        let digits = body
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(body.len());
+        if digits == 0 {
+            return Err(self.err("expected an integer"));
+        }
+        let end = digits + usize::from(neg);
+        let v: i64 = r[..end].parse().map_err(|_| self.err("integer overflow"))?;
+        self.pos += end;
+        Ok(v)
+    }
+
+    fn string_literal(&mut self) -> Result<String, ParseError> {
+        let quote = if self.eat("'") {
+            '\''
+        } else if self.eat("\"") {
+            '"'
+        } else {
+            return Err(self.err("expected a string literal"));
+        };
+        let r = self.rest();
+        let end = r
+            .find(quote)
+            .ok_or_else(|| self.err("unterminated string literal"))?;
+        let s = r[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        let mut steps = Vec::new();
+        self.skip_ws();
+        loop {
+            let axis = if self.eat("/descendant-or-self::") {
+                Axis::DescendantOrSelf
+            } else if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else if steps.is_empty() {
+                return Err(self.err("pattern must start with '/' or '//'"));
+            } else {
+                break;
+            };
+            steps.push(self.step(axis)?);
+            self.skip_ws();
+            if !self.peek("/") {
+                break;
+            }
+        }
+        Ok(Pattern { steps })
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step, ParseError> {
+        self.skip_ws();
+        let test = if self.eat("*") {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::Name(self.name()?)
+        };
+        let mut step = Step::new(axis, test);
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            self.skip_ws();
+            if let Some(assign) = self.try_assignment()? {
+                step.assignments.push(assign);
+            } else {
+                step.predicates.push(self.expr()?);
+            }
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+        Ok(step)
+    }
+
+    /// Look ahead for `… := …`; parse it as an assignment if found.
+    fn try_assignment(&mut self) -> Result<Option<Assignment>, ParseError> {
+        let save = self.pos;
+        let target = if self.eat("$") {
+            match self.name() {
+                Ok(v) => Some(AssignTarget::Var(v)),
+                Err(_) => {
+                    self.pos = save;
+                    None
+                }
+            }
+        } else if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_alphabetic())
+            .unwrap_or(false)
+        {
+            // maybe a skolem term f($x,...)
+            let fun = self.name()?;
+            self.skip_ws();
+            if self.eat("(") {
+                let mut args = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if !self.eat("$") {
+                        self.pos = save;
+                        break;
+                    }
+                    args.push(self.name()?);
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    if self.eat(")") {
+                        break;
+                    }
+                    self.pos = save;
+                    break;
+                }
+                if self.pos == save {
+                    None
+                } else {
+                    Some(AssignTarget::Skolem { fun, args })
+                }
+            } else {
+                self.pos = save;
+                None
+            }
+        } else {
+            None
+        };
+
+        let Some(target) = target else {
+            self.pos = save;
+            return Ok(None);
+        };
+        self.skip_ws();
+        if !self.eat(":=") {
+            self.pos = save;
+            return Ok(None);
+        }
+        self.skip_ws();
+        let source = if self.eat("@") {
+            BindingSource::Attr(self.name()?)
+        } else if self.eat_kw("position") {
+            self.skip_ws();
+            if !(self.eat("(") && {
+                self.skip_ws();
+                self.eat(")")
+            }) {
+                return Err(self.err("expected '()' after position"));
+            }
+            BindingSource::Position
+        } else {
+            return Err(self.err("expected '@attr' or 'position()' after ':='"));
+        };
+        Ok(Some(Assignment { target, source }))
+    }
+
+    fn expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut terms = vec![self.and_expr()?];
+        loop {
+            self.skip_ws();
+            if self.eat_kw("or") {
+                terms.push(self.and_expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Predicate::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut terms = vec![self.unary()?];
+        loop {
+            self.skip_ws();
+            if self.eat_kw("and") {
+                terms.push(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Predicate::And(terms)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Predicate, ParseError> {
+        self.skip_ws();
+        if self.eat_kw("not") {
+            self.skip_ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let inner = self.expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat_kw("created-before") {
+            self.skip_ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '('"));
+            }
+            self.skip_ws();
+            let t = self.integer()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Predicate::CreatedBefore(t as u64));
+        }
+        if self.eat_kw("produced-by") {
+            self.skip_ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '('"));
+            }
+            self.skip_ws();
+            let s = self.string_literal()?;
+            self.skip_ws();
+            if !self.eat(",") {
+                return Err(self.err("expected ','"));
+            }
+            self.skip_ws();
+            let t = self.integer()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Predicate::ProducedBy(s, t as u64));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Predicate, ParseError> {
+        self.skip_ws();
+        // bare integer → positional predicate
+        if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            let save = self.pos;
+            let i = self.integer()?;
+            self.skip_ws();
+            if self.peek("]") {
+                if i < 1 {
+                    return Err(self.err("positional predicate must be >= 1"));
+                }
+                return Ok(Predicate::PositionIs(i as usize));
+            }
+            // an integer literal in a comparison: rewind and parse as value
+            self.pos = save;
+        }
+        let lhs = self.value_expr()?;
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                self.skip_ws();
+                let rhs = self.value_expr()?;
+                Ok(Predicate::Compare(lhs, op, rhs))
+            }
+            None => match lhs {
+                ValueExpr::Attr(a) => Ok(Predicate::AttrExists(a)),
+                ValueExpr::PathText(p) => Ok(Predicate::Exists(p)),
+                other => Err(self.err(format!(
+                    "expected a comparison operator after {other}"
+                ))),
+            },
+        }
+    }
+
+    fn value_expr(&mut self) -> Result<ValueExpr, ParseError> {
+        self.skip_ws();
+        if self.eat("@") {
+            return Ok(ValueExpr::Attr(self.name()?));
+        }
+        if self.eat("$") {
+            return Ok(ValueExpr::Var(self.name()?));
+        }
+        if self.peek("'") || self.peek("\"") {
+            return Ok(ValueExpr::Literal(Value::Str(self.string_literal()?)));
+        }
+        if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '-')
+            .unwrap_or(false)
+        {
+            return Ok(ValueExpr::Literal(Value::Int(self.integer()?)));
+        }
+        if self.eat_kw("position") {
+            self.skip_ws();
+            if !(self.eat("(") && {
+                self.skip_ws();
+                self.eat(")")
+            }) {
+                return Err(self.err("expected '()' after position"));
+            }
+            return Ok(ValueExpr::Position);
+        }
+        // relative path, possibly ending in /@attr
+        let path = self.rel_path()?;
+        if self.eat("/@") {
+            let a = self.name()?;
+            return Ok(ValueExpr::PathAttr(path, a));
+        }
+        Ok(ValueExpr::PathText(path))
+    }
+
+    fn rel_path(&mut self) -> Result<RelPath, ParseError> {
+        let mut steps = Vec::new();
+        let leading_desc = self.eat(".//");
+        let first = if self.eat("*") {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::Name(self.name()?)
+        };
+        steps.push((leading_desc, first));
+        loop {
+            // lookahead: '/@' ends the path (attribute access handled above)
+            if self.peek("/@") {
+                break;
+            }
+            let desc = if self.eat("//") {
+                true
+            } else if self.eat("/") {
+                false
+            } else {
+                break;
+            };
+            let t = if self.eat("*") {
+                NodeTest::Wildcard
+            } else {
+                NodeTest::Name(self.name()?)
+            };
+            steps.push((desc, t));
+        }
+        Ok(RelPath { steps })
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> String {
+        parse_pattern(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn paper_example3_patterns_parse() {
+        // ϕ1 .. ϕ4 of Example 3
+        for p in [
+            "//T[$x := @id]/C",
+            "//T[@id][$x := @id]/C[$r := @id]",
+            "//T[$x := @id]/A[L]",
+            "/R[$x := @id]//T[A/L]",
+        ] {
+            parse_pattern(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn figure3_mappings_parse() {
+        for p in [
+            "/Resource//NativeContent",
+            "//TextMediaUnit[1]",
+            "//TextMediaUnit[$x := @id]/TextContent",
+            "//TextMediaUnit[$x := @id]/Annotation[Language]",
+            "//TextMediaUnit[Annotation/Language = 'fr']",
+            "//TextMediaUnit[Annotation/Language = 'en']",
+        ] {
+            parse_pattern(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_round_trip_is_stable() {
+        for p in [
+            "//TextMediaUnit[$x := @id]/TextContent",
+            "/R[$x := @id]//T[A/L]",
+            "//T[1]",
+            "//A[B][$p := position()]/B",
+            "//C[$p = position()]",
+            "//A[$x := @a]",
+            "//C[f($x) := @b]",
+            "//X[@id = $x]",
+            "//X[@t < 3]",
+            "//X[created-before(3)]",
+            "//X[produced-by('Normaliser', 1)]",
+            "//X[@a = '1' and @b = '2']",
+            "//X[not(@a = '1')]",
+            "//X[@a = '1' or B/C]",
+        ] {
+            let printed = round_trip(p);
+            // printing then re-parsing must be a fixpoint
+            assert_eq!(round_trip(&printed), printed, "source: {p}");
+        }
+    }
+
+    #[test]
+    fn skolem_assignment_parses() {
+        let p = parse_pattern("//C[f($x,$y) := @b]").unwrap();
+        let step = &p.steps[0];
+        assert_eq!(step.assignments.len(), 1);
+        match &step.assignments[0].target {
+            AssignTarget::Skolem { fun, args } => {
+                assert_eq!(fun, "f");
+                assert_eq!(args, &vec!["x".to_string(), "y".to_string()]);
+            }
+            other => panic!("unexpected target {other:?}"),
+        }
+    }
+
+    #[test]
+    fn position_binding_and_predicate() {
+        let p = parse_pattern("//A[B][$p := position()]/B").unwrap();
+        assert_eq!(p.steps[0].predicates.len(), 1);
+        assert_eq!(p.steps[0].assignments.len(), 1);
+        let q = parse_pattern("//C[$p = position()]").unwrap();
+        assert!(matches!(
+            q.steps[0].predicates[0],
+            Predicate::Compare(ValueExpr::Var(_), CmpOp::Eq, ValueExpr::Position)
+        ));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_pattern("//T[").unwrap_err();
+        assert!(e.offset >= 4);
+        assert!(parse_pattern("T/Q").is_err()); // must start with / or //
+        assert!(parse_pattern("//T[0]").is_err()); // position must be >= 1
+        assert!(parse_pattern("//T[$x :=]").is_err());
+    }
+
+    #[test]
+    fn wildcard_and_nested_paths() {
+        let p = parse_pattern("//*[A//B]").unwrap();
+        assert!(matches!(p.steps[0].test, NodeTest::Wildcard));
+        match &p.steps[0].predicates[0] {
+            Predicate::Exists(rp) => {
+                assert_eq!(rp.steps.len(), 2);
+                assert!(rp.steps[1].0); // descendant
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_attr_value() {
+        let p = parse_pattern("//X[A/B/@conf >= 5]").unwrap();
+        match &p.steps[0].predicates[0] {
+            Predicate::Compare(ValueExpr::PathAttr(rp, a), CmpOp::Ge, _) => {
+                assert_eq!(rp.steps.len(), 2);
+                assert_eq!(a, "conf");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendant_or_self_axis_round_trips() {
+        let p = parse_pattern("//T/descendant-or-self::*").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.to_string(), "//T/descendant-or-self::*");
+    }
+}

@@ -1,0 +1,129 @@
+//! Pattern rewritings of Section 4 of the paper.
+//!
+//! *Inferring Direct Provenance*: to evaluate a mapping rule for a service
+//! call `c = (s, t_i)` directly on the **final** document state `d_n`
+//! (instead of reconstructing the intermediate states), the paper rewrites
+//! the patterns:
+//!
+//! * the source pattern `ϕ_S` gets the condition `[@t < t_i]` — only
+//!   content that existed *before* the call can have been used by it;
+//! * the target pattern `ϕ_T` gets `[@s = s and @t = t_i]` on its final
+//!   step — only content *produced by* the call is a target.
+//!
+//! The paper observes that the temporal tests on intermediate steps are
+//! redundant (a node's creation instant is ≥ its ancestors'), so we only
+//! constrain the final step. The constraints use the *effective* creation
+//! time (own label, else nearest labelled ancestor, else 0 — see
+//! [`crate::eval::effective_time`]), which makes the rewriting exact for
+//! plain descendants of labelled resources too.
+//!
+//! *Inferring inherited provenance*: appending a `descendant-or-self::*`
+//! step extends a rule's endpoints to the resources nested inside the
+//! matched ones (link `8 → 6` of the paper's running example).
+
+use crate::ast::{Axis, NodeTest, Pattern, Predicate, Step};
+use weblab_xml::Timestamp;
+
+/// Rewrite a source pattern for posthoc evaluation at call instant `t`:
+/// the result node must have been created strictly before `t`.
+pub fn add_source_constraints(pattern: &Pattern, t: Timestamp) -> Pattern {
+    let mut p = pattern.clone();
+    if let Some(last) = p.steps.last_mut() {
+        last.predicates.push(Predicate::CreatedBefore(t));
+    }
+    p
+}
+
+/// Rewrite a target pattern for posthoc evaluation of call `(service, t)`:
+/// the result node must carry (or inherit) exactly that label.
+pub fn add_target_constraints(pattern: &Pattern, service: &str, t: Timestamp) -> Pattern {
+    let mut p = pattern.clone();
+    if let Some(last) = p.steps.last_mut() {
+        last.predicates
+            .push(Predicate::ProducedBy(service.to_string(), t));
+    }
+    p
+}
+
+/// Extend a pattern with a trailing `descendant-or-self::*` step so that
+/// embeddings also reach the resources nested inside the matched ones
+/// (Section 4, "Inferring inherited provenance").
+///
+/// The new final step carries the implicit `$r := @id`, so only identified
+/// descendants contribute result tuples.
+pub fn extend_descendant_or_self(pattern: &Pattern) -> Pattern {
+    let mut p = pattern.clone();
+    p.steps
+        .push(Step::new(Axis::DescendantOrSelf, NodeTest::Wildcard));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_pattern;
+    use crate::parser::parse_pattern;
+    use weblab_xml::{CallLabel, Document};
+
+    fn doc() -> Document {
+        let mut d = Document::new("R");
+        let root = d.root();
+        d.register_resource(root, "r1", None).unwrap();
+        let a = d.append_element(root, "T").unwrap();
+        d.register_resource(a, "r2", Some(CallLabel::new("S1", 1)))
+            .unwrap();
+        let b = d.append_element(root, "T").unwrap();
+        d.register_resource(b, "r3", Some(CallLabel::new("S2", 2)))
+            .unwrap();
+        let inner = d.append_element(b, "U").unwrap();
+        d.register_resource(inner, "r4", Some(CallLabel::new("S2", 2)))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn source_constraint_filters_by_time() {
+        let d = doc();
+        let p = parse_pattern("//T").unwrap();
+        let before2 = add_source_constraints(&p, 2);
+        let t = eval_pattern(&before2, &d.view());
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].uri, "r2");
+    }
+
+    #[test]
+    fn target_constraint_selects_one_call() {
+        let d = doc();
+        let p = parse_pattern("//T").unwrap();
+        let target = add_target_constraints(&p, "S2", 2);
+        let t = eval_pattern(&target, &d.view());
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].uri, "r3");
+    }
+
+    #[test]
+    fn rewriting_round_trips_through_syntax() {
+        let p = parse_pattern("//T[$x := @id]/C").unwrap();
+        let s = add_source_constraints(&p, 3);
+        let printed = s.to_string();
+        assert!(printed.contains("created-before(3)"));
+        assert_eq!(
+            crate::parser::parse_pattern(&printed).unwrap().to_string(),
+            printed
+        );
+    }
+
+    #[test]
+    fn descendant_or_self_extension_reaches_nested_resources() {
+        let d = doc();
+        let p = parse_pattern("//T[2]").unwrap();
+        let base = eval_pattern(&p, &d.view());
+        assert_eq!(base.rows.len(), 1);
+        assert_eq!(base.rows[0].uri, "r3");
+        let ext = extend_descendant_or_self(&p);
+        let t = eval_pattern(&ext, &d.view());
+        let mut got: Vec<_> = t.rows.iter().map(|r| r.uri.clone()).collect();
+        got.sort();
+        assert_eq!(got, vec!["r3", "r4"]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Values flowing through pattern variables and binding tables.
+
+use std::fmt;
+
+/// A value bound to a pattern variable or compared in a predicate.
+///
+/// WebLab attribute values are strings; timestamps are integers; Skolem
+/// terms `f(v₁,…,vₙ)` (Section 5 of the paper) are first-class so that
+/// aggregation mappings can join on constructed identities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A string (attribute value, URI, service name).
+    Str(String),
+    /// An integer (timestamps, positions).
+    Int(i64),
+    /// An applied Skolem term `f(args…)`.
+    Skolem {
+        /// Function symbol.
+        fun: String,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Construct a Skolem term.
+    pub fn skolem(fun: impl Into<String>, args: Vec<Value>) -> Self {
+        Value::Skolem {
+            fun: fun.into(),
+            args,
+        }
+    }
+
+    /// Render to the canonical string used for cross-representation joins.
+    ///
+    /// A Skolem term renders as `f(a,b)`; a raw string renders as itself.
+    /// Equality of canonical strings is the join semantics for Skolemised
+    /// mappings: a service that materialises `f(a)` as the literal text
+    /// `"f(a)"` joins with the constructed term.
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Skolem { .. } => self.to_string(),
+        }
+    }
+
+    /// Semantic equality used by predicate and join evaluation: values are
+    /// compared by canonical form, so `Int(5)` equals `Str("5")` and a
+    /// Skolem term equals its rendered text.
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            _ => self.canonical() == other.canonical(),
+        }
+    }
+
+    /// Ordering comparison: numeric when both sides parse as integers,
+    /// lexicographic otherwise. Returns `None` for Skolem terms, which are
+    /// unordered.
+    pub fn sem_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        let as_int = |v: &Value| -> Option<i64> {
+            match v {
+                Value::Int(i) => Some(*i),
+                Value::Str(s) => s.parse().ok(),
+                Value::Skolem { .. } => None,
+            }
+        };
+        match (self, other) {
+            (Value::Skolem { .. }, _) | (_, Value::Skolem { .. }) => None,
+            _ => match (as_int(self), as_int(other)) {
+                (Some(a), Some(b)) => Some(a.cmp(&b)),
+                _ => Some(self.canonical().cmp(&other.canonical())),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Skolem { fun, args } => {
+                write!(f, "{fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn canonical_rendering() {
+        assert_eq!(Value::str("x").canonical(), "x");
+        assert_eq!(Value::int(7).canonical(), "7");
+        assert_eq!(
+            Value::skolem("f", vec![Value::str("a"), Value::int(2)]).canonical(),
+            "f(a,2)"
+        );
+    }
+
+    #[test]
+    fn semantic_equality_bridges_representations() {
+        assert!(Value::int(5).sem_eq(&Value::str("5")));
+        assert!(Value::skolem("f", vec![Value::str("a")]).sem_eq(&Value::str("f(a)")));
+        assert!(!Value::str("a").sem_eq(&Value::str("b")));
+    }
+
+    #[test]
+    fn ordering_is_numeric_when_possible() {
+        assert_eq!(
+            Value::str("9").sem_cmp(&Value::str("10")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").sem_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::skolem("f", vec![]).sem_cmp(&Value::int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_skolem_display() {
+        let v = Value::skolem("g", vec![Value::skolem("f", vec![Value::str("x")])]);
+        assert_eq!(v.to_string(), "g(f(x))");
+    }
+}

@@ -1,0 +1,361 @@
+//! Abstract syntax of the FLWOR fragment that mapping rules compile into.
+//!
+//! The paper's Mapper translates each mapping rule into an XQuery expression
+//! of the shape shown in Examples 8 and 9: a flat `for … let … where …
+//! return` block whose `for` clauses walk child/descendant paths, whose
+//! `let` clauses collect attribute values, whose `where` clause conjoins
+//! comparisons, and whose `return` constructs a small result element.
+//!
+//! Two extension functions cover the temporal semantics of Section 4 (a
+//! full XQuery engine would define them as user functions over the ancestor
+//! axis):
+//!
+//! * `wl:time($v)` — the effective creation instant of `$v` (own `@t`, else
+//!   the nearest labelled ancestor's, else 0);
+//! * `wl:label($v, service, time)` — true iff `$v`'s effective label is
+//!   exactly `(service, time)`.
+
+use std::fmt;
+
+use weblab_xpath::{CmpOp, NodeTest, Value};
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStart {
+    /// Absolute path from the document root (`//T`, `/R/T`).
+    Root,
+    /// Relative to a previously bound `for` variable (`$v1/TextContent`).
+    Var(String),
+}
+
+/// A navigation path: a start point plus `(descendant?, test)` steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Starting context.
+    pub start: PathStart,
+    /// Steps: `true` for `//` (descendant), `false` for `/` (child).
+    pub steps: Vec<(bool, NodeTest)>,
+}
+
+/// A `for $var in path` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForClause {
+    /// Bound variable name (without `$`).
+    pub var: String,
+    /// Node sequence the variable ranges over.
+    pub path: Path,
+}
+
+/// A `let $var := expr` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetClause {
+    /// Bound variable name (without `$`).
+    pub var: String,
+    /// Defining expression.
+    pub expr: Expr,
+}
+
+/// Value expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `$v` — a previously bound (let) variable.
+    VarRef(String),
+    /// `$v/@attr` — attribute of a node variable (virtual attributes
+    /// `@id`/`@s`/`@t` resolve to resource metadata).
+    VarAttr(String, String),
+    /// `$v/path` text content of the first … all reached elements
+    /// (existential in comparisons).
+    VarPathText(String, Vec<(bool, NodeTest)>),
+    /// `$v/path/@attr`.
+    VarPathAttr(String, Vec<(bool, NodeTest)>, String),
+    /// `string($v)` — text content of the node bound to `$v`.
+    VarText(String),
+    /// A literal.
+    Literal(Value),
+    /// An applied Skolem term `f(e₁, …)`.
+    Skolem(String, Vec<Expr>),
+    /// `wl:time($v)` — effective creation instant (extension function).
+    EffectiveTime(String),
+}
+
+/// Boolean expressions of the `where` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// Comparison with existential semantics over path operands.
+    Cmp(Expr, CmpOp, Expr),
+    /// `$v/path` — some node is reachable.
+    ExistsPath(String, Vec<(bool, NodeTest)>),
+    /// `$v/@attr` — the attribute is present.
+    ExistsAttr(String, String),
+    /// `wl:label($v, 'service', t)` — effective label equality (extension).
+    LabelEq(String, String, u64),
+    /// Conjunction.
+    And(Vec<Cond>),
+    /// Disjunction.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Flatten into a conjunction list (a bare condition is a 1-element
+    /// conjunction). Used by the optimizer.
+    pub fn conjuncts(self) -> Vec<Cond> {
+        match self {
+            Cond::And(cs) => cs.into_iter().flat_map(Cond::conjuncts).collect(),
+            c => vec![c],
+        }
+    }
+
+    /// Rebuild from a conjunction list.
+    pub fn from_conjuncts(mut cs: Vec<Cond>) -> Option<Cond> {
+        match cs.len() {
+            0 => None,
+            1 => Some(cs.pop().unwrap()),
+            _ => Some(Cond::And(cs)),
+        }
+    }
+}
+
+/// Items inside an element constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructorItem {
+    /// Literal text.
+    Text(String),
+    /// `{expr}` — spliced expression value.
+    Splice(Expr),
+    /// Nested element.
+    Element(Constructor),
+}
+
+/// An element constructor `<name attr="{expr}">…</name>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constructor {
+    /// Element name.
+    pub name: String,
+    /// Attributes with computed values.
+    pub attrs: Vec<(String, Expr)>,
+    /// Content items.
+    pub children: Vec<ConstructorItem>,
+}
+
+/// A FLWOR query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// `for` clauses, outermost first.
+    pub for_clauses: Vec<ForClause>,
+    /// `let` clauses, evaluated after all `for` bindings.
+    pub let_clauses: Vec<LetClause>,
+    /// Optional `where` condition.
+    pub where_clause: Option<Cond>,
+    /// The constructed result element, one per satisfying binding.
+    pub ret: Constructor,
+}
+
+// ---------------------------------------------------------------------
+// Pretty printer — the concrete syntax of Examples 8/9
+// ---------------------------------------------------------------------
+
+fn fmt_steps(steps: &[(bool, NodeTest)], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (desc, test) in steps {
+        write!(f, "{}{test}", if *desc { "//" } else { "/" })?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root => fmt_steps(&self.steps, f),
+            PathStart::Var(v) => {
+                write!(f, "${v}")?;
+                fmt_steps(&self.steps, f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::VarRef(v) => write!(f, "${v}"),
+            Expr::VarAttr(v, a) => write!(f, "${v}/@{a}"),
+            Expr::VarPathText(v, p) => {
+                write!(f, "${v}")?;
+                fmt_steps(p, f)
+            }
+            Expr::VarPathAttr(v, p, a) => {
+                write!(f, "${v}")?;
+                fmt_steps(p, f)?;
+                write!(f, "/@{a}")
+            }
+            Expr::VarText(v) => write!(f, "string(${v})"),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Skolem(fun, args) => {
+                write!(f, "{fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::EffectiveTime(v) => write!(f, "wl:time(${v})"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Cond::ExistsPath(v, p) => {
+                write!(f, "${v}")?;
+                fmt_steps(p, f)
+            }
+            Cond::ExistsAttr(v, a) => write!(f, "${v}/@{a}"),
+            Cond::LabelEq(v, s, t) => write!(f, "wl:label(${v}, '{s}', {t})"),
+            Cond::And(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+            Cond::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Cond::Not(c) => write!(f, "not({c})"),
+        }
+    }
+}
+
+impl fmt::Display for Constructor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.name)?;
+        for (k, e) in &self.attrs {
+            write!(f, " {k}=\"{{{e}}}\"")?;
+        }
+        if self.children.is_empty() {
+            return write!(f, "/>");
+        }
+        write!(f, ">")?;
+        for c in &self.children {
+            match c {
+                ConstructorItem::Text(t) => write!(f, "{t}")?,
+                ConstructorItem::Splice(e) => write!(f, "{{{e}}}")?,
+                ConstructorItem::Element(el) => write!(f, "{el}")?,
+            }
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for ")?;
+        for (i, fc) in self.for_clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",\n    ")?;
+            }
+            write!(f, "${} in {}", fc.var, fc.path)?;
+        }
+        if !self.let_clauses.is_empty() {
+            write!(f, "\nlet ")?;
+            for (i, lc) in self.let_clauses.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",\n    ")?;
+                }
+                write!(f, "${} := {}", lc.var, lc.expr)?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, "\nwhere {w}")?;
+        }
+        write!(f, "\nreturn {}", self.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example8_shape_prints() {
+        // the simplified rewriting of Example 8
+        let q = Query {
+            for_clauses: vec![
+                ForClause {
+                    var: "v1".into(),
+                    path: Path {
+                        start: PathStart::Root,
+                        steps: vec![(true, NodeTest::Name("TextMediaUnit".into()))],
+                    },
+                },
+                ForClause {
+                    var: "v2".into(),
+                    path: Path {
+                        start: PathStart::Var("v1".into()),
+                        steps: vec![(false, NodeTest::Name("TextContent".into()))],
+                    },
+                },
+            ],
+            let_clauses: vec![LetClause {
+                var: "x".into(),
+                expr: Expr::VarAttr("v1".into(), "id".into()),
+            }],
+            where_clause: None,
+            ret: Constructor {
+                name: "emb".into(),
+                attrs: vec![],
+                children: vec![
+                    ConstructorItem::Element(Constructor {
+                        name: "r".into(),
+                        attrs: vec![],
+                        children: vec![ConstructorItem::Splice(Expr::VarAttr(
+                            "v2".into(),
+                            "id".into(),
+                        ))],
+                    }),
+                    ConstructorItem::Element(Constructor {
+                        name: "x".into(),
+                        attrs: vec![],
+                        children: vec![ConstructorItem::Splice(Expr::VarRef("x".into()))],
+                    }),
+                ],
+            },
+        };
+        let s = q.to_string();
+        assert!(s.contains("for $v1 in //TextMediaUnit"));
+        assert!(s.contains("$v2 in $v1/TextContent"));
+        assert!(s.contains("let $x := $v1/@id"));
+        assert!(s.contains("return <emb><r>{$v2/@id}</r><x>{$x}</x></emb>"));
+    }
+
+    #[test]
+    fn conjunct_flattening_round_trips() {
+        let c = Cond::And(vec![
+            Cond::ExistsAttr("a".into(), "id".into()),
+            Cond::And(vec![
+                Cond::ExistsAttr("b".into(), "id".into()),
+                Cond::ExistsAttr("c".into(), "id".into()),
+            ]),
+        ]);
+        let cs = c.conjuncts();
+        assert_eq!(cs.len(), 3);
+        let back = Cond::from_conjuncts(cs).unwrap();
+        assert_eq!(back.conjuncts().len(), 3);
+        assert!(Cond::from_conjuncts(vec![]).is_none());
+    }
+}

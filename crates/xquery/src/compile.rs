@@ -1,0 +1,373 @@
+//! Compiling mapping rules into XQuery — Section 6 / Examples 8 and 9.
+//!
+//! The Mapper translates a mapping rule `ϕ_S ⇒ ϕ_T` into a single FLWOR
+//! expression over the final document:
+//!
+//! * one `for` variable per pattern step (`$s1, $s2, …` for the source,
+//!   `$t1, $t2, …` for the target);
+//! * a `let` per variable assignment;
+//! * a `where` conjunction carrying the step predicates, the shared-variable
+//!   join conditions, the Skolem constraints, the implicit `@id` existence
+//!   of the result steps, and — when compiling for a specific service call —
+//!   the temporal constraints of Section 4 (`wl:time($s_last) < t` and
+//!   `wl:label($t_last, s, t)`);
+//! * `return <prov from="{$t_last/@id}" to="{$s_last/@id}"/>`.
+//!
+//! [`compile_pattern_embeddings`] produces the standalone `<emb>` query of
+//! Example 8 for a single pattern.
+
+use std::fmt;
+
+use weblab_prov::MappingRule;
+use weblab_xpath::{
+    AssignTarget, Axis, BindingSource, CmpOp, Pattern, Predicate, ValueExpr,
+};
+
+use crate::ast::{
+    Cond, Constructor, ConstructorItem, Expr, ForClause, LetClause, Path, PathStart, Query,
+};
+
+/// Features of the pattern language that have no FLWOR counterpart in the
+/// compiled fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// `position()` bindings and positional predicates are not compiled
+    /// (the paper's compilation scheme does not cover the Section 5
+    /// position extension either).
+    PositionUnsupported,
+    /// `descendant-or-self` steps (inherited-provenance rewriting) are not
+    /// part of the compiled fragment; use graph propagation instead.
+    DescendantOrSelfUnsupported,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::PositionUnsupported => {
+                write!(f, "position() is not supported by the XQuery compilation")
+            }
+            CompileError::DescendantOrSelfUnsupported => write!(
+                f,
+                "descendant-or-self steps are not supported by the XQuery compilation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Optional call restriction `(service, time)` for Definition 9 semantics.
+pub type CallConstraint<'a> = Option<(&'a str, u64)>;
+
+struct PatternPart {
+    for_clauses: Vec<ForClause>,
+    let_clauses: Vec<LetClause>,
+    conds: Vec<Cond>,
+    /// Variable bound to the pattern's final step node.
+    last_var: String,
+    /// (rule variable, step variable attr expr) pairs for shared-variable
+    /// join conditions.
+    bindings: Vec<(String, Expr)>,
+    /// Skolem constraints `f(args…) = step attr`.
+    skolems: Vec<(String, Vec<String>, Expr)>,
+}
+
+fn axis_flag(axis: Axis) -> Result<bool, CompileError> {
+    match axis {
+        Axis::Child => Ok(false),
+        Axis::Descendant => Ok(true),
+        Axis::DescendantOrSelf => Err(CompileError::DescendantOrSelfUnsupported),
+    }
+}
+
+fn translate_value(expr: &ValueExpr, var: &str) -> Result<Expr, CompileError> {
+    Ok(match expr {
+        ValueExpr::Attr(a) => Expr::VarAttr(var.to_string(), a.clone()),
+        ValueExpr::Var(v) => Expr::VarRef(v.clone()),
+        ValueExpr::Literal(v) => Expr::Literal(v.clone()),
+        ValueExpr::Position => return Err(CompileError::PositionUnsupported),
+        ValueExpr::PathText(p) => Expr::VarPathText(
+            var.to_string(),
+            p.steps.iter().map(|(d, t)| (*d, t.clone())).collect(),
+        ),
+        ValueExpr::PathAttr(p, a) => Expr::VarPathAttr(
+            var.to_string(),
+            p.steps.iter().map(|(d, t)| (*d, t.clone())).collect(),
+            a.clone(),
+        ),
+    })
+}
+
+fn translate_predicate(pred: &Predicate, var: &str) -> Result<Cond, CompileError> {
+    Ok(match pred {
+        Predicate::Exists(p) => Cond::ExistsPath(
+            var.to_string(),
+            p.steps.iter().map(|(d, t)| (*d, t.clone())).collect(),
+        ),
+        Predicate::AttrExists(a) => Cond::ExistsAttr(var.to_string(), a.clone()),
+        Predicate::Compare(l, op, r) => Cond::Cmp(
+            translate_value(l, var)?,
+            *op,
+            translate_value(r, var)?,
+        ),
+        Predicate::PositionIs(_) => return Err(CompileError::PositionUnsupported),
+        Predicate::And(ps) => Cond::And(
+            ps.iter()
+                .map(|p| translate_predicate(p, var))
+                .collect::<Result<_, _>>()?,
+        ),
+        Predicate::Or(ps) => Cond::Or(
+            ps.iter()
+                .map(|p| translate_predicate(p, var))
+                .collect::<Result<_, _>>()?,
+        ),
+        Predicate::Not(p) => Cond::Not(Box::new(translate_predicate(p, var)?)),
+        Predicate::CreatedBefore(t) => Cond::Cmp(
+            Expr::EffectiveTime(var.to_string()),
+            CmpOp::Lt,
+            Expr::Literal(weblab_xpath::Value::Int(*t as i64)),
+        ),
+        Predicate::ProducedBy(s, t) => Cond::LabelEq(var.to_string(), s.clone(), *t),
+    })
+}
+
+/// Translate one pattern into for/let/where parts, with step variables
+/// named `{prefix}1..{prefix}k`. `bind_vars` controls whether variable
+/// assignments become `let` clauses binding the rule variable directly
+/// (source side) or synthetic `{var}__{prefix}` lets plus join conditions
+/// (target side, where the rule variable is already bound by the source).
+fn translate_pattern(
+    pattern: &Pattern,
+    prefix: &str,
+    bind_vars: bool,
+) -> Result<PatternPart, CompileError> {
+    let mut part = PatternPart {
+        for_clauses: Vec::new(),
+        let_clauses: Vec::new(),
+        conds: Vec::new(),
+        last_var: String::new(),
+        bindings: Vec::new(),
+        skolems: Vec::new(),
+    };
+    let mut prev_var: Option<String> = None;
+    for (i, step) in pattern.steps.iter().enumerate() {
+        let var = format!("{prefix}{}", i + 1);
+        let desc = axis_flag(step.axis)?;
+        let path = match &prev_var {
+            None => Path {
+                start: PathStart::Root,
+                steps: vec![(desc, step.test.clone())],
+            },
+            Some(p) => Path {
+                start: PathStart::Var(p.clone()),
+                steps: vec![(desc, step.test.clone())],
+            },
+        };
+        part.for_clauses.push(ForClause {
+            var: var.clone(),
+            path,
+        });
+        for pred in &step.predicates {
+            part.conds.push(translate_predicate(pred, &var)?);
+        }
+        for a in &step.assignments {
+            let value = match &a.source {
+                BindingSource::Attr(attr) => Expr::VarAttr(var.clone(), attr.clone()),
+                BindingSource::Position => return Err(CompileError::PositionUnsupported),
+            };
+            // condition (2) of Definition 4: the attribute must exist
+            if let Expr::VarAttr(v, attr) = &value {
+                part.conds.push(Cond::ExistsAttr(v.clone(), attr.clone()));
+            }
+            match &a.target {
+                AssignTarget::Var(rule_var) => {
+                    if bind_vars {
+                        part.let_clauses.push(LetClause {
+                            var: rule_var.clone(),
+                            expr: value.clone(),
+                        });
+                    }
+                    part.bindings.push((rule_var.clone(), value));
+                }
+                AssignTarget::Skolem { fun, args } => {
+                    part.skolems.push((fun.clone(), args.clone(), value));
+                }
+            }
+        }
+        prev_var = Some(var.clone());
+        part.last_var = var;
+    }
+    // implicit $r := @id on the final step
+    part.conds
+        .push(Cond::ExistsAttr(part.last_var.clone(), "id".into()));
+    Ok(part)
+}
+
+/// Compile a single pattern into the `<emb>` embeddings query of Example 8:
+/// one `<emb>` element per embedding, with `<r>` carrying the result URI
+/// and one child per bound variable.
+pub fn compile_pattern_embeddings(pattern: &Pattern) -> Result<Query, CompileError> {
+    let part = translate_pattern(pattern, "v", true)?;
+    let mut children = vec![ConstructorItem::Element(Constructor {
+        name: "r".into(),
+        attrs: vec![],
+        children: vec![ConstructorItem::Splice(Expr::VarAttr(
+            part.last_var.clone(),
+            "id".into(),
+        ))],
+    })];
+    for v in pattern.variables() {
+        children.push(ConstructorItem::Element(Constructor {
+            name: v.clone(),
+            attrs: vec![],
+            children: vec![ConstructorItem::Splice(Expr::VarRef(v))],
+        }));
+    }
+    Ok(Query {
+        for_clauses: part.for_clauses,
+        let_clauses: part.let_clauses,
+        where_clause: Cond::from_conjuncts(part.conds),
+        ret: Constructor {
+            name: "emb".into(),
+            attrs: vec![],
+            children,
+        },
+    })
+}
+
+/// Compile a full mapping rule into the single provenance query of
+/// Example 9, optionally restricted to one service call (the `where`
+/// clause then carries `wl:time($s_last) < t` and `wl:label($t_last, s, t)`).
+pub fn compile_rule(rule: &MappingRule, call: CallConstraint<'_>) -> Result<Query, CompileError> {
+    let src = translate_pattern(&rule.source, "s", true)?;
+    let tgt = translate_pattern(&rule.target, "t", false)?;
+
+    let mut for_clauses = src.for_clauses;
+    for_clauses.extend(tgt.for_clauses);
+    let mut let_clauses = src.let_clauses;
+    let mut conds = src.conds;
+    conds.extend(tgt.conds);
+
+    // shared-variable joins: target bindings against source-bound lets;
+    // target-only variables become fresh lets
+    let source_vars = rule.source.variables();
+    for (i, (rule_var, value)) in tgt.bindings.into_iter().enumerate() {
+        if source_vars.contains(&rule_var) {
+            let synth = format!("{rule_var}__t{i}");
+            let_clauses.push(LetClause {
+                var: synth.clone(),
+                expr: value,
+            });
+            conds.push(Cond::Cmp(
+                Expr::VarRef(rule_var),
+                CmpOp::Eq,
+                Expr::VarRef(synth),
+            ));
+        } else {
+            let_clauses.push(LetClause {
+                var: rule_var,
+                expr: value,
+            });
+        }
+    }
+    // Skolem constraints (source-side skolems are rare but handled the same)
+    for (fun, args, value) in src.skolems.into_iter().chain(tgt.skolems) {
+        conds.push(Cond::Cmp(
+            Expr::Skolem(fun, args.into_iter().map(Expr::VarRef).collect()),
+            CmpOp::Eq,
+            value,
+        ));
+    }
+    // temporal restriction to one call (Section 4)
+    if let Some((service, time)) = call {
+        conds.push(Cond::Cmp(
+            Expr::EffectiveTime(src.last_var.clone()),
+            CmpOp::Lt,
+            Expr::Literal(weblab_xpath::Value::Int(time as i64)),
+        ));
+        conds.push(Cond::LabelEq(tgt.last_var.clone(), service.into(), time));
+    }
+
+    Ok(Query {
+        for_clauses,
+        let_clauses,
+        where_clause: Cond::from_conjuncts(conds),
+        ret: Constructor {
+            name: "prov".into(),
+            attrs: vec![
+                (
+                    "from".into(),
+                    Expr::VarAttr(tgt.last_var.clone(), "id".into()),
+                ),
+                ("to".into(), Expr::VarAttr(src.last_var.clone(), "id".into())),
+            ],
+            children: vec![],
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_xpath::parse_pattern;
+
+    #[test]
+    fn example8_compilation_shape() {
+        let p = parse_pattern("//TextMediaUnit[$x := @id]/TextContent").unwrap();
+        let q = compile_pattern_embeddings(&p).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("for $v1 in //TextMediaUnit"));
+        assert!(s.contains("$v2 in $v1/TextContent"));
+        assert!(s.contains("let $x := $v1/@id"));
+        assert!(s.contains("<r>{$v2/@id}</r>"));
+        assert!(s.contains("<x>{$x}</x>"));
+    }
+
+    #[test]
+    fn example9_compilation_shape() {
+        let rule = MappingRule::parse(
+            "//TextMediaUnit[$x := @id]/TextContent => //TextMediaUnit[$x := @id]/Annotation[Language]",
+        )
+        .unwrap();
+        let q = compile_rule(&rule, Some(("LanguageExtractor", 2))).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("for $s1 in //TextMediaUnit"));
+        assert!(s.contains("$s2 in $s1/TextContent"));
+        assert!(s.contains("$t1 in //TextMediaUnit"));
+        assert!(s.contains("$t2 in $t1/Annotation"));
+        assert!(s.contains("$t2/Language"));
+        assert!(s.contains("$x = $x__t0"));
+        assert!(s.contains("wl:time($s2) < 2"));
+        assert!(s.contains("wl:label($t2, 'LanguageExtractor', 2)"));
+        assert!(s.contains("return <prov from=\"{$t2/@id}\" to=\"{$s2/@id}\"/>"));
+        // compiled text is valid syntax
+        crate::parser::parse_query(&s).unwrap();
+    }
+
+    #[test]
+    fn position_rules_are_rejected() {
+        let rule =
+            MappingRule::parse("//A[B][$p := position()]/B => //C[$p = position()]").unwrap();
+        assert_eq!(
+            compile_rule(&rule, None).unwrap_err(),
+            CompileError::PositionUnsupported
+        );
+    }
+
+    #[test]
+    fn skolem_rules_compile_to_function_equality() {
+        let rule = MappingRule::parse("//A[$x := @a] => //C[f($x) := @b]").unwrap();
+        let q = compile_rule(&rule, None).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("f($x) = $t1/@b"));
+    }
+
+    #[test]
+    fn positional_predicate_rejected_in_embeddings() {
+        let p = parse_pattern("//T[1]").unwrap();
+        assert_eq!(
+            compile_pattern_embeddings(&p).unwrap_err(),
+            CompileError::PositionUnsupported
+        );
+    }
+}

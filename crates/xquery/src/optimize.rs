@@ -1,0 +1,370 @@
+//! Query optimisation — the ID-join fusion of Example 9.
+//!
+//! The paper observes that "a query optimizer might exploit the fact that
+//! `@id` is a node identifier (of type ID)" and fuse the two loops of the
+//! compiled query: instead of iterating `$t1` over all `//TextMediaUnit`
+//! and joining `$t1/@id = $s1/@id`, iterate the dependents *relative to*
+//! `$s1` (`$t2 in $s1/Annotation`). Because `@id` is unique, two variables
+//! ranging over the same absolute path with equal `@id`s denote the same
+//! node, so the later loop can be eliminated entirely.
+//!
+//! [`fuse_id_joins`] performs exactly this rewrite: it finds where-conjuncts
+//! equating the `@id` attributes of two root-anchored `for` variables with
+//! identical paths, drops the later variable's loop, substitutes the
+//! earlier variable for it everywhere, and removes the spent conjunct.
+
+use crate::ast::{Cond, Constructor, ConstructorItem, Expr, Path, PathStart, Query};
+
+/// Apply ID-join fusion until fixpoint, then clean up: deduplicate
+/// where-conjuncts and drop `let` clauses whose variable is no longer
+/// referenced. Preserves semantics whenever `@id` is unique per document,
+/// which the WebLab model guarantees (URIs are injective, Definition 1).
+pub fn fuse_id_joins(query: &Query) -> Query {
+    let mut q = query.clone();
+    while fuse_once(&mut q) {}
+    dedup_conjuncts(&mut q);
+    remove_dead_lets(&mut q);
+    q
+}
+
+/// Remove duplicate conjuncts from the where clause (fusion substitutions
+/// frequently leave two copies of e.g. `$s1/@id`).
+fn dedup_conjuncts(q: &mut Query) {
+    if let Some(w) = q.where_clause.take() {
+        let mut seen: Vec<Cond> = Vec::new();
+        for c in w.conjuncts() {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        q.where_clause = Cond::from_conjuncts(seen);
+    }
+}
+
+/// Drop `let` clauses binding variables that nothing references. A dropped
+/// let can orphan another, so iterate to fixpoint.
+fn remove_dead_lets(q: &mut Query) {
+    loop {
+        let mut used: Vec<String> = Vec::new();
+        for lc in &q.let_clauses {
+            collect_vars_expr(&lc.expr, &mut used);
+        }
+        if let Some(w) = &q.where_clause {
+            collect_vars_cond(w, &mut used);
+        }
+        collect_vars_ctor(&q.ret, &mut used);
+        let before = q.let_clauses.len();
+        // a let used only by other dead lets will be caught next round;
+        // conservatively keep any let referenced anywhere
+        let mut kept = Vec::new();
+        for lc in q.let_clauses.drain(..) {
+            if used.contains(&lc.var) {
+                kept.push(lc);
+            }
+        }
+        q.let_clauses = kept;
+        if q.let_clauses.len() == before {
+            break;
+        }
+    }
+}
+
+fn collect_vars_expr(e: &Expr, used: &mut Vec<String>) {
+    match e {
+        Expr::VarRef(v)
+        | Expr::VarAttr(v, _)
+        | Expr::VarPathText(v, _)
+        | Expr::VarPathAttr(v, _, _)
+        | Expr::VarText(v)
+        | Expr::EffectiveTime(v) => used.push(v.clone()),
+        Expr::Literal(_) => {}
+        Expr::Skolem(_, args) => {
+            for a in args {
+                collect_vars_expr(a, used);
+            }
+        }
+    }
+}
+
+fn collect_vars_cond(c: &Cond, used: &mut Vec<String>) {
+    match c {
+        Cond::Cmp(l, _, r) => {
+            collect_vars_expr(l, used);
+            collect_vars_expr(r, used);
+        }
+        Cond::ExistsPath(v, _) | Cond::ExistsAttr(v, _) | Cond::LabelEq(v, _, _) => {
+            used.push(v.clone())
+        }
+        Cond::And(cs) | Cond::Or(cs) => {
+            for c in cs {
+                collect_vars_cond(c, used);
+            }
+        }
+        Cond::Not(c) => collect_vars_cond(c, used),
+    }
+}
+
+fn collect_vars_ctor(c: &Constructor, used: &mut Vec<String>) {
+    for (_, e) in &c.attrs {
+        collect_vars_expr(e, used);
+    }
+    for item in &c.children {
+        match item {
+            ConstructorItem::Text(_) => {}
+            ConstructorItem::Splice(e) => collect_vars_expr(e, used),
+            ConstructorItem::Element(el) => collect_vars_ctor(el, used),
+        }
+    }
+}
+
+/// Resolve a let-variable chain down to a root expression.
+fn deref<'q>(q: &'q Query, expr: &'q Expr) -> &'q Expr {
+    let mut cur = expr;
+    let mut fuel = q.let_clauses.len() + 1;
+    while let Expr::VarRef(v) = cur {
+        let Some(lc) = q.let_clauses.iter().find(|lc| lc.var == *v) else {
+            break;
+        };
+        cur = &lc.expr;
+        fuel -= 1;
+        if fuel == 0 {
+            break;
+        }
+    }
+    cur
+}
+
+fn fuse_once(q: &mut Query) -> bool {
+    let conjuncts: Vec<Cond> = q
+        .where_clause
+        .clone()
+        .map(|w| w.conjuncts())
+        .unwrap_or_default();
+    for (ci, c) in conjuncts.iter().enumerate() {
+        let Cond::Cmp(l, weblab_xpath::CmpOp::Eq, r) = c else {
+            continue;
+        };
+        let (Expr::VarAttr(v1, a1), Expr::VarAttr(v2, a2)) = (deref(q, l), deref(q, r)) else {
+            continue;
+        };
+        if a1 != "id" || a2 != "id" || v1 == v2 {
+            continue;
+        }
+        // both must be for-variables over identical root-anchored paths
+        let f1 = q.for_clauses.iter().position(|f| f.var == *v1);
+        let f2 = q.for_clauses.iter().position(|f| f.var == *v2);
+        let (Some(i1), Some(i2)) = (f1, f2) else {
+            continue;
+        };
+        let (keep_idx, drop_idx) = if i1 < i2 { (i1, i2) } else { (i2, i1) };
+        let keep_var = q.for_clauses[keep_idx].var.clone();
+        let drop_var = q.for_clauses[drop_idx].var.clone();
+        let same_path = {
+            let a = &q.for_clauses[keep_idx].path;
+            let b = &q.for_clauses[drop_idx].path;
+            matches!(a.start, PathStart::Root)
+                && matches!(b.start, PathStart::Root)
+                && a.steps == b.steps
+        };
+        if !same_path {
+            continue;
+        }
+        // perform the fusion
+        q.for_clauses.remove(drop_idx);
+        substitute_query(q, &drop_var, &keep_var);
+        let mut remaining = conjuncts;
+        remaining.remove(ci);
+        for c in &mut remaining {
+            substitute_cond(c, &drop_var, &keep_var);
+        }
+        q.where_clause = Cond::from_conjuncts(remaining);
+        return true;
+    }
+    false
+}
+
+fn substitute_query(q: &mut Query, from: &str, to: &str) {
+    for fc in &mut q.for_clauses {
+        substitute_path(&mut fc.path, from, to);
+    }
+    for lc in &mut q.let_clauses {
+        substitute_expr(&mut lc.expr, from, to);
+    }
+    if let Some(w) = &mut q.where_clause {
+        substitute_cond(w, from, to);
+    }
+    substitute_ctor(&mut q.ret, from, to);
+}
+
+fn substitute_path(p: &mut Path, from: &str, to: &str) {
+    if let PathStart::Var(v) = &mut p.start {
+        if v == from {
+            *v = to.to_string();
+        }
+    }
+}
+
+fn substitute_expr(e: &mut Expr, from: &str, to: &str) {
+    match e {
+        Expr::VarRef(v)
+        | Expr::VarAttr(v, _)
+        | Expr::VarPathText(v, _)
+        | Expr::VarPathAttr(v, _, _)
+        | Expr::VarText(v)
+        | Expr::EffectiveTime(v) => {
+            if v == from {
+                *v = to.to_string();
+            }
+        }
+        Expr::Literal(_) => {}
+        Expr::Skolem(_, args) => {
+            for a in args {
+                substitute_expr(a, from, to);
+            }
+        }
+    }
+}
+
+fn substitute_cond(c: &mut Cond, from: &str, to: &str) {
+    match c {
+        Cond::Cmp(l, _, r) => {
+            substitute_expr(l, from, to);
+            substitute_expr(r, from, to);
+        }
+        Cond::ExistsPath(v, _) | Cond::ExistsAttr(v, _) | Cond::LabelEq(v, _, _) => {
+            if v == from {
+                *v = to.to_string();
+            }
+        }
+        Cond::And(cs) | Cond::Or(cs) => {
+            for c in cs {
+                substitute_cond(c, from, to);
+            }
+        }
+        Cond::Not(c) => substitute_cond(c, from, to),
+    }
+}
+
+fn substitute_ctor(c: &mut Constructor, from: &str, to: &str) {
+    for (_, e) in &mut c.attrs {
+        substitute_expr(e, from, to);
+    }
+    for item in &mut c.children {
+        match item {
+            ConstructorItem::Text(_) => {}
+            ConstructorItem::Splice(e) => substitute_expr(e, from, to),
+            ConstructorItem::Element(el) => substitute_ctor(el, from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_query;
+    use weblab_xml::{CallLabel, Document};
+
+    fn doc() -> Document {
+        let mut d = Document::new("R");
+        let root = d.root();
+        for i in 0..3 {
+            let tmu = d.append_element(root, "TextMediaUnit").unwrap();
+            d.register_resource(tmu, format!("tmu{i}"), Some(CallLabel::new("N", 1)))
+                .unwrap();
+            let tc = d.append_element(tmu, "TextContent").unwrap();
+            d.register_resource(tc, format!("tc{i}"), None).unwrap();
+            let a = d.append_element(tmu, "Annotation").unwrap();
+            d.register_resource(a, format!("an{i}"), Some(CallLabel::new("L", 2)))
+                .unwrap();
+            let l = d.append_element(a, "Language").unwrap();
+            d.append_text(l, "en").unwrap();
+        }
+        d
+    }
+
+    const EXAMPLE9: &str = "for $s1 in //TextMediaUnit, $s2 in $s1/TextContent, \
+         $t1 in //TextMediaUnit, $t2 in $t1/Annotation \
+         let $x1 := $s1/@id, $x2 := $t1/@id \
+         where $t2/Language and $x1 = $x2 \
+         return <prov from=\"{$t2/@id}\" to=\"{$s2/@id}\"/>";
+
+    #[test]
+    fn fusion_removes_the_second_loop() {
+        let q = parse_query(EXAMPLE9).unwrap();
+        let opt = fuse_id_joins(&q);
+        assert_eq!(opt.for_clauses.len(), 3);
+        // $t2 now iterates relative to $s1 — the Example 9 optimised form
+        let t2 = opt.for_clauses.iter().find(|f| f.var == "t2").unwrap();
+        assert_eq!(t2.path.start, PathStart::Var("s1".into()));
+        // the join conjunct is gone
+        let printed = opt.to_string();
+        assert!(!printed.contains("$x1 = $x2"));
+    }
+
+    #[test]
+    fn fusion_preserves_results() {
+        let d = doc();
+        let q = parse_query(EXAMPLE9).unwrap();
+        let opt = fuse_id_joins(&q);
+        let mut base = evaluate(&q, &d.view()).link_pairs();
+        let mut fused = evaluate(&opt, &d.view()).link_pairs();
+        base.sort();
+        fused.sort();
+        assert_eq!(base, fused);
+        assert_eq!(base.len(), 3); // one per TMU
+    }
+
+    #[test]
+    fn fusion_cleans_up_dead_lets_and_duplicate_conjuncts() {
+        let q = parse_query(EXAMPLE9).unwrap();
+        let opt = fuse_id_joins(&q);
+        // $x2 := $t1/@id became $x2 := $s1/@id and is unused after the join
+        // conjunct disappeared
+        assert!(opt.let_clauses.iter().all(|lc| lc.var != "x2"));
+        assert!(opt.let_clauses.iter().all(|lc| lc.var != "x1"));
+        // no duplicated conjuncts survive
+        if let Some(w) = &opt.where_clause {
+            let cs = w.clone().conjuncts();
+            for (i, a) in cs.iter().enumerate() {
+                assert!(!cs[i + 1..].contains(a), "duplicate conjunct {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_skips_different_paths() {
+        let q = parse_query(
+            "for $a in //X, $b in //Y \
+             let $i := $a/@id, $j := $b/@id \
+             where $i = $j \
+             return <prov from=\"{$i}\" to=\"{$j}\"/>",
+        )
+        .unwrap();
+        let opt = fuse_id_joins(&q);
+        assert_eq!(opt.for_clauses.len(), 2); // untouched
+    }
+
+    #[test]
+    fn fusion_skips_non_id_attributes() {
+        let q = parse_query(
+            "for $a in //X, $b in //X \
+             let $i := $a/@k, $j := $b/@k \
+             where $i = $j \
+             return <prov from=\"{$i}\" to=\"{$j}\"/>",
+        )
+        .unwrap();
+        assert_eq!(fuse_id_joins(&q).for_clauses.len(), 2);
+    }
+
+    #[test]
+    fn direct_attr_equality_also_fuses() {
+        let q = parse_query(
+            "for $a in //X, $b in //X \
+             where $a/@id = $b/@id \
+             return <prov from=\"{$a/@id}\" to=\"{$b/@id}\"/>",
+        )
+        .unwrap();
+        assert_eq!(fuse_id_joins(&q).for_clauses.len(), 1);
+    }
+}

@@ -1,0 +1,628 @@
+//! Parser for the FLWOR subset.
+//!
+//! Accepts the concrete syntax the compiler emits (and the paper prints in
+//! Examples 8/9): `for $v in path, … let $x := expr, … where cond return
+//! <elem attr="{expr}">…</elem>`. Whitespace (including newlines) is
+//! insignificant between tokens.
+
+use std::fmt;
+
+use weblab_xpath::{CmpOp, NodeTest, Value};
+
+use crate::ast::{
+    Cond, Constructor, ConstructorItem, Expr, ForClause, LetClause, Path, PathStart, Query,
+};
+
+/// XQuery syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xquery parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a FLWOR query.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = P { input, pos: 0 };
+    let q = p.query()?;
+    p.ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(q)
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn err(&self, m: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            offset: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        let r = self.rest();
+        let t = r.trim_start();
+        self.pos += r.len() - t.len();
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        let r = self.rest();
+        if let Some(after) = r.strip_prefix(kw) {
+            if after
+                .chars()
+                .next()
+                .map(|c| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(true)
+            {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> Result<String, QueryParseError> {
+        let r = self.rest();
+        let end = r
+            .find(|c: char| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')))
+            .unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected a name"));
+        }
+        self.pos += end;
+        Ok(r[..end].to_string())
+    }
+
+    fn var(&mut self) -> Result<String, QueryParseError> {
+        if !self.eat("$") {
+            return Err(self.err("expected '$'"));
+        }
+        self.name()
+    }
+
+    fn integer(&mut self) -> Result<i64, QueryParseError> {
+        let r = self.rest();
+        let neg = r.starts_with('-');
+        let body = if neg { &r[1..] } else { r };
+        let digits = body
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(body.len());
+        if digits == 0 {
+            return Err(self.err("expected an integer"));
+        }
+        let end = digits + usize::from(neg);
+        let v = r[..end]
+            .parse()
+            .map_err(|_| self.err("integer overflow"))?;
+        self.pos += end;
+        Ok(v)
+    }
+
+    fn string_lit(&mut self) -> Result<String, QueryParseError> {
+        if !self.eat("'") {
+            return Err(self.err("expected a string literal"));
+        }
+        let r = self.rest();
+        let end = r
+            .find('\'')
+            .ok_or_else(|| self.err("unterminated string literal"))?;
+        let s = r[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn query(&mut self) -> Result<Query, QueryParseError> {
+        self.ws();
+        if !self.eat_kw("for") {
+            return Err(self.err("expected 'for'"));
+        }
+        let mut for_clauses = Vec::new();
+        loop {
+            self.ws();
+            let var = self.var()?;
+            self.ws();
+            if !self.eat_kw("in") {
+                return Err(self.err("expected 'in'"));
+            }
+            self.ws();
+            let path = self.path()?;
+            for_clauses.push(ForClause { var, path });
+            self.ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        let mut let_clauses = Vec::new();
+        self.ws();
+        if self.eat_kw("let") {
+            loop {
+                self.ws();
+                let var = self.var()?;
+                self.ws();
+                if !self.eat(":=") {
+                    return Err(self.err("expected ':='"));
+                }
+                self.ws();
+                let expr = self.expr()?;
+                let_clauses.push(LetClause { var, expr });
+                self.ws();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.ws();
+        let where_clause = if self.eat_kw("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        self.ws();
+        if !self.eat_kw("return") {
+            return Err(self.err("expected 'return'"));
+        }
+        self.ws();
+        let ret = self.constructor()?;
+        Ok(Query {
+            for_clauses,
+            let_clauses,
+            where_clause,
+            ret,
+        })
+    }
+
+    fn steps(&mut self) -> Result<Vec<(bool, NodeTest)>, QueryParseError> {
+        let mut steps = Vec::new();
+        loop {
+            // stop at '/@' (attribute access handled by caller)
+            if self.rest().starts_with("/@") {
+                break;
+            }
+            let desc = if self.eat("//") {
+                true
+            } else if self.eat("/") {
+                false
+            } else {
+                break;
+            };
+            let test = if self.eat("*") {
+                NodeTest::Wildcard
+            } else {
+                NodeTest::Name(self.name()?)
+            };
+            steps.push((desc, test));
+        }
+        Ok(steps)
+    }
+
+    fn path(&mut self) -> Result<Path, QueryParseError> {
+        if self.rest().starts_with('$') {
+            let v = self.var()?;
+            let steps = self.steps()?;
+            if steps.is_empty() {
+                return Err(self.err("variable path must have at least one step"));
+            }
+            Ok(Path {
+                start: PathStart::Var(v),
+                steps,
+            })
+        } else {
+            let steps = self.steps()?;
+            if steps.is_empty() {
+                return Err(self.err("expected a path"));
+            }
+            Ok(Path {
+                start: PathStart::Root,
+                steps,
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, QueryParseError> {
+        self.ws();
+        if self.rest().starts_with('$') {
+            let v = self.var()?;
+            let steps = self.steps()?;
+            if self.eat("/@") {
+                let a = self.name()?;
+                return Ok(if steps.is_empty() {
+                    Expr::VarAttr(v, a)
+                } else {
+                    Expr::VarPathAttr(v, steps, a)
+                });
+            }
+            return Ok(if steps.is_empty() {
+                Expr::VarRef(v)
+            } else {
+                Expr::VarPathText(v, steps)
+            });
+        }
+        if self.rest().starts_with('\'') {
+            return Ok(Expr::Literal(Value::Str(self.string_lit()?)));
+        }
+        if self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '-')
+            .unwrap_or(false)
+        {
+            return Ok(Expr::Literal(Value::Int(self.integer()?)));
+        }
+        // function forms: string($v), wl:time($v), skolem f(args…)
+        let fun = self.name()?;
+        self.ws();
+        if !self.eat("(") {
+            return Err(self.err("expected '(' after function name"));
+        }
+        self.ws();
+        match fun.as_str() {
+            "string" => {
+                let v = self.var()?;
+                self.ws();
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(Expr::VarText(v))
+            }
+            "wl:time" => {
+                let v = self.var()?;
+                self.ws();
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(Expr::EffectiveTime(v))
+            }
+            _ => {
+                let mut args = Vec::new();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        self.ws();
+                        if self.eat(",") {
+                            self.ws();
+                            continue;
+                        }
+                        if self.eat(")") {
+                            break;
+                        }
+                        return Err(self.err("expected ',' or ')' in argument list"));
+                    }
+                }
+                Ok(Expr::Skolem(fun, args))
+            }
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, QueryParseError> {
+        let mut terms = vec![self.and_cond()?];
+        loop {
+            self.ws();
+            if self.eat_kw("or") {
+                terms.push(self.and_cond()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Cond::Or(terms)
+        })
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, QueryParseError> {
+        let mut terms = vec![self.atom_cond()?];
+        loop {
+            self.ws();
+            if self.eat_kw("and") {
+                terms.push(self.atom_cond()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Cond::And(terms)
+        })
+    }
+
+    fn atom_cond(&mut self) -> Result<Cond, QueryParseError> {
+        self.ws();
+        if self.eat_kw("not") {
+            self.ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let c = self.cond()?;
+            self.ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Cond::Not(Box::new(c)));
+        }
+        if self.eat("(") {
+            let c = self.cond()?;
+            self.ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(c);
+        }
+        if self.rest().starts_with("wl:label") {
+            self.pos += "wl:label".len();
+            self.ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '('"));
+            }
+            self.ws();
+            let v = self.var()?;
+            self.ws();
+            if !self.eat(",") {
+                return Err(self.err("expected ','"));
+            }
+            self.ws();
+            let s = self.string_lit()?;
+            self.ws();
+            if !self.eat(",") {
+                return Err(self.err("expected ','"));
+            }
+            self.ws();
+            let t = self.integer()?;
+            self.ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Cond::LabelEq(v, s, t as u64));
+        }
+        let lhs = self.expr()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                self.ws();
+                let rhs = self.expr()?;
+                Ok(Cond::Cmp(lhs, op, rhs))
+            }
+            None => match lhs {
+                Expr::VarAttr(v, a) => Ok(Cond::ExistsAttr(v, a)),
+                Expr::VarPathText(v, p) => Ok(Cond::ExistsPath(v, p)),
+                other => Err(self.err(format!("expected comparison after {other}"))),
+            },
+        }
+    }
+
+    fn constructor(&mut self) -> Result<Constructor, QueryParseError> {
+        if !self.eat("<") {
+            return Err(self.err("expected '<'"));
+        }
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.ws();
+            if self.eat("/>") {
+                return Ok(Constructor {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                });
+            }
+            if self.eat(">") {
+                break;
+            }
+            let aname = self.name()?;
+            self.ws();
+            if !self.eat("=") {
+                return Err(self.err("expected '=' in constructor attribute"));
+            }
+            self.ws();
+            if !self.eat("\"") {
+                return Err(self.err("expected '\"'"));
+            }
+            self.ws();
+            let expr = if self.eat("{") {
+                let e = self.expr()?;
+                self.ws();
+                if !self.eat("}") {
+                    return Err(self.err("expected '}'"));
+                }
+                e
+            } else {
+                // literal attribute text
+                let r = self.rest();
+                let end = r
+                    .find('"')
+                    .ok_or_else(|| self.err("unterminated attribute"))?;
+                let text = r[..end].to_string();
+                self.pos += end;
+                Expr::Literal(Value::Str(text))
+            };
+            self.ws();
+            if !self.eat("\"") {
+                return Err(self.err("expected closing '\"'"));
+            }
+            attrs.push((aname, expr));
+        }
+        // children until </name>
+        let mut children = Vec::new();
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                self.ws();
+                if !self.eat(">") {
+                    return Err(self.err("expected '>'"));
+                }
+                if close != name {
+                    return Err(self.err(format!(
+                        "mismatched constructor close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                return Ok(Constructor {
+                    name,
+                    attrs,
+                    children,
+                });
+            }
+            if self.rest().starts_with('<') {
+                children.push(ConstructorItem::Element(self.constructor()?));
+                continue;
+            }
+            if self.eat("{") {
+                self.ws();
+                let e = self.expr()?;
+                self.ws();
+                if !self.eat("}") {
+                    return Err(self.err("expected '}'"));
+                }
+                children.push(ConstructorItem::Splice(e));
+                continue;
+            }
+            if self.at_end() {
+                return Err(self.err("unterminated constructor"));
+            }
+            let r = self.rest();
+            let end = r
+                .find(['<', '{'])
+                .unwrap_or(r.len());
+            let text = r[..end].to_string();
+            self.pos += end;
+            if !text.trim().is_empty() {
+                children.push(ConstructorItem::Text(text.trim().to_string()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example8() {
+        let q = parse_query(
+            "for $v1 in //TextMediaUnit,\n    $v2 in $v1/TextContent\n\
+             let $x := $v1/@id\n\
+             return <emb><r>{$v2/@id}</r><x>{$x}</x></emb>",
+        )
+        .unwrap();
+        assert_eq!(q.for_clauses.len(), 2);
+        assert_eq!(q.let_clauses.len(), 1);
+        assert!(q.where_clause.is_none());
+        assert_eq!(q.ret.children.len(), 2);
+    }
+
+    #[test]
+    fn parses_example9_shape() {
+        let q = parse_query(
+            "for $s1 in //TextMediaUnit, $s2 in $s1/TextContent, \
+                 $t1 in //TextMediaUnit, $t2 in $t1/Annotation \
+             let $x1 := $s1/@id, $x2 := $t1/@id \
+             where $t2/Language and $x1 = $x2 and wl:time($s2) < 3 \
+                   and wl:label($t2, 'LanguageExtractor', 3) \
+             return <prov from=\"{$t2/@id}\" to=\"{$s2/@id}\"/>",
+        )
+        .unwrap();
+        assert_eq!(q.for_clauses.len(), 4);
+        let w = q.where_clause.unwrap().conjuncts();
+        assert_eq!(w.len(), 4);
+        assert!(matches!(w[0], Cond::ExistsPath(..)));
+        assert!(matches!(w[3], Cond::LabelEq(..)));
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let src = "for $a in //X, $b in $a/Y \
+                   let $v := $a/@id \
+                   where $b/@k = 'z' or not($v = '1') \
+                   return <out a=\"{$v}\"><n>{$b/@k}</n>txt</out>";
+        let q = parse_query(src).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn skolem_function_calls_parse() {
+        let q = parse_query(
+            "for $a in //A let $x := $a/@a where f($x) = $a/@b \
+             return <r/>",
+        )
+        .unwrap();
+        match &q.where_clause {
+            Some(Cond::Cmp(Expr::Skolem(f, args), _, _)) => {
+                assert_eq!(f, "f");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        assert!(parse_query("for $a in //X return").is_err());
+        assert!(parse_query("for $a in //X return <a></b>").is_err());
+        assert!(parse_query("let $x := 1 return <a/>").is_err()); // no for
+        let e = parse_query("for $a in //X where return <a/>").unwrap_err();
+        assert!(e.offset > 0);
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let q = parse_query("for $a in //X return <a><b><c>{$a/@id}</c></b></a>").unwrap();
+        match &q.ret.children[0] {
+            ConstructorItem::Element(b) => {
+                assert_eq!(b.name, "b");
+                assert_eq!(b.children.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: declare a mapping rule, run a tiny workflow, inspect the
+//! provenance graph.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use weblab::prov::{infer_provenance, EngineOptions, RuleSet};
+use weblab::workflow::{CallContext, Orchestrator, Service, Workflow, WorkflowError};
+use weblab::xml::Document;
+
+/// A black-box service: reads the latest `Quote` resource and appends an
+/// `Analysis` resource that references it through `@about`.
+struct Analyst;
+
+impl Service for Analyst {
+    fn name(&self) -> &str {
+        "Analyst"
+    }
+
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        // the most recent quote not yet analysed
+        let v = doc.view();
+        let todo: Vec<(String, String)> = v
+            .descendants(root)
+            .filter(|&n| v.name(n) == Some("Quote"))
+            .filter_map(|n| Some((v.uri(n)?.to_string(), v.text_content(n))))
+            .filter(|(uri, _)| {
+                !v.descendants(root)
+                    .any(|a| v.name(a) == Some("Analysis") && v.attr(a, "about") == Some(uri))
+            })
+            .collect();
+        for (uri, text) in todo {
+            let a = doc.append_element(root, "Analysis")?;
+            doc.set_attr(a, "about", uri)?;
+            doc.set_attr(a, "verdict", if text.contains("peace") { "positive" } else { "neutral" })?;
+            ctx.register(doc, a)?;
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    // 1. An initial WebLab document with two identified Quote resources.
+    let mut doc = Document::new("Resource");
+    let root = doc.root();
+    doc.register_resource(root, "weblab://doc/quickstart", None)
+        .unwrap();
+    for (i, text) in ["talks about peace in Geneva", "markets closed mixed"]
+        .iter()
+        .enumerate()
+    {
+        let q = doc.append_element(root, "Quote").unwrap();
+        doc.register_resource(
+            q,
+            format!("weblab://quote/{i}"),
+            Some(weblab::xml::CallLabel::new("Source", 0)),
+        )
+        .unwrap();
+        doc.append_text(q, *text).unwrap();
+    }
+
+    // 2. The provenance mapping for the Analyst service: every Analysis
+    //    depends on the Quote its @about attribute points at.
+    let mut rules = RuleSet::new();
+    rules
+        .add_parsed("Analyst", "//Quote[$q := @id] => //Analysis[@about = $q]")
+        .unwrap();
+
+    // 3. Execute the (one-step) workflow. The orchestrator stamps labels
+    //    and records the trace; the service stays a black box.
+    let wf = Workflow::new().then(Analyst);
+    let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+
+    // 4. Infer fine-grained provenance from the final document + trace.
+    let graph = infer_provenance(&doc, &outcome.trace, &rules, &EngineOptions::default());
+
+    println!("{graph}");
+    for link in &graph.links {
+        println!(
+            "analysis {} was derived from quote {}",
+            link.from_uri, link.to_uri
+        );
+    }
+    assert_eq!(graph.links.len(), 2);
+    assert!(graph.is_acyclic());
+}

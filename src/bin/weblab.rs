@@ -1,0 +1,262 @@
+//! `weblab` — command-line interface to the WebLab PROV reproduction.
+//!
+//! ```text
+//! weblab run <input.xml> <service,service,…> [-o out.xml]
+//!     Run built-in media-mining services over a WebLab document and write
+//!     the stamped result (wl:id / wl:s / wl:t metadata included).
+//!
+//! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot]
+//!     Reconstruct the execution trace from the document's labels, apply
+//!     the mapping rules (built-in defaults, or a Service Catalog file) and
+//!     print the provenance graph.
+//!
+//! weblab query <stamped.xml> <sparql> [catalog.txt]
+//!     Materialise the PROV-O graph and answer a SPARQL SELECT query.
+//!
+//! weblab why <stamped.xml> <resource-uri> [catalog.txt]
+//!     Why-provenance: the justifying subgraph of one resource.
+//!
+//! weblab services
+//!     List the built-in services and their default mapping rules.
+//! ```
+//!
+//! Catalog files use the Service Catalog text format (see
+//! `weblab_platform::ServiceCatalog`): `[service] name | endpoint | sig`
+//! headers followed by `rule: <mapping>` lines.
+
+use std::process::ExitCode;
+
+use weblab::platform::ServiceCatalog;
+use weblab::prov::{
+    infer_provenance, query as provq, EngineOptions, ExecutionTrace, InheritMode,
+    ProvenanceGraph, RuleSet,
+};
+use weblab::rdf::{export_prov, parse_select, select, to_turtle, TripleStore};
+use weblab::workflow::services::{
+    self, EntityExtractor, Indexer, KeywordExtractor, LanguageExtractor, Normaliser,
+    OcrExtractor, SentimentAnalyser, SpeechTranscriber, Summariser, Tokeniser, Translator,
+};
+use weblab::workflow::{Orchestrator, Service, Workflow};
+use weblab::xml::{parse_document, to_xml_string_pretty, Document};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("why") => cmd_why(&args[1..]),
+        Some("services") => cmd_services(),
+        _ => {
+            eprintln!("usage: weblab <run|infer|query|why|services> …  (see --help in the binary's doc comment)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+/// Print to stdout, treating a broken pipe (e.g. `weblab … | head`) as a
+/// successful early exit rather than a panic.
+fn emit(text: &str) -> CliResult {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|_| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+            std::process::exit(0);
+        }
+        Err(e) => Err(format!("writing to stdout: {e}")),
+    }
+}
+
+fn read_doc(path: &str) -> Result<Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_document(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn service_by_name(name: &str) -> Option<Box<dyn Service>> {
+    Some(match name.to_lowercase().as_str() {
+        "normaliser" | "normalizer" => Box::new(Normaliser),
+        "languageextractor" | "language" => Box::new(LanguageExtractor),
+        "translator" => Box::new(Translator::default()),
+        "tokeniser" | "tokenizer" => Box::new(Tokeniser),
+        "entityextractor" | "entities" => Box::new(EntityExtractor),
+        "sentimentanalyser" | "sentiment" => Box::new(SentimentAnalyser),
+        "keywordextractor" | "keywords" => Box::new(KeywordExtractor),
+        "summariser" | "summarizer" => Box::new(Summariser),
+        "indexer" => Box::new(Indexer),
+        "ocrextractor" | "ocr" => Box::new(OcrExtractor),
+        "speechtranscriber" | "speech" => Box::new(SpeechTranscriber),
+        _ => return None,
+    })
+}
+
+fn rules_from(path: Option<&str>) -> Result<RuleSet, String> {
+    match path {
+        None => Ok(services::default_rules()),
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            let catalog =
+                ServiceCatalog::from_text(&text).map_err(|e| format!("catalog {p}: {e}"))?;
+            Ok(catalog.rule_set())
+        }
+    }
+}
+
+fn build_graph(doc: &Document, rules: &RuleSet, inherit: bool) -> ProvenanceGraph {
+    let trace = ExecutionTrace::reconstruct_from(doc);
+    infer_provenance(
+        doc,
+        &trace,
+        rules,
+        &EngineOptions {
+            inherit: if inherit {
+                InheritMode::PatternRewrite
+            } else {
+                InheritMode::Off
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let (mut input, mut pipeline, mut out) = (None, None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = Some(it.next().ok_or("missing value for -o")?.clone()),
+            other if input.is_none() => input = Some(other.to_string()),
+            other if pipeline.is_none() => pipeline = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.ok_or("usage: weblab run <input.xml> <service,…> [-o out.xml]")?;
+    let pipeline = pipeline.ok_or("missing service list")?;
+
+    let mut doc = read_doc(&input)?;
+    let mut wf = Workflow::new();
+    for name in pipeline.split(',') {
+        let svc =
+            service_by_name(name.trim()).ok_or_else(|| format!("unknown service {name:?}"))?;
+        wf = wf.then_boxed(svc);
+    }
+    let outcome = Orchestrator::new()
+        .execute(&wf, &mut doc)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "executed {} calls; document has {} nodes, {} resources",
+        outcome.trace.len(),
+        doc.node_count(),
+        doc.resource_nodes().len()
+    );
+    let xml = to_xml_string_pretty(&doc.view());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, xml).map_err(|e| format!("writing {path}: {e}"))?
+        }
+        None => emit(&format!("{xml}\n"))?,
+    }
+    Ok(())
+}
+
+fn cmd_infer(args: &[String]) -> CliResult {
+    let mut input = None;
+    let mut catalog = None;
+    let mut inherit = false;
+    let mut format = "table".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--inherit" => inherit = true,
+            "--format" => format = it.next().ok_or("missing value for --format")?.clone(),
+            other if input.is_none() => input = Some(other.to_string()),
+            other if catalog.is_none() => catalog = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.ok_or("usage: weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot]")?;
+    let doc = read_doc(&input)?;
+    let rules = rules_from(catalog.as_deref())?;
+    let graph = build_graph(&doc, &rules, inherit);
+    match format.as_str() {
+        "table" => emit(&graph.to_string())?,
+        "turtle" => emit(&format!("{}\n", to_turtle(&export_prov(&graph))))?,
+        "provxml" => emit(&format!(
+            "{}\n",
+            to_xml_string_pretty(&weblab::rdf::export_prov_xml(&graph).view())
+        ))?,
+        "dot" => emit(&graph.to_dot())?,
+        other => return Err(format!("unknown format {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let input = args
+        .first()
+        .ok_or("usage: weblab query <stamped.xml> <sparql> [catalog.txt]")?;
+    let sparql = args.get(1).ok_or("missing SPARQL query")?;
+    let doc = read_doc(input)?;
+    let rules = rules_from(args.get(2).map(String::as_str))?;
+    let graph = build_graph(&doc, &rules, false);
+    let mut store = TripleStore::new();
+    store.extend(export_prov(&graph));
+    let q = parse_select(sparql).map_err(|e| e.to_string())?;
+    let solutions = select(&store, &q);
+    let mut rendered = String::new();
+    for sol in &solutions {
+        let row: Vec<String> = sol.iter().map(|(k, v)| format!("?{k} = {v}")).collect();
+        rendered.push_str(&row.join("  "));
+        rendered.push('\n');
+    }
+    emit(&rendered)?;
+    eprintln!("{} solution(s)", solutions.len());
+    Ok(())
+}
+
+fn cmd_why(args: &[String]) -> CliResult {
+    let input = args
+        .first()
+        .ok_or("usage: weblab why <stamped.xml> <resource-uri> [catalog.txt]")?;
+    let uri = args.get(1).ok_or("missing resource uri")?;
+    let doc = read_doc(input)?;
+    let rules = rules_from(args.get(2).map(String::as_str))?;
+    let graph = build_graph(&doc, &rules, true);
+    let w = provq::why(&graph, uri);
+    let mut out = format!("why-provenance of {uri}:\n");
+    out.push_str(&format!("  resources ({}):\n", w.resources.len()));
+    for r in &w.resources {
+        out.push_str(&format!("    {r}\n"));
+    }
+    out.push_str(&format!("  links ({}):\n", w.links.len()));
+    for l in &w.links {
+        out.push_str(&format!("    {l}\n"));
+    }
+    out.push_str("  calls involved:\n");
+    for c in &w.calls {
+        out.push_str(&format!("    {c}\n"));
+    }
+    emit(&out)
+}
+
+fn cmd_services() -> CliResult {
+    let rules = services::default_rules();
+    let mut out = String::from("built-in services and their mapping rules M(s):\n");
+    for s in rules.services() {
+        out.push_str(&format!("  {s}\n"));
+        for r in rules.rules_for(s) {
+            out.push_str(&format!("    rule: {r}\n"));
+        }
+    }
+    emit(&out)
+}

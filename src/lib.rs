@@ -1,0 +1,29 @@
+//! # weblab — facade crate for the WebLab PROV reproduction
+//!
+//! Re-exports every subsystem of the reproduction of *"WebLab PROV:
+//! Computing fine-grained provenance links for XML artifacts"* (EDBT 2013)
+//! under one roof, so that examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`xml`] — WebLab documents: append-only XML trees, states, diff.
+//! * [`xpath`] — Core-XPath patterns with variable bindings and embeddings.
+//! * [`prov`] — mapping rules, provenance graphs, evaluation strategies
+//!   (the paper's core contribution).
+//! * [`xquery`] — FLWOR-subset engine and the rule → XQuery compiler.
+//! * [`rdf`] — triple store, PROV-O export, Turtle, SPARQL-lite.
+//! * [`workflow`] — black-box services, orchestrator, execution traces.
+//! * [`platform`] — the Figure 5 architecture (Recorder / Mapper / Request
+//!   Manager).
+//!
+//! See the `examples/` directory for end-to-end walkthroughs, starting with
+//! `quickstart.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use weblab_platform as platform;
+pub use weblab_prov as prov;
+pub use weblab_rdf as rdf;
+pub use weblab_workflow as workflow;
+pub use weblab_xml as xml;
+pub use weblab_xpath as xpath;
+pub use weblab_xquery as xquery;

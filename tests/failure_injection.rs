@@ -1,0 +1,137 @@
+//! Failure injection: misbehaving services, malformed inputs, and broken
+//! rule sets must surface as errors without corrupting stored state.
+
+use std::sync::Arc;
+
+use weblab::platform::{Mapper, Platform, PlatformError};
+use weblab::prov::{infer_provenance, EngineOptions, RuleSet};
+use weblab::workflow::generator::generate_corpus;
+use weblab::workflow::services::Normaliser;
+use weblab::workflow::{CallContext, Orchestrator, Service, Workflow, WorkflowError};
+use weblab::xml::Document;
+
+/// Fails after partially mutating the document.
+struct FailsMidway;
+
+impl Service for FailsMidway {
+    fn name(&self) -> &str {
+        "FailsMidway"
+    }
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        let n = doc.append_element(root, "Partial")?;
+        ctx.register(doc, n)?;
+        Err(WorkflowError::Service {
+            service: "FailsMidway".into(),
+            message: "simulated crash".into(),
+        })
+    }
+}
+
+/// Tries to register the same URI twice.
+struct DuplicateUri;
+
+impl Service for DuplicateUri {
+    fn name(&self) -> &str {
+        "DuplicateUri"
+    }
+    fn call(&self, doc: &mut Document, _ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        let a = doc.append_element(root, "A")?;
+        doc.register_resource(a, "dup", None)?;
+        let b = doc.append_element(root, "B")?;
+        doc.register_resource(b, "dup", None)?; // duplicate → Err
+        Ok(())
+    }
+}
+
+#[test]
+fn orchestrator_propagates_service_failures() {
+    let wf = Workflow::new().then(Normaliser).then(FailsMidway);
+    let mut doc = generate_corpus(1, 1, 20);
+    let err = Orchestrator::new().execute(&wf, &mut doc).unwrap_err();
+    assert!(matches!(err, WorkflowError::Service { .. }));
+    assert!(err.to_string().contains("simulated crash"));
+}
+
+#[test]
+fn duplicate_uri_registration_fails_the_call() {
+    let wf = Workflow::new().then(DuplicateUri);
+    let mut doc = Document::new("Resource");
+    let err = Orchestrator::new().execute(&wf, &mut doc).unwrap_err();
+    assert!(matches!(err, WorkflowError::Xml(_)));
+}
+
+#[test]
+fn platform_failure_leaves_stored_document_untouched() {
+    let p = Platform::new(Mapper::native());
+    p.register_service(Arc::new(Normaliser), &[]).unwrap();
+    p.register_service(Arc::new(FailsMidway), &[]).unwrap();
+    p.ingest("e", generate_corpus(2, 1, 20));
+    let before = p
+        .recorder()
+        .repository
+        .with("e", |d| d.node_count())
+        .unwrap();
+    let err = p.execute("e", &["Normaliser", "FailsMidway"]).unwrap_err();
+    assert!(matches!(err, PlatformError::Workflow(_)));
+    // the repository still holds the pre-execution version (all-or-nothing)
+    let after = p
+        .recorder()
+        .repository
+        .with("e", |d| d.node_count())
+        .unwrap();
+    assert_eq!(before, after);
+    // no trace entries were persisted either
+    assert!(p.recorder().traces.get("e").is_none());
+}
+
+#[test]
+fn failing_branch_aborts_the_parallel_block() {
+    let wf = Workflow::new().then_parallel(vec![
+        Workflow::new().then(Normaliser),
+        Workflow::new().then(FailsMidway),
+    ]);
+    let mut doc = generate_corpus(3, 1, 20);
+    assert!(Orchestrator::new().execute(&wf, &mut doc).is_err());
+}
+
+#[test]
+fn rules_over_missing_structure_yield_empty_graphs_not_errors() {
+    let mut rules = RuleSet::new();
+    rules
+        .add_parsed("Normaliser", "//NoSuchTag[$x := @id] => //AlsoMissing[@ref = $x]")
+        .unwrap();
+    let wf = Workflow::new().then(Normaliser);
+    let mut doc = generate_corpus(4, 1, 20);
+    let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+    let g = infer_provenance(&doc, &outcome.trace, &rules, &EngineOptions::default());
+    assert!(g.links.is_empty());
+    assert!(!g.sources.is_empty()); // the Source table is still populated
+}
+
+#[test]
+fn recorder_rejects_malformed_and_regressive_responses() {
+    let p = Platform::new(Mapper::native());
+    p.ingest("e", generate_corpus(5, 1, 20));
+    // malformed XML
+    assert!(p.recorder().record_exchange("e", "S", 1, "<broken").is_err());
+    // well-formed but missing previously stored content
+    assert!(p
+        .recorder()
+        .record_exchange("e", "S", 1, "<Resource/>")
+        .is_err());
+    // neither attempt corrupted the stored document
+    assert!(p.recorder().repository.get("e").is_some());
+    assert!(p.recorder().traces.get("e").is_none());
+}
+
+#[test]
+fn sparql_errors_surface_through_the_request_manager() {
+    let p = Platform::new(Mapper::native());
+    p.register_service(Arc::new(Normaliser), &[]).unwrap();
+    p.ingest("e", generate_corpus(6, 1, 20));
+    p.execute("e", &["Normaliser"]).unwrap();
+    let err = p.provenance_query("e", "SELEKT nonsense").unwrap_err();
+    assert!(matches!(err, PlatformError::Sparql(_)));
+}

@@ -1,0 +1,86 @@
+//! Robustness: every parser in the workspace must return `Err` on garbage,
+//! never panic — and must be total over arbitrary near-miss inputs derived
+//! from valid ones.
+
+use proptest::prelude::*;
+
+use weblab::platform::ServiceCatalog;
+use weblab::prov::MappingRule;
+use weblab::rdf::{parse_select, parse_turtle};
+use weblab::xml::parse_document;
+use weblab::xpath::parse_pattern;
+use weblab::xquery::parse_query;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_taglike_input(
+        input in "[<>/a-z \"'=&;]{0,100}"
+    ) {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn pattern_parser_never_panics(input in ".{0,120}") {
+        let _ = parse_pattern(&input);
+    }
+
+    #[test]
+    fn pattern_parser_never_panics_on_patternlike_input(
+        input in "[/\\[\\]@$:= a-zA-Z0-9'<>!-]{0,80}"
+    ) {
+        let _ = parse_pattern(&input);
+    }
+
+    #[test]
+    fn rule_parser_never_panics(input in ".{0,160}") {
+        let _ = MappingRule::parse(&input);
+    }
+
+    #[test]
+    fn xquery_parser_never_panics(
+        input in "[a-z$/{}<>\"'= ,.:\\[\\]0-9]{0,120}"
+    ) {
+        let _ = parse_query(&input);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics(
+        input in "[A-Za-z?<>{}=!\\. :#/\"']{0,120}"
+    ) {
+        let _ = parse_select(&input);
+    }
+
+    #[test]
+    fn turtle_parser_never_panics(
+        input in "[a-z<>@:\\.;,\"_ \\^#-]{0,120}"
+    ) {
+        let _ = parse_turtle(&input);
+    }
+
+    #[test]
+    fn catalog_parser_never_panics(input in ".{0,200}") {
+        let _ = ServiceCatalog::from_text(&input);
+    }
+
+    #[test]
+    fn mutated_valid_pattern_never_panics(
+        flip in 0usize..60,
+        ch in prop::char::any(),
+    ) {
+        let base = "//TextMediaUnit[$x := @id]/Annotation[Language = 'fr']";
+        let mut bytes: Vec<char> = base.chars().collect();
+        if flip < bytes.len() {
+            bytes[flip] = ch;
+        }
+        let mutated: String = bytes.into_iter().collect();
+        let _ = parse_pattern(&mutated);
+        let _ = MappingRule::parse(&format!("{mutated} => //X"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Semantic corner cases of the pattern language: recursive element
+//! nesting, multi-step variable bindings, temporal boundaries, and the
+//! interaction of the indexed evaluator with state views.
+
+use weblab::xml::{CallLabel, Document};
+use weblab::xpath::{
+    eval_pattern, eval_pattern_indexed, parse_pattern, ElementIndex, Env, EvalOptions,
+};
+
+/// `T` elements nested inside `T` elements — descendant steps must reach
+/// both levels and produce distinct embeddings.
+fn nested_doc() -> Document {
+    let mut d = Document::new("R");
+    let root = d.root();
+    let outer = d.append_element(root, "T").unwrap();
+    d.register_resource(outer, "outer", Some(CallLabel::new("S", 1)))
+        .unwrap();
+    let c1 = d.append_element(outer, "C").unwrap();
+    d.register_resource(c1, "c-outer", None).unwrap();
+    let inner = d.append_element(outer, "T").unwrap();
+    d.register_resource(inner, "inner", Some(CallLabel::new("S", 2)))
+        .unwrap();
+    let c2 = d.append_element(inner, "C").unwrap();
+    d.register_resource(c2, "c-inner", None).unwrap();
+    d
+}
+
+#[test]
+fn descendant_steps_reach_nested_occurrences() {
+    let d = nested_doc();
+    let p = parse_pattern("//T[$x := @id]/C").unwrap();
+    let t = eval_pattern(&p, &d.view());
+    let mut pairs: Vec<(String, String)> = t
+        .rows
+        .iter()
+        .map(|r| (r.uri.clone(), r.values[0].to_string()))
+        .collect();
+    pairs.sort();
+    assert_eq!(
+        pairs,
+        vec![
+            ("c-inner".to_string(), "inner".to_string()),
+            ("c-outer".to_string(), "outer".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn double_descendant_does_not_duplicate_tuples() {
+    let d = nested_doc();
+    // //T//C: c-inner is reachable from both outer and inner T; with
+    // distinct $x bindings both tuples are kept, but identical tuples are
+    // not duplicated
+    let p = parse_pattern("//T[$x := @id]//C").unwrap();
+    let t = eval_pattern(&p, &d.view());
+    assert_eq!(t.rows.len(), 3); // (c-outer,outer) (c-inner,outer) (c-inner,inner)
+    let unbound = parse_pattern("//T//C").unwrap();
+    let t2 = eval_pattern(&unbound, &d.view());
+    // without $x the two c-inner embeddings collapse into one tuple
+    assert_eq!(t2.rows.len(), 2);
+}
+
+#[test]
+fn created_before_boundary_is_strict() {
+    let d = nested_doc();
+    let at_1 = parse_pattern("//T[created-before(1)]").unwrap();
+    assert!(eval_pattern(&at_1, &d.view()).is_empty()); // t=1 is NOT < 1
+    let at_2 = parse_pattern("//T[created-before(2)]").unwrap();
+    let t = eval_pattern(&at_2, &d.view());
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0].uri, "outer");
+}
+
+#[test]
+fn chained_variable_bindings_across_steps() {
+    let mut d = Document::new("R");
+    let root = d.root();
+    for (a, b) in [("1", "1"), ("2", "9")] {
+        let x = d.append_element(root, "X").unwrap();
+        d.set_attr(x, "k", a).unwrap();
+        let y = d.append_element(x, "Y").unwrap();
+        d.set_attr(y, "k", b).unwrap();
+        d.register_resource(y, format!("y{a}{b}"), None).unwrap();
+    }
+    // bind $a on X and $b on Y; both become columns
+    let p = parse_pattern("//X[$a := @k]/Y[$b := @k]").unwrap();
+    let t = eval_pattern(&p, &d.view());
+    assert_eq!(t.columns, vec!["a".to_string(), "b".to_string()]);
+    assert_eq!(t.rows.len(), 2);
+    assert_eq!(t.rows[0].values[0].to_string(), "1");
+    assert_eq!(t.rows[1].values[1].to_string(), "9");
+}
+
+#[test]
+fn indexed_evaluation_matches_scan_on_every_state() {
+    let d = nested_doc();
+    let index = ElementIndex::build(&d.view());
+    for pattern in ["//T[$x := @id]/C", "//C", "//*", "/R//T"] {
+        let p = parse_pattern(pattern).unwrap();
+        // including an earlier state (index built over the final one)
+        let half = weblab::xml::StateMark::from_counts(3, 2);
+        for view in [d.view(), d.view_at(half)] {
+            let scan = eval_pattern(&p, &view);
+            let indexed = eval_pattern_indexed(
+                &p,
+                &view,
+                &Env::new(),
+                &EvalOptions::default(),
+                Some(&index),
+            );
+            assert_eq!(scan.rows, indexed.rows, "{pattern}");
+        }
+    }
+}
+
+#[test]
+fn wildcard_root_child_vs_descendant() {
+    let d = nested_doc();
+    let opts = EvalOptions { require_uri: false };
+    let child = parse_pattern("/*").unwrap();
+    let t = weblab::xpath::eval_pattern_with(&child, &d.view(), &Env::new(), &opts);
+    assert_eq!(t.rows.len(), 1); // just the root
+    let desc = parse_pattern("//*").unwrap();
+    let t2 = weblab::xpath::eval_pattern_with(&desc, &d.view(), &Env::new(), &opts);
+    assert_eq!(t2.rows.len(), 5); // every element
+}
+
+#[test]
+fn produced_by_matches_only_exact_labels() {
+    let d = nested_doc();
+    let p = parse_pattern("//T[produced-by('S', 2)]").unwrap();
+    let t = eval_pattern(&p, &d.view());
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0].uri, "inner");
+    // wrong service, right time
+    let q = parse_pattern("//T[produced-by('Other', 2)]").unwrap();
+    assert!(eval_pattern(&q, &d.view()).is_empty());
+}
+
+#[test]
+fn root_anchored_child_path_requires_exact_spine() {
+    let d = nested_doc();
+    // /R/T/C matches only the outer chain, not the nested T's C
+    let p = parse_pattern("/R/T/C").unwrap();
+    let t = eval_pattern(&p, &d.view());
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0].uri, "c-outer");
+    // /T does not match (root is R)
+    let q = parse_pattern("/T/C").unwrap();
+    assert!(eval_pattern(&q, &d.view()).is_empty());
+}
