@@ -74,6 +74,15 @@ impl Mapper {
         }
     }
 
+    /// Set the native engine's degree of parallelism. No effect on the
+    /// XQuery path, which has no parallel executor.
+    pub fn with_parallelism(mut self, parallelism: weblab_prov::Parallelism) -> Self {
+        if let MapperStrategy::Native(opts) = &mut self.strategy {
+            opts.parallelism = parallelism;
+        }
+        self
+    }
+
     /// Materialise the provenance graph of one execution.
     pub fn materialize(
         &self,

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use weblab_prov::ProvenanceGraph;
 use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
 use weblab_workflow::{next_time, Orchestrator, Service, Workflow, WorkflowError};
@@ -176,7 +176,7 @@ impl Platform {
 
     /// Access the catalog (read lock).
     pub fn catalog_text(&self) -> String {
-        self.catalog.read().to_text()
+        self.catalog.read().expect("lock poisoned").to_text()
     }
 
     /// Register a service implementation together with its catalog entry
@@ -187,8 +187,8 @@ impl Platform {
         rules: &[&str],
     ) -> Result<(), PlatformError> {
         let name = service.name().to_string();
-        self.catalog.write().register_simple(&name, rules)?;
-        self.services.write().insert(name, service);
+        self.catalog.write().expect("lock poisoned").register_simple(&name, rules)?;
+        self.services.write().expect("lock poisoned").insert(name, service);
         Ok(())
     }
 
@@ -234,7 +234,7 @@ impl Platform {
     }
 
     fn build_workflow(&self, spec: &WorkflowSpec) -> Result<Workflow, PlatformError> {
-        let services = self.services.read();
+        let services = self.services.read().expect("lock poisoned");
         let mut wf = Workflow::new();
         for step in &spec.steps {
             match step {
@@ -271,14 +271,14 @@ impl Platform {
             .traces
             .get(exec_id)
             .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
-        let cached = self.materialized.read().get(exec_id).cloned();
+        let cached = self.materialized.read().expect("lock poisoned").get(exec_id).cloned();
         if let Some(entry) = &cached {
             if entry.calls == trace.len() {
                 return Ok(entry.graph.clone());
             }
         }
         let first = cached.as_ref().map(|e| e.calls).unwrap_or(0);
-        let rules = self.catalog.read().rule_set();
+        let rules = self.catalog.read().expect("lock poisoned").rule_set();
         let delta = self
             .mapper
             .materialize_since(&doc, &trace, first, &rules)?;
@@ -287,8 +287,8 @@ impl Platform {
             graph.add_links(entry.graph.links);
         }
         graph.add_links(delta);
-        self.provenance.write().extend(export_prov(&graph));
-        self.materialized.write().insert(
+        self.provenance.write().expect("lock poisoned").extend(export_prov(&graph));
+        self.materialized.write().expect("lock poisoned").insert(
             exec_id.to_string(),
             MaterializedGraph {
                 calls: trace.len(),
@@ -301,7 +301,7 @@ impl Platform {
     /// Drop the cached graph of an execution, forcing full
     /// re-materialisation on the next query.
     pub fn invalidate_provenance(&self, exec_id: &str) {
-        self.materialized.write().remove(exec_id);
+        self.materialized.write().expect("lock poisoned").remove(exec_id);
     }
 
     /// Answer a SPARQL provenance query for an execution — the Request
@@ -316,7 +316,7 @@ impl Platform {
             self.provenance_graph(exec_id)?;
         }
         let query = parse_select(sparql)?;
-        Ok(select(&self.provenance.read(), &query))
+        Ok(select(&self.provenance.read().expect("lock poisoned"), &query))
     }
 
     /// Whether the execution's graph is materialised and current (exposed
@@ -324,7 +324,7 @@ impl Platform {
     pub fn is_materialized(&self, exec_id: &str) -> bool {
         let trace_len = self.traces.get(exec_id).map(|t| t.len()).unwrap_or(0);
         self.materialized
-            .read()
+            .read().expect("lock poisoned")
             .get(exec_id)
             .map(|e| e.calls == trace_len)
             .unwrap_or(false)

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use weblab_xml::Document;
 
 /// Thread-safe store of workflow documents, keyed by execution id.
@@ -26,32 +26,32 @@ impl ResourceRepository {
 
     /// Store (or replace) the document of an execution.
     pub fn put(&self, exec_id: impl Into<String>, doc: Document) {
-        self.docs.write().insert(exec_id.into(), doc);
+        self.docs.write().expect("lock poisoned").insert(exec_id.into(), doc);
     }
 
     /// Clone the stored document of an execution.
     pub fn get(&self, exec_id: &str) -> Option<Document> {
-        self.docs.read().get(exec_id).cloned()
+        self.docs.read().expect("lock poisoned").get(exec_id).cloned()
     }
 
     /// Read-only access without cloning.
     pub fn with<R>(&self, exec_id: &str, f: impl FnOnce(&Document) -> R) -> Option<R> {
-        self.docs.read().get(exec_id).map(f)
+        self.docs.read().expect("lock poisoned").get(exec_id).map(f)
     }
 
     /// Number of stored executions.
     pub fn len(&self) -> usize {
-        self.docs.read().len()
+        self.docs.read().expect("lock poisoned").len()
     }
 
     /// Whether the repository is empty.
     pub fn is_empty(&self) -> bool {
-        self.docs.read().is_empty()
+        self.docs.read().expect("lock poisoned").is_empty()
     }
 
     /// Known execution ids, sorted.
     pub fn execution_ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self.docs.read().keys().cloned().collect();
+        let mut ids: Vec<String> = self.docs.read().expect("lock poisoned").keys().cloned().collect();
         ids.sort();
         ids
     }

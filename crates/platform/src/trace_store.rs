@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use weblab_prov::{CallRecord, ExecutionTrace};
 use weblab_rdf::{vocab, Term, Triple, TripleStore};
 
@@ -37,7 +37,7 @@ impl TraceStore {
     pub fn record(&self, exec_id: &str, call: CallRecord, produced_uris: &[String]) {
         let activity = Term::iri(vocab::activity_iri(&call.service, call.time));
         {
-            let mut triples = self.triples.write();
+            let mut triples = self.triples.write().expect("lock poisoned");
             triples.insert(Triple::new(
                 activity.clone(),
                 Term::iri(WL_IN_EXECUTION),
@@ -62,7 +62,7 @@ impl TraceStore {
             }
         }
         self.traces
-            .write()
+            .write().expect("lock poisoned")
             .entry(exec_id.to_string())
             .or_default()
             .calls
@@ -79,12 +79,12 @@ impl TraceStore {
 
     /// The structured trace of an execution.
     pub fn get(&self, exec_id: &str) -> Option<ExecutionTrace> {
-        self.traces.read().get(exec_id).cloned()
+        self.traces.read().expect("lock poisoned").get(exec_id).cloned()
     }
 
     /// Snapshot of the RDF mirror.
     pub fn triples(&self) -> TripleStore {
-        self.triples.read().clone()
+        self.triples.read().expect("lock poisoned").clone()
     }
 }
 

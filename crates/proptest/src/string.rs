@@ -1,0 +1,227 @@
+//! Regex-literal string generation.
+//!
+//! Upstream proptest interprets a `&str` strategy as a full regex. This
+//! shim supports the subset the workspace's fuzz suites actually use: a
+//! sequence of atoms — `.`, a character class `[...]`, or a literal
+//! character (backslash-escapable) — each optionally followed by a
+//! `{lo,hi}`, `{n}`, `*`, `+` or `?` quantifier. Anything else panics
+//! loudly so a silent mismatch can't slip into a test.
+
+use crate::rng::SplitMix64;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character except newline.
+    Dot,
+    /// `[...]` — inclusive ranges; `negated` inverts membership.
+    Class { ranges: Vec<(char, char)>, negated: bool },
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut SplitMix64) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.hi - piece.lo + 1;
+        let n = piece.lo + rng.below(span as u64) as usize;
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut SplitMix64) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => loop {
+            let c = crate::char::sample(rng);
+            if c != '\n' {
+                return c;
+            }
+        },
+        Atom::Class { ranges, negated: false } => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let (lo, hi) = (lo as u32, hi as u32);
+            loop {
+                if let Some(c) = char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32) {
+                    return c;
+                }
+            }
+        }
+        Atom::Class { ranges, negated: true } => loop {
+            let c = crate::char::sample(rng);
+            if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                return c;
+            }
+        },
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let (class, next) = parse_class(pattern, &chars, i);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| unsupported(pattern));
+                i += 1;
+                Atom::Literal(escaped(c))
+            }
+            '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '{' => unsupported(pattern),
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        pieces.push(Piece { atom, lo, hi });
+    }
+    pieces
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut ranges = Vec::new();
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut first = true;
+    loop {
+        let c = match chars.get(i) {
+            None => unsupported(pattern),
+            Some(']') if !first => return (Atom::Class { ranges, negated }, i + 1),
+            Some('\\') => {
+                i += 1;
+                escaped(*chars.get(i).unwrap_or_else(|| unsupported(pattern)))
+            }
+            Some(&c) => c,
+        };
+        i += 1;
+        first = false;
+        // `c-d` is a range unless the `-` is last in the class.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let end = match chars.get(i) {
+                Some('\\') => {
+                    i += 1;
+                    escaped(*chars.get(i).unwrap_or_else(|| unsupported(pattern)))
+                }
+                Some(&e) => e,
+                None => unsupported(pattern),
+            };
+            i += 1;
+            assert!(c <= end, "inverted class range in regex {pattern:?}");
+            ranges.push((c, end));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+/// Parse an optional quantifier at `i`; returns (lo, hi inclusive, next index).
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                    hi.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted quantifier in regex {pattern:?}");
+            (lo, hi, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn escaped(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        c => c,
+    }
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!("proptest shim: unsupported regex construct in {pattern:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::from_seed(7)
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate(".{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z<>@:\\.;,\"_ \\^#-]{0,120}", &mut r);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase()
+                        || "<>@:.;,\"_ ^#-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_bare_atoms() {
+        let mut r = rng();
+        let s = generate("ab[0-9]{3}", &mut r);
+        assert!(s.starts_with("ab") && s.len() == 5);
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

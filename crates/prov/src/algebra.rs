@@ -56,6 +56,35 @@ pub fn join_tables(
     target: &BindingTable,
     algo: JoinAlgorithm,
 ) -> Vec<ProvLink> {
+    join_tables_where(source, target, algo, |_| true, |_| true)
+}
+
+/// [`join_tables`] restricted to the rows each side's predicate keeps.
+///
+/// This is the temporal strategies' workhorse: the engine evaluates a rule's
+/// *unconstrained* patterns once, then derives each call's join from the
+/// shared tables by filtering rows — no per-call copies of either table.
+pub fn join_tables_where(
+    source: &BindingTable,
+    target: &BindingTable,
+    algo: JoinAlgorithm,
+    s_keep: impl Fn(&BindingRow) -> bool,
+    t_keep: impl Fn(&BindingRow) -> bool,
+) -> Vec<ProvLink> {
+    let s_rows: Vec<&BindingRow> = source.rows.iter().filter(|r| s_keep(r)).collect();
+    let t_rows: Vec<&BindingRow> = target.rows.iter().filter(|r| t_keep(r)).collect();
+    join_rows(source, &s_rows, target, &t_rows, algo)
+}
+
+/// Join explicit row selections of two tables (the schemas come from the
+/// tables, the data from the borrowed row slices).
+pub(crate) fn join_rows(
+    source: &BindingTable,
+    s_rows: &[&BindingRow],
+    target: &BindingTable,
+    t_rows: &[&BindingRow],
+    algo: JoinAlgorithm,
+) -> Vec<ProvLink> {
     let shared: Vec<(usize, usize)> = target
         .columns
         .iter()
@@ -68,8 +97,8 @@ pub fn join_tables(
         .collect();
 
     let mut links = match algo {
-        JoinAlgorithm::NestedLoop => nested_loop(source, target, &shared),
-        JoinAlgorithm::Hash => hash_join(source, target, &shared),
+        JoinAlgorithm::NestedLoop => nested_loop(source, s_rows, target, t_rows, &shared),
+        JoinAlgorithm::Hash => hash_join(source, s_rows, target, t_rows, &shared),
     };
     links.sort();
     links.dedup();
@@ -119,12 +148,14 @@ fn link(s: &BindingRow, t: &BindingRow) -> ProvLink {
 
 fn nested_loop(
     source: &BindingTable,
+    s_rows: &[&BindingRow],
     target: &BindingTable,
+    t_rows: &[&BindingRow],
     shared: &[(usize, usize)],
 ) -> Vec<ProvLink> {
     let mut out = Vec::new();
-    for s in &source.rows {
-        for t in &target.rows {
+    for s in s_rows {
+        for t in t_rows {
             if row_matches(source, s, target, t, shared) {
                 out.push(link(s, t));
             }
@@ -135,17 +166,19 @@ fn nested_loop(
 
 fn hash_join(
     source: &BindingTable,
+    s_rows: &[&BindingRow],
     target: &BindingTable,
+    t_rows: &[&BindingRow],
     shared: &[(usize, usize)],
 ) -> Vec<ProvLink> {
     if shared.is_empty() {
         // No equi-key: fall back to nested loops (Skolem constraints may
         // still filter inside row_matches).
-        return nested_loop(source, target, shared);
+        return nested_loop(source, s_rows, target, t_rows, shared);
     }
     // Build side: source rows keyed by canonical join key.
     let mut buckets: HashMap<Vec<String>, Vec<&BindingRow>> = HashMap::new();
-    for s in &source.rows {
+    for s in s_rows {
         let key: Vec<String> = shared
             .iter()
             .map(|&(si, _)| s.values[si].canonical())
@@ -153,7 +186,7 @@ fn hash_join(
         buckets.entry(key).or_default().push(s);
     }
     let mut out = Vec::new();
-    for t in &target.rows {
+    for t in t_rows {
         let key: Vec<String> = shared
             .iter()
             .map(|&(_, ti)| t.values[ti].canonical())

@@ -1,0 +1,192 @@
+//! Thread-safe pattern-evaluation cache.
+//!
+//! The temporal strategies re-evaluate near-identical patterns per call:
+//! `TemporalRewrite` rewrites the *same* rule pattern with a different
+//! timestamp for every call of a service, and both temporal constraints
+//! only ever restrict the **last** step
+//! (`weblab_xpath::add_source_constraints` /
+//! [`weblab_xpath::add_target_constraints`]) using `effective_time` /
+//! `effective_label`. The unconstrained table is therefore a superset of
+//! every per-call table, and each per-call table is recoverable by a plain
+//! row filter — so the engine evaluates the unconstrained pattern **once**,
+//! caches it here keyed by `(pattern fingerprint, state mark)`, and filters
+//! shared rows per call.
+//!
+//! The state-mark half of the key makes invalidation automatic in the
+//! append-only document model: growing the document yields a new
+//! [`StateMark`], which simply keys a fresh entry, while evaluations
+//! against any earlier state keep hitting their own entries.
+//!
+//! Concurrency: a `Mutex<HashMap>` hands out per-key `Arc<OnceLock>` cells;
+//! the map lock is held only to find the cell, never during pattern
+//! evaluation, and `OnceLock::get_or_init` guarantees a pattern is
+//! evaluated at most once even when several workers request it together.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use weblab_xml::{DocView, StateMark};
+use weblab_xpath::{
+    eval_pattern_indexed, BindingTable, ElementIndex, Env, EvalOptions, Pattern,
+};
+
+type Cell = Arc<OnceLock<Arc<BindingTable>>>;
+
+/// Shared evaluation cache: `(pattern fingerprint, state mark) → table`.
+#[derive(Debug, Default)]
+pub struct PatternCache {
+    entries: Mutex<HashMap<(u64, StateMark), Cell>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PatternCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate `pattern` against `view`, reusing a previous evaluation for
+    /// the same pattern and document state when one exists.
+    pub fn eval(
+        &self,
+        pattern: &Pattern,
+        view: &DocView<'_>,
+        index: Option<&ElementIndex>,
+    ) -> Arc<BindingTable> {
+        let key = (pattern.fingerprint(), view.mark());
+        let cell: Cell = {
+            let mut entries = self.entries.lock().expect("cache poisoned");
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut evaluated = false;
+        let table = Arc::clone(cell.get_or_init(|| {
+            evaluated = true;
+            Arc::new(eval_pattern_indexed(
+                pattern,
+                view,
+                &Env::new(),
+                &EvalOptions::default(),
+                index,
+            ))
+        }));
+        if evaluated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        table
+    }
+
+    /// `(hits, misses)` so far — a miss is an actual pattern evaluation.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct `(pattern, state)` entries held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_xml::Document;
+    use weblab_xpath::parse_pattern;
+
+    fn doc() -> Document {
+        let mut d = Document::new("R");
+        let root = d.root();
+        d.register_resource(root, "r0", None).unwrap();
+        let a = d.append_element(root, "Item").unwrap();
+        d.register_resource(a, "r1", None).unwrap();
+        d
+    }
+
+    #[test]
+    fn second_eval_hits() {
+        let d = doc();
+        let p = parse_pattern("//Item").unwrap();
+        let cache = PatternCache::new();
+        let t1 = cache.eval(&p, &d.view(), None);
+        let t2 = cache.eval(&p, &d.view(), None);
+        assert_eq!(cache.stats(), (1, 1));
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t1.rows.len(), 1);
+    }
+
+    #[test]
+    fn growing_the_document_keys_a_fresh_entry() {
+        let mut d = doc();
+        let p = parse_pattern("//Item").unwrap();
+        let cache = PatternCache::new();
+        let before = cache.eval(&p, &d.view(), None);
+        assert_eq!(before.rows.len(), 1);
+
+        // Append another Item: the state mark changes, so the stale table
+        // must not be served for the new state.
+        let root = d.root();
+        let b = d.append_element(root, "Item").unwrap();
+        d.register_resource(b, "r2", None).unwrap();
+        let after = cache.eval(&p, &d.view(), None);
+        assert_eq!(after.rows.len(), 2, "cache served a stale table");
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 2);
+
+        // The old state's entry is still valid and still hittable.
+        let old_mark_table = cache.eval(&p, &d.view_at(before_mark(&d)), None);
+        assert_eq!(old_mark_table.rows.len(), 1);
+    }
+
+    fn before_mark(d: &Document) -> StateMark {
+        // the state with one fewer node and resource than final
+        let m = d.view().mark();
+        StateMark::from_counts(m.node_count() - 1, m.resource_count() - 1)
+    }
+
+    #[test]
+    fn distinct_patterns_do_not_collide() {
+        let d = doc();
+        let cache = PatternCache::new();
+        let p1 = parse_pattern("//Item").unwrap();
+        let p2 = parse_pattern("/R").unwrap();
+        let t1 = cache.eval(&p1, &d.view(), None);
+        let t2 = cache.eval(&p2, &d.view(), None);
+        assert_ne!(t1.rows, t2.rows);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn concurrent_requests_evaluate_once() {
+        let d = doc();
+        let p = parse_pattern("//Item").unwrap();
+        let cache = PatternCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(cache.eval(&p, &d.view(), None).rows.len(), 1);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 8 * 50 - 1);
+    }
+}

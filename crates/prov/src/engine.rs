@@ -20,17 +20,31 @@
 //! All three support *inherited provenance* (Section 4), either by the
 //! paper's `descendant-or-self::*` pattern extension or by a posthoc graph
 //! propagation that is proven equivalent in the property-test suite.
+//!
+//! Every strategy decomposes into independent evaluation units — (call ×
+//! rule) for the per-call strategies, (service × rule) for the grouped one
+//! — which the [`crate::executor`] fans out across scoped threads when
+//! [`EngineOptions::parallelism`] asks for it, and which share one
+//! [`PatternCache`] plus one lazily built [`ElementIndex`]. The temporal
+//! strategies exploit a structural fact of the rewriting
+//! (`add_source_constraints` / `add_target_constraints` only ever append a
+//! predicate on the **last** step, testing the result node's effective
+//! time/label): instead of evaluating a freshly rewritten pattern per call,
+//! they evaluate each rule's *unconstrained* patterns once, cache the
+//! tables, and recover every call's result by filtering shared rows.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
 
 use weblab_xml::{DocView, Document, NodeId, Timestamp};
 use weblab_xpath::{
-    add_source_constraints, add_target_constraints, effective_label, effective_time, eval_pattern,
-    eval_pattern_indexed, extend_descendant_or_self, BindingTable, ElementIndex, Env,
-    EvalOptions,
+    effective_label, effective_time, eval_pattern, extend_descendant_or_self, BindingRow,
+    ElementIndex,
 };
 
-use crate::algebra::{join_tables, JoinAlgorithm, ProvLink};
+use crate::algebra::{join_rows, join_tables, join_tables_where, JoinAlgorithm, ProvLink};
+use crate::cache::PatternCache;
+use crate::executor::{run_units, Parallelism};
 use crate::graph::ProvenanceGraph;
 use crate::rule::MappingRule;
 use crate::ruleset::RuleSet;
@@ -81,6 +95,10 @@ pub struct EngineOptions {
     /// query optimization techniques … indexing" of Section 6). Disable
     /// for the X2 ablation.
     pub use_index: bool,
+    /// How evaluation units are scheduled: sequentially (the default), or
+    /// across a scoped-thread worker pool. Output is byte-identical either
+    /// way.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineOptions {
@@ -90,17 +108,37 @@ impl Default for EngineOptions {
             inherit: InheritMode::Off,
             join: JoinAlgorithm::Hash,
             use_index: true,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
 
-/// Evaluate a pattern with the engine's shared index, if enabled.
-fn eval_with_index(
-    pattern: &weblab_xpath::Pattern,
-    view: &DocView<'_>,
-    index: Option<&ElementIndex>,
-) -> BindingTable {
-    eval_pattern_indexed(pattern, view, &Env::new(), &EvalOptions::default(), index)
+/// Read-only evaluation state shared by every unit of one inference run:
+/// the pattern cache, and the element index built lazily by whichever
+/// worker first needs it (all others block on the `OnceLock` and then share
+/// it read-only).
+struct SharedEval {
+    use_index: bool,
+    index: OnceLock<Option<ElementIndex>>,
+    cache: PatternCache,
+}
+
+impl SharedEval {
+    fn new(use_index: bool) -> Self {
+        SharedEval {
+            use_index,
+            index: OnceLock::new(),
+            cache: PatternCache::new(),
+        }
+    }
+
+    /// The shared index over `view` (the final document — its index is
+    /// exact for every earlier state view), or `None` when disabled.
+    fn index(&self, view: &DocView<'_>) -> Option<&ElementIndex> {
+        self.index
+            .get_or_init(|| self.use_index.then(|| ElementIndex::build(view)))
+            .as_ref()
+    }
 }
 
 /// Definition 8: apply a mapping rule to two document states, producing
@@ -247,43 +285,43 @@ fn replay_links(
     opts: &EngineOptions,
     materialize: bool,
 ) -> Vec<ProvLink> {
-    // the final-document index is exact for every earlier state view
-    let index = (opts.use_index && !materialize).then(|| ElementIndex::build(&doc.view()));
-    let mut out = Vec::new();
-    for call in calls {
+    let final_view = doc.view();
+    // the final-document index is exact for every earlier state view;
+    // materialized copies have their own arenas, so no index for them
+    let shared = SharedEval::new(opts.use_index && !materialize);
+    let units: Vec<(&CallRecord, &MappingRule)> = calls
+        .iter()
+        .flat_map(|c| rules.rules_for(&c.service).iter().map(move |r| (c, r)))
+        .collect();
+    let out = run_units(opts.parallelism, units.len(), |i| {
+        let (call, rule) = units[i];
         let produced: HashSet<NodeId> = call.produced.iter().copied().collect();
         // The input state's structure with the output state's uri function:
         // promotions performed during the call (node 3 → r3 in Figure 4)
         // identify source resources exactly as the posthoc strategies see
         // them on the final document.
         let input_mark = call.input.with_resources_of(call.output);
-        for rule in rules.rules_for(&call.service) {
-            let rule = effective_rule(rule, opts.inherit);
-            let links = if materialize {
-                let before = doc.materialize_state(input_mark);
-                let after = doc.materialize_state(call.output);
-                document_state_provenance(&rule, &before.view(), &after.view(), opts.join)
-            } else {
-                let s = eval_with_index(&rule.source, &doc.view_at(input_mark), index.as_ref());
-                let t = eval_with_index(&rule.target, &doc.view_at(call.output), index.as_ref());
-                join_tables(&s, &t, opts.join)
-            };
-            let view = doc.view_at(call.output);
-            let links: Vec<ProvLink> = links
-                .into_iter()
-                .filter(|l| match opts.inherit {
-                    InheritMode::PatternRewrite => within_produced(&view, l.from, &produced),
-                    _ => produced.contains(&l.from),
-                })
-                .collect();
-            out.extend(filter_links_by_channel(
-                &doc.view(),
-                links,
-                &call.channel,
-                channel_map,
-            ));
-        }
-    }
+        let rule = effective_rule(rule, opts.inherit);
+        let links = if materialize {
+            let before = doc.materialize_state(input_mark);
+            let after = doc.materialize_state(call.output);
+            document_state_provenance(&rule, &before.view(), &after.view(), opts.join)
+        } else {
+            let index = shared.index(&final_view);
+            let s = shared.cache.eval(&rule.source, &doc.view_at(input_mark), index);
+            let t = shared.cache.eval(&rule.target, &doc.view_at(call.output), index);
+            join_tables(&s, &t, opts.join)
+        };
+        let view = doc.view_at(call.output);
+        let links: Vec<ProvLink> = links
+            .into_iter()
+            .filter(|l| match opts.inherit {
+                InheritMode::PatternRewrite => within_produced(&view, l.from, &produced),
+                _ => produced.contains(&l.from),
+            })
+            .collect();
+        filter_links_by_channel(&final_view, links, &call.channel, channel_map)
+    });
     finish(out, doc, opts)
 }
 
@@ -295,23 +333,35 @@ fn temporal_links(
     opts: &EngineOptions,
 ) -> Vec<ProvLink> {
     let final_view = doc.view();
-    let index = opts.use_index.then(|| ElementIndex::build(&final_view));
-    let mut out = Vec::new();
-    for call in calls {
-        for rule in rules.rules_for(&call.service) {
-            let rule = effective_rule(rule, opts.inherit);
-            let src = add_source_constraints(&rule.source, call.time);
-            let tgt = add_target_constraints(&rule.target, &call.service, call.time);
-            let s = eval_with_index(&src, &final_view, index.as_ref());
-            let t = eval_with_index(&tgt, &final_view, index.as_ref());
-            out.extend(filter_links_by_channel(
-                &final_view,
-                join_tables(&s, &t, opts.join),
-                &call.channel,
-                channel_map,
-            ));
-        }
-    }
+    let shared = SharedEval::new(opts.use_index);
+    let units: Vec<(&CallRecord, &MappingRule)> = calls
+        .iter()
+        .flat_map(|c| rules.rules_for(&c.service).iter().map(move |r| (c, r)))
+        .collect();
+    let out = run_units(opts.parallelism, units.len(), |i| {
+        let (call, rule) = units[i];
+        let rule = effective_rule(rule, opts.inherit);
+        let index = shared.index(&final_view);
+        // One unconstrained evaluation per rule pattern, shared by every
+        // call through the cache. Filtering its rows *is* the temporal
+        // rewriting: `add_source_constraints` appends `[@t < t_i]` and
+        // `add_target_constraints` appends `[@s = s and @t = t_i]` to the
+        // last step only, and both test the row's result node.
+        let s_all = shared.cache.eval(&rule.source, &final_view, index);
+        let t_all = shared.cache.eval(&rule.target, &final_view, index);
+        let links = join_tables_where(
+            &s_all,
+            &t_all,
+            opts.join,
+            |r| effective_time(&final_view, r.node) < call.time,
+            |r| {
+                effective_label(&final_view, r.node)
+                    .map(|l| l.service == call.service && l.time == call.time)
+                    .unwrap_or(false)
+            },
+        );
+        filter_links_by_channel(&final_view, links, &call.channel, channel_map)
+    });
     finish(out, doc, opts)
 }
 
@@ -323,66 +373,65 @@ fn grouped_links(
     opts: &EngineOptions,
 ) -> Vec<ProvLink> {
     let final_view = doc.view();
-    let index = opts.use_index.then(|| ElementIndex::build(&final_view));
+    let shared = SharedEval::new(opts.use_index);
     let channel_of_call: HashMap<Timestamp, &str> = calls
         .iter()
         .map(|c| (c.time, c.channel.as_str()))
         .collect();
     // calls grouped by service, with their instants
-    let mut calls_by_service: BTreeMap<&str, Vec<Timestamp>> = BTreeMap::new();
+    let mut calls_by_service: BTreeMap<&str, HashSet<Timestamp>> = BTreeMap::new();
     for call in calls {
         calls_by_service
             .entry(call.service.as_str())
             .or_default()
-            .push(call.time);
+            .insert(call.time);
     }
-    let mut out = Vec::new();
-    for (service, times) in calls_by_service {
-        let times: HashSet<Timestamp> = times.into_iter().collect();
-        for rule in rules.rules_for(service) {
-            let rule = effective_rule(rule, opts.inherit);
-            // one evaluation per rule on the final state
-            let src_all = eval_with_index(&rule.source, &final_view, index.as_ref());
-            let tgt_all = eval_with_index(&rule.target, &final_view, index.as_ref());
-            // bucket target rows by their producing instant
-            let mut buckets: HashMap<Timestamp, BindingTable> = HashMap::new();
-            for row in &tgt_all.rows {
-                let Some(label) = effective_label(&final_view, row.node) else {
-                    continue;
-                };
-                if label.service != service || !times.contains(&label.time) {
-                    continue;
-                }
-                buckets
-                    .entry(label.time)
-                    .or_insert_with(|| {
-                        let mut t = BindingTable::with_columns(tgt_all.columns.clone());
-                        t.skolem_columns = tgt_all.skolem_columns.clone();
-                        t
-                    })
-                    .rows
-                    .push(row.clone());
+    let units: Vec<(&str, &HashSet<Timestamp>, &MappingRule)> = calls_by_service
+        .iter()
+        .flat_map(|(service, times)| {
+            rules
+                .rules_for(service)
+                .iter()
+                .map(move |r| (*service, times, r))
+        })
+        .collect();
+    let out = run_units(opts.parallelism, units.len(), |i| {
+        let (service, times, rule) = units[i];
+        let rule = effective_rule(rule, opts.inherit);
+        let index = shared.index(&final_view);
+        // one evaluation per rule on the final state
+        let src_all = shared.cache.eval(&rule.source, &final_view, index);
+        let tgt_all = shared.cache.eval(&rule.target, &final_view, index);
+        // bucket target rows by their producing instant — borrowed rows,
+        // never copies
+        let mut buckets: BTreeMap<Timestamp, Vec<&BindingRow>> = BTreeMap::new();
+        for row in &tgt_all.rows {
+            let Some(label) = effective_label(&final_view, row.node) else {
+                continue;
+            };
+            if label.service != service || !times.contains(&label.time) {
+                continue;
             }
-            // per call instant, filter the shared source table by time
-            for (time, tgt) in buckets {
-                let mut src = BindingTable::with_columns(src_all.columns.clone());
-                src.skolem_columns = src_all.skolem_columns.clone();
-                src.rows = src_all
-                    .rows
-                    .iter()
-                    .filter(|r| effective_time(&final_view, r.node) < time)
-                    .cloned()
-                    .collect();
-                let call_channel = channel_of_call.get(&time).copied().unwrap_or("");
-                out.extend(filter_links_by_channel(
-                    &final_view,
-                    join_tables(&src, &tgt, opts.join),
-                    call_channel,
-                    channel_map,
-                ));
-            }
+            buckets.entry(label.time).or_default().push(row);
         }
-    }
+        // per call instant, filter the shared source table by time
+        let mut out = Vec::new();
+        for (time, t_rows) in buckets {
+            let s_rows: Vec<&BindingRow> = src_all
+                .rows
+                .iter()
+                .filter(|r| effective_time(&final_view, r.node) < time)
+                .collect();
+            let call_channel = channel_of_call.get(&time).copied().unwrap_or("");
+            out.extend(filter_links_by_channel(
+                &final_view,
+                join_rows(&src_all, &s_rows, &tgt_all, &t_rows, opts.join),
+                call_channel,
+                channel_map,
+            ));
+        }
+        out
+    });
     finish(out, doc, opts)
 }
 

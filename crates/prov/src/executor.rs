@@ -1,0 +1,133 @@
+//! Scoped-thread parallel execution of inference work units.
+//!
+//! Every strategy in [`crate::engine`] decomposes into independent
+//! *evaluation units* — (call × rule) for `StateReplay` and
+//! `TemporalRewrite`, (service × rule) for `GroupedSinglePass` — each
+//! producing a private buffer of [`ProvLink`]s over shared read-only state
+//! (the final [`weblab_xml::Document`], the rule set, the element index and
+//! the pattern cache). [`run_units`] fans those units out across a
+//! `std::thread::scope` worker pool and merges the buffers **in unit
+//! order**, so the combined link stream is identical to sequential
+//! execution regardless of scheduling; the engine's final sort + dedup then
+//! guarantees byte-identical `ProvenanceGraph` output.
+//!
+//! Workers pull unit indices from a shared atomic counter (work stealing by
+//! subtraction): units vary wildly in cost — a call that appended one
+//! resource versus one that appended hundreds — and static chunking would
+//! leave threads idle behind the largest unit.
+//!
+//! Std-only by design: the build environment has no registry access, and
+//! Rust ≥ 1.63 scoped threads make a dependency-free pool small enough to
+//! carry in-tree.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::algebra::ProvLink;
+
+/// Degree of parallelism for provenance inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run every unit on the calling thread (the reference behaviour).
+    #[default]
+    Sequential,
+    /// Use exactly `n` worker threads (`Threads(0)` and `Threads(1)` are
+    /// both sequential).
+    Threads(usize),
+    /// Use `std::thread::available_parallelism()` workers.
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of worker threads this setting resolves to.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Evaluate `unit(0..n_units)` and concatenate the results in unit order.
+///
+/// `unit` must be a pure function of its index over shared read-only state;
+/// it runs concurrently on multiple threads when `par` resolves to more
+/// than one worker. The output is exactly
+/// `(0..n_units).flat_map(unit).collect()` — scheduling cannot reorder it.
+pub fn run_units<F>(par: Parallelism, n_units: usize, unit: F) -> Vec<ProvLink>
+where
+    F: Fn(usize) -> Vec<ProvLink> + Sync,
+{
+    let workers = par.worker_count().min(n_units);
+    if workers <= 1 {
+        return (0..n_units).flat_map(unit).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<ProvLink>)>> = Mutex::new(Vec::with_capacity(n_units));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Collect locally, publish once per worker: the mutex is
+                // touched `workers` times, not `n_units` times.
+                let mut local: Vec<(usize, Vec<ProvLink>)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_units {
+                        break;
+                    }
+                    local.push((idx, unit(idx)));
+                }
+                results.lock().expect("worker panicked").extend(local);
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("worker panicked");
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().flat_map(|(_, links)| links).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_xml::NodeId;
+
+    fn mk(i: usize) -> Vec<ProvLink> {
+        // deliberately uneven unit sizes
+        (0..i % 3)
+            .map(|j| ProvLink {
+                from: NodeId::from_index(i),
+                from_uri: format!("u{i}"),
+                to: NodeId::from_index(j),
+                to_uri: format!("v{j}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_is_in_unit_order() {
+        let seq = run_units(Parallelism::Sequential, 100, mk);
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(run_units(Parallelism::Threads(workers), 100, mk), seq);
+        }
+        assert_eq!(run_units(Parallelism::Auto, 100, mk), seq);
+    }
+
+    #[test]
+    fn zero_units_is_empty() {
+        assert!(run_units(Parallelism::Auto, 0, mk).is_empty());
+    }
+
+    #[test]
+    fn worker_counts_resolve() {
+        assert_eq!(Parallelism::Sequential.worker_count(), 1);
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert_eq!(Parallelism::Threads(6).worker_count(), 6);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+    }
+}

@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 mod algebra;
+mod cache;
 mod engine;
+mod executor;
 mod graph;
 pub mod paper_example;
 pub mod query;
@@ -48,12 +50,14 @@ pub mod storage;
 mod trace;
 pub mod views;
 
-pub use algebra::{join_tables, JoinAlgorithm, ProvLink};
+pub use algebra::{join_tables, join_tables_where, JoinAlgorithm, ProvLink};
+pub use cache::PatternCache;
 pub use engine::{
     document_state_provenance, filter_links_by_channel, infer_links_since, infer_provenance,
     propagate_inherited,
     service_call_provenance, EngineOptions, InheritMode, Strategy,
 };
+pub use executor::{run_units, Parallelism};
 pub use graph::{ProvenanceGraph, SourceEntry};
 pub use rule::{MappingRule, RuleError};
 pub use ruleset::RuleSet;

@@ -13,9 +13,7 @@
 
 use std::sync::Mutex;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SplitMix64;
 use weblab_prov::RuleSet;
 use weblab_xml::{CallLabel, Document};
 
@@ -34,7 +32,7 @@ const FR_WORDS: &[&str] = &[
 ];
 
 /// Generate pseudo-natural text of `words` words in the given language.
-pub fn generate_text(rng: &mut StdRng, words: usize, lang: &str) -> String {
+pub fn generate_text(rng: &mut SplitMix64, words: usize, lang: &str) -> String {
     let pool = if lang == "fr" { FR_WORDS } else { EN_WORDS };
     let mut out = Vec::with_capacity(words);
     for i in 0..words {
@@ -50,7 +48,7 @@ pub fn generate_text(rng: &mut StdRng, words: usize, lang: &str) -> String {
 /// Build an initial corpus document: a `Resource` root with `MetaData` and
 /// `n_native` identified `NativeContent` resources labelled `(Source, 0)`.
 pub fn generate_corpus(seed: u64, n_native: usize, words_each: usize) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut d = Document::new("Resource");
     let root = d.root();
     d.register_resource(root, "weblab://doc/0", None).unwrap();
@@ -77,7 +75,7 @@ pub fn generate_corpus(seed: u64, n_native: usize, words_each: usize) -> Documen
 /// and audio payloads carry embedded captions/transcripts that the OCR and
 /// speech services "extract".
 pub fn generate_mixed_corpus(seed: u64, n_each: usize, words_each: usize) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut d = Document::new("Resource");
     let root = d.root();
     d.register_resource(root, "weblab://doc/mixed", None).unwrap();
@@ -110,7 +108,7 @@ pub fn generate_mixed_corpus(seed: u64, n_each: usize, words_each: usize) -> Doc
 /// deliberately avoided: Definition 9 only links a call's outputs to
 /// resources of its *input* state.)
 pub struct SyntheticService {
-    rng: Mutex<StdRng>,
+    rng: Mutex<SplitMix64>,
     fanout: usize,
     payload_words: usize,
 }
@@ -119,7 +117,7 @@ impl SyntheticService {
     /// Create a service with the given per-call fan-out and payload size.
     pub fn new(seed: u64, fanout: usize, payload_words: usize) -> Self {
         SyntheticService {
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new(SplitMix64::seed_from_u64(seed)),
             fanout,
             payload_words,
         }

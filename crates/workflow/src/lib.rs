@@ -40,6 +40,7 @@
 
 pub mod generator;
 mod orchestrator;
+pub mod rng;
 mod service;
 pub mod services;
 pub mod text;

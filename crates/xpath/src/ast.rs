@@ -275,6 +275,17 @@ impl Pattern {
     pub fn last_step(&self) -> Option<&Step> {
         self.steps.last()
     }
+
+    /// A 64-bit structural fingerprint. Two patterns with equal ASTs hash
+    /// identically, so (fingerprint, state mark) keys the inference
+    /// engine's shared pattern-evaluation cache. Stable only within a
+    /// process — never persist it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 // ---------------------------------------------------------------------

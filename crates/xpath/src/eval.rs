@@ -18,7 +18,9 @@
 //! the instant of the call that appended them); unlabelled initial content
 //! has effective instant 0.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 
 use weblab_xml::{DocView, NodeId};
 
@@ -44,12 +46,58 @@ impl Default for EvalOptions {
     }
 }
 
-/// A binding environment: variable name → value. Small and cloned per
-/// branch; patterns bind a handful of variables at most.
+/// A binding environment: variable name → value. Small; patterns bind a
+/// handful of variables at most.
 pub type Env = Vec<(String, Value)>;
 
-fn env_get<'e>(env: &'e Env, name: &str) -> Option<&'e Value> {
-    env.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+/// Internal persistent environment: a parent-linked chain of binding
+/// frames. A step that binds nothing extends a context by cloning an `Rc`
+/// instead of the whole environment, and sibling embeddings share their
+/// common prefix.
+struct Frame {
+    parent: Option<Rc<Frame>>,
+    slots: Vec<(String, Value)>,
+}
+
+impl Frame {
+    fn from_env(env: &Env) -> Rc<Frame> {
+        Rc::new(Frame {
+            parent: None,
+            slots: env.clone(),
+        })
+    }
+
+    /// Innermost binding of `name` (later frames and later slots shadow
+    /// earlier ones, matching push-order lookup on a flat `Env`).
+    fn get(&self, name: &str) -> Option<&Value> {
+        let mut frame = self;
+        loop {
+            if let Some(v) = frame
+                .slots
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+            {
+                return Some(v);
+            }
+            match &frame.parent {
+                Some(p) => frame = p,
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Lookup across the bindings a candidate is accumulating this step plus
+/// the inherited frame chain.
+fn lookup<'a>(slots: &'a [(String, Value)], frame: &'a Frame, name: &str) -> Option<&'a Value> {
+    slots
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .or_else(|| frame.get(name))
 }
 
 /// Evaluate `pattern` over `view` with default options and empty
@@ -107,57 +155,58 @@ pub fn eval_pattern_indexed(
     table.skolem_columns = skolem_columns;
 
     // contexts: None = virtual node above the root.
-    let mut contexts: Vec<(Option<NodeId>, Env)> = vec![(None, env.to_vec())];
+    let mut contexts: Vec<(Option<NodeId>, Rc<Frame>)> = vec![(None, Frame::from_env(env))];
     for step in &pattern.steps {
-        let mut next: Vec<(Option<NodeId>, Env)> = Vec::new();
+        let mut next: Vec<(Option<NodeId>, Rc<Frame>)> = Vec::new();
         let step_ctx = StepCtx::new(step);
-        for (ctx, env) in &contexts {
-            for cand in candidates(view, *ctx, step.axis, &step.test, index) {
+        for (ctx, frame) in &contexts {
+            for_each_candidate(view, *ctx, step.axis, &step.test, index, |cand| {
                 let Some(name) = view.name(cand) else {
-                    continue; // text nodes never match name tests
+                    return; // text nodes never match name tests
                 };
                 if !step.test.matches(name) {
-                    continue;
+                    return;
                 }
                 if !step
                     .predicates
                     .iter()
-                    .all(|p| eval_predicate(p, view, cand, &step_ctx, env))
+                    .all(|p| eval_predicate(p, view, cand, &step_ctx, frame))
                 {
-                    continue;
+                    return;
                 }
-                let mut new_env = env.clone();
-                let mut ok = true;
+                // Bindings this candidate adds; empty for most steps, in
+                // which case the context is extended by an `Rc` clone.
+                let mut slots: Vec<(String, Value)> = Vec::new();
                 for a in &step.assignments {
-                    let Some(v) = binding_value(view, cand, &step_ctx, env, &a.source) else {
-                        ok = false; // condition (2): attribute must exist
-                        break;
+                    let Some(v) = binding_value(view, cand, &step_ctx, frame, &a.source)
+                    else {
+                        return; // condition (2): attribute must exist
                     };
                     match &a.target {
                         AssignTarget::Var(var) => {
-                            if let Some(existing) = env_get(&new_env, var) {
+                            if let Some(existing) = lookup(&slots, frame, var) {
                                 if !existing.sem_eq(&v) {
-                                    ok = false;
-                                    break;
+                                    return;
                                 }
                             } else {
-                                new_env.push((var.clone(), v));
+                                slots.push((var.clone(), v));
                             }
                         }
                         AssignTarget::Skolem { fun, args } => {
                             // If every argument is already bound, check the
                             // constraint right away; otherwise defer to the
                             // join by recording the raw value.
-                            let bound: Vec<_> =
-                                args.iter().filter_map(|x| env_get(&new_env, x)).collect();
+                            let bound: Vec<_> = args
+                                .iter()
+                                .filter_map(|x| lookup(&slots, frame, x))
+                                .collect();
                             if bound.len() == args.len() {
                                 let term = Value::skolem(
                                     fun.clone(),
                                     bound.into_iter().cloned().collect(),
                                 );
                                 if !term.sem_eq(&v) {
-                                    ok = false;
-                                    break;
+                                    return;
                                 }
                             }
                             let col = format!(
@@ -167,14 +216,20 @@ pub fn eval_pattern_indexed(
                                     .collect::<Vec<_>>()
                                     .join(",")
                             );
-                            new_env.push((col, v));
+                            slots.push((col, v));
                         }
                     }
                 }
-                if ok {
-                    next.push((Some(cand), new_env));
-                }
-            }
+                let new_frame = if slots.is_empty() {
+                    Rc::clone(frame)
+                } else {
+                    Rc::new(Frame {
+                        parent: Some(Rc::clone(frame)),
+                        slots,
+                    })
+                };
+                next.push((Some(cand), new_frame));
+            });
         }
         contexts = next;
         if contexts.is_empty() {
@@ -182,8 +237,10 @@ pub fn eval_pattern_indexed(
         }
     }
 
-    let mut seen: HashSet<BindingRow> = HashSet::new();
-    for (node, env) in contexts {
+    // Dedup without cloning rows: bucket row indices by hash, compare
+    // against the rows already in the table.
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (node, frame) in contexts {
         let Some(node) = node else { continue };
         let uri = match view.uri(node) {
             Some(u) => u.to_string(),
@@ -193,37 +250,44 @@ pub fn eval_pattern_indexed(
         let values: Vec<Value> = table
             .columns
             .iter()
-            .map(|c| env_get(&env, c).cloned().unwrap_or(Value::Str(String::new())))
+            .map(|c| frame.get(c).cloned().unwrap_or(Value::Str(String::new())))
             .collect();
         let row = BindingRow { node, uri, values };
-        if seen.insert(row.clone()) {
-            table.rows.push(row);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        row.hash(&mut hasher);
+        let bucket = seen.entry(hasher.finish()).or_default();
+        if bucket.iter().any(|&i| table.rows[i] == row) {
+            continue;
         }
+        bucket.push(table.rows.len());
+        table.rows.push(row);
     }
     table
 }
 
-/// Candidate nodes reached from `ctx` along `axis` at state `view`.
-/// Root-anchored descendant steps consult the element index when one is
-/// supplied, replacing the whole-document scan with a name lookup.
-fn candidates(
+/// Visit the candidate nodes reached from `ctx` along `axis` at state
+/// `view`, without materialising the node set. Root-anchored descendant
+/// steps consult the element index when one is supplied, replacing the
+/// whole-document scan with a name lookup.
+fn for_each_candidate(
     view: &DocView<'_>,
     ctx: Option<NodeId>,
     axis: Axis,
     test: &NodeTest,
     index: Option<&ElementIndex>,
-) -> Vec<NodeId> {
+    mut f: impl FnMut(NodeId),
+) {
     match (ctx, axis) {
-        (None, Axis::Child) => vec![view.root()],
+        (None, Axis::Child) => f(view.root()),
         (None, Axis::Descendant) | (None, Axis::DescendantOrSelf) => match (index, test) {
-            (Some(idx), NodeTest::Name(name)) => idx.nodes_named(name, view),
-            (Some(idx), NodeTest::Wildcard) => idx.all_elements(view),
+            (Some(idx), NodeTest::Name(name)) => idx.nodes_named(name, view).into_iter().for_each(f),
+            (Some(idx), NodeTest::Wildcard) => idx.all_elements(view).into_iter().for_each(f),
             // every node of the state, in document order
-            (None, _) => view.descendants(view.root()).collect(),
+            (None, _) => view.descendants(view.root()).for_each(f),
         },
-        (Some(n), Axis::Child) => view.children(n).to_vec(),
-        (Some(n), Axis::Descendant) => view.descendants(n).skip(1).collect(),
-        (Some(n), Axis::DescendantOrSelf) => view.descendants(n).collect(),
+        (Some(n), Axis::Child) => view.children(n).iter().copied().for_each(f),
+        (Some(n), Axis::Descendant) => view.descendants(n).skip(1).for_each(f),
+        (Some(n), Axis::DescendantOrSelf) => view.descendants(n).for_each(f),
     }
 }
 
@@ -274,7 +338,7 @@ fn mentions_position(p: &Predicate) -> bool {
 /// 1-based position of `node` among the siblings that satisfy the step
 /// context (node test + position-free predicates), relative to the
 /// evaluated state.
-fn position_of(view: &DocView<'_>, node: NodeId, ctx: &StepCtx<'_>, env: &Env) -> i64 {
+fn position_of(view: &DocView<'_>, node: NodeId, ctx: &StepCtx<'_>, env: &Frame) -> i64 {
     let Some(parent) = view.parent(node) else {
         return 1;
     };
@@ -342,7 +406,7 @@ fn binding_value(
     view: &DocView<'_>,
     node: NodeId,
     ctx: &StepCtx<'_>,
-    env: &Env,
+    env: &Frame,
     source: &BindingSource,
 ) -> Option<Value> {
     match source {
@@ -358,11 +422,11 @@ fn expr_values(
     view: &DocView<'_>,
     node: NodeId,
     ctx: &StepCtx<'_>,
-    env: &Env,
+    env: &Frame,
 ) -> Vec<Value> {
     match expr {
         ValueExpr::Attr(a) => attr_value(view, node, a).into_iter().collect(),
-        ValueExpr::Var(v) => env_get(env, v).cloned().into_iter().collect(),
+        ValueExpr::Var(v) => env.get(v).cloned().into_iter().collect(),
         ValueExpr::Literal(v) => vec![v.clone()],
         ValueExpr::Position => vec![Value::Int(position_of(view, node, ctx, env))],
         ValueExpr::PathText(p) => rel_path_nodes(p, view, node)
@@ -409,7 +473,7 @@ fn eval_predicate(
     view: &DocView<'_>,
     node: NodeId,
     ctx: &StepCtx<'_>,
-    env: &Env,
+    env: &Frame,
 ) -> bool {
     match pred {
         Predicate::Exists(p) => !rel_path_nodes(p, view, node).is_empty(),

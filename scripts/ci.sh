@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint, exactly as ROADMAP.md defines it. Run from anywhere;
+# works fully offline (all dependencies are workspace-local).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -45,10 +45,9 @@ def parse_simple(path: Path):
     ):
         group, rest, mid_v, mid_u = m.group(1), m.group(2), m.group(3), m.group(4)
         parts = rest.split("/")
-        if len(parts) == 2:
-            key = (group, parts[0], parts[1])
-        else:
-            key = (group, None, parts[0])
+        # last component is the parameter; anything before it is the
+        # function id (which may itself contain slashes, e.g. temporal/4)
+        key = (group, "/".join(parts[:-1]) or None, parts[-1])
         out[key] = f"{mid_v} {mid_u}"
     return out
 
@@ -155,6 +154,19 @@ def main():
         x9_params,
         "X9 — compact provenance storage (by link count)",
         "links"))
+
+    sections.append(table(
+        data, "x10_threads",
+        [("grouped_sequential", "grouped (seq)"),
+         ("percall_uncached", "per-call uncached"),
+         ("temporal/1", "temporal ×1"),
+         ("temporal/2", "temporal ×2"),
+         ("temporal/4", "temporal ×4"),
+         ("temporal/8", "temporal ×8"),
+         ("temporal/auto", "temporal auto")],
+        [48],
+        "X10 — executor thread sweep + pattern-cache ablation (48-call workload)",
+        "n calls"))
 
     exp = ROOT / "EXPERIMENTS.md"
     text = exp.read_text()

@@ -5,16 +5,20 @@
 //!     Run built-in media-mining services over a WebLab document and write
 //!     the stamped result (wl:id / wl:s / wl:t metadata included).
 //!
-//! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot]
+//! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]
 //!     Reconstruct the execution trace from the document's labels, apply
 //!     the mapping rules (built-in defaults, or a Service Catalog file) and
 //!     print the provenance graph.
 //!
-//! weblab query <stamped.xml> <sparql> [catalog.txt]
+//! weblab query <stamped.xml> <sparql> [catalog.txt] [--jobs N|auto]
 //!     Materialise the PROV-O graph and answer a SPARQL SELECT query.
 //!
-//! weblab why <stamped.xml> <resource-uri> [catalog.txt]
+//! weblab why <stamped.xml> <resource-uri> [catalog.txt] [--jobs N|auto]
 //!     Why-provenance: the justifying subgraph of one resource.
+//!
+//! `--jobs` (or `-j`) sets the inference engine's worker-thread count
+//! (`auto` = all available cores); the default is sequential. The output is
+//! byte-identical at any setting.
 //!
 //! weblab services
 //!     List the built-in services and their default mapping rules.
@@ -28,7 +32,7 @@ use std::process::ExitCode;
 
 use weblab::platform::ServiceCatalog;
 use weblab::prov::{
-    infer_provenance, query as provq, EngineOptions, ExecutionTrace, InheritMode,
+    infer_provenance, query as provq, EngineOptions, ExecutionTrace, InheritMode, Parallelism,
     ProvenanceGraph, RuleSet,
 };
 use weblab::rdf::{export_prov, parse_select, select, to_turtle, TripleStore};
@@ -112,7 +116,40 @@ fn rules_from(path: Option<&str>) -> Result<RuleSet, String> {
     }
 }
 
-fn build_graph(doc: &Document, rules: &RuleSet, inherit: bool) -> ProvenanceGraph {
+/// Parse a `--jobs` value: a worker-thread count, or `auto` for all cores.
+fn parse_jobs(v: &str) -> Result<Parallelism, String> {
+    if v.eq_ignore_ascii_case("auto") {
+        Ok(Parallelism::Auto)
+    } else {
+        v.parse::<usize>()
+            .map(Parallelism::Threads)
+            .map_err(|_| format!("--jobs expects a thread count or \"auto\", got {v:?}"))
+    }
+}
+
+/// Split positional arguments from a trailing/interspersed `--jobs` flag
+/// (commands whose other arguments are purely positional).
+fn split_jobs(args: &[String]) -> Result<(Vec<String>, Parallelism), String> {
+    let mut pos = Vec::new();
+    let mut jobs = Parallelism::Sequential;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                jobs = parse_jobs(it.next().ok_or("missing value for --jobs")?)?
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+    Ok((pos, jobs))
+}
+
+fn build_graph(
+    doc: &Document,
+    rules: &RuleSet,
+    inherit: bool,
+    jobs: Parallelism,
+) -> ProvenanceGraph {
     let trace = ExecutionTrace::reconstruct_from(doc);
     infer_provenance(
         doc,
@@ -124,6 +161,7 @@ fn build_graph(doc: &Document, rules: &RuleSet, inherit: bool) -> ProvenanceGrap
             } else {
                 InheritMode::Off
             },
+            parallelism: jobs,
             ..Default::default()
         },
     )
@@ -174,20 +212,24 @@ fn cmd_infer(args: &[String]) -> CliResult {
     let mut catalog = None;
     let mut inherit = false;
     let mut format = "table".to_string();
+    let mut jobs = Parallelism::Sequential;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--inherit" => inherit = true,
             "--format" => format = it.next().ok_or("missing value for --format")?.clone(),
+            "--jobs" | "-j" => {
+                jobs = parse_jobs(it.next().ok_or("missing value for --jobs")?)?
+            }
             other if input.is_none() => input = Some(other.to_string()),
             other if catalog.is_none() => catalog = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let input = input.ok_or("usage: weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot]")?;
+    let input = input.ok_or("usage: weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]")?;
     let doc = read_doc(&input)?;
     let rules = rules_from(catalog.as_deref())?;
-    let graph = build_graph(&doc, &rules, inherit);
+    let graph = build_graph(&doc, &rules, inherit, jobs);
     match format.as_str() {
         "table" => emit(&graph.to_string())?,
         "turtle" => emit(&format!("{}\n", to_turtle(&export_prov(&graph))))?,
@@ -202,13 +244,14 @@ fn cmd_infer(args: &[String]) -> CliResult {
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
-    let input = args
+    let (pos, jobs) = split_jobs(args)?;
+    let input = pos
         .first()
-        .ok_or("usage: weblab query <stamped.xml> <sparql> [catalog.txt]")?;
-    let sparql = args.get(1).ok_or("missing SPARQL query")?;
+        .ok_or("usage: weblab query <stamped.xml> <sparql> [catalog.txt] [--jobs N|auto]")?;
+    let sparql = pos.get(1).ok_or("missing SPARQL query")?;
     let doc = read_doc(input)?;
-    let rules = rules_from(args.get(2).map(String::as_str))?;
-    let graph = build_graph(&doc, &rules, false);
+    let rules = rules_from(pos.get(2).map(String::as_str))?;
+    let graph = build_graph(&doc, &rules, false, jobs);
     let mut store = TripleStore::new();
     store.extend(export_prov(&graph));
     let q = parse_select(sparql).map_err(|e| e.to_string())?;
@@ -225,13 +268,14 @@ fn cmd_query(args: &[String]) -> CliResult {
 }
 
 fn cmd_why(args: &[String]) -> CliResult {
-    let input = args
+    let (pos, jobs) = split_jobs(args)?;
+    let input = pos
         .first()
-        .ok_or("usage: weblab why <stamped.xml> <resource-uri> [catalog.txt]")?;
-    let uri = args.get(1).ok_or("missing resource uri")?;
+        .ok_or("usage: weblab why <stamped.xml> <resource-uri> [catalog.txt] [--jobs N|auto]")?;
+    let uri = pos.get(1).ok_or("missing resource uri")?;
     let doc = read_doc(input)?;
-    let rules = rules_from(args.get(2).map(String::as_str))?;
-    let graph = build_graph(&doc, &rules, true);
+    let rules = rules_from(pos.get(2).map(String::as_str))?;
+    let graph = build_graph(&doc, &rules, true, jobs);
     let w = provq::why(&graph, uri);
     let mut out = format!("why-provenance of {uri}:\n");
     out.push_str(&format!("  resources ({}):\n", w.resources.len()));
