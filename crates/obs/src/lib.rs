@@ -1,0 +1,145 @@
+//! # weblab-obs — in-tree observability for the WebLab PROV engine
+//!
+//! Offline, std-only metrics and span tracing, following the workspace's
+//! `criterion`/`proptest` shim philosophy: no registry dependencies, the
+//! whole layer is carried in-tree. It provides
+//!
+//! * [`Counter`] — monotone `u64` event counters,
+//! * [`Gauge`] — signed instantaneous values (e.g. in-flight spans),
+//! * [`Histogram`] — `u64` value distributions over power-of-two buckets
+//!   (used both for durations in nanoseconds and for sizes in nodes/links),
+//! * [`Span`] — RAII timers recording their elapsed time into a histogram
+//!   and tracking an optional in-flight gauge,
+//! * [`Snapshot`] — a stable, name-sorted capture of every registered
+//!   metric, renderable as machine-readable JSON or a human table.
+//!
+//! ## Cost model
+//!
+//! Collection is **off by default**. Every metric operation first loads one
+//! process-global relaxed [`AtomicBool`]; when collection is disabled that
+//! load-and-branch is the entire cost, so instrumented hot paths (pattern
+//! evaluation, per-node candidate visits) stay within noise of the
+//! uninstrumented build. When enabled, counters are single relaxed
+//! `fetch_add`s and histograms a handful of them.
+//!
+//! ## Registration
+//!
+//! Metrics are `static`s that register themselves in the global registry on
+//! first touch (Rust has no life-before-main), so a snapshot lists exactly
+//! the metrics the run exercised. Dynamically named metrics (per-service
+//! timings) are interned once and leaked — the set of service names is
+//! small and bounded.
+//!
+//! ## Determinism
+//!
+//! Over the deterministic inference engine, event counters are themselves
+//! deterministic — the same workload produces the *exact* same counter
+//! values at any worker count — which makes snapshots assertable in tests
+//! (see `tests/metrics_golden.rs`): the observability layer doubles as a
+//! correctness oracle in the spirit of execution traces in *Provenance
+//! Traces* (Cheney et al.). Durations are wall-clock and excluded from such
+//! assertions; histogram *counts* and size-histogram sums are fair game.
+//!
+//! ```
+//! use weblab_obs as obs;
+//!
+//! static LOOKUPS: obs::Counter = obs::Counter::new("example.lookups");
+//!
+//! obs::enable();
+//! LOOKUPS.add(3);
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("example.lookups"), 3);
+//! obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{counter, gauge, histogram};
+pub use snapshot::{snapshot, HistogramSnapshot, Snapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-global collection switch. Relaxed ordering is sufficient:
+/// metrics tolerate a stale read for a few operations around a toggle, and
+/// tests that assert exact values enable collection before running the
+/// measured workload.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric collection on for the whole process.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn metric collection off (metrics keep their accumulated values).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is collection currently enabled? This is the single relaxed-atomic
+/// branch every metric operation pays when disabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every registered metric (they stay registered). Intended for tests
+/// and for the CLI's per-invocation report; concurrent mutation during a
+/// reset is not an error, merely attributed to one side or the other.
+pub fn reset() {
+    registry::for_each(|m| m.reset());
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! The obs unit tests mutate process-global state (the enable flag and
+    //! the registered metrics); this lock serialises them.
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C: Counter = Counter::new("lib.test.counter");
+
+    #[test]
+    fn disabled_operations_are_dropped() {
+        let _g = test_lock::hold();
+        disable();
+        C.inc();
+        assert_eq!(C.get(), 0);
+        enable();
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+        disable();
+        C.inc();
+        assert_eq!(C.get(), 5);
+        C.reset();
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let _g = test_lock::hold();
+        enable();
+        C.add(7);
+        reset();
+        assert_eq!(C.get(), 0);
+        assert_eq!(snapshot().counter("lib.test.counter"), 0);
+        disable();
+    }
+}

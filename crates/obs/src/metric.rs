@@ -1,0 +1,337 @@
+//! The metric primitives: counters, gauges and power-of-two histograms.
+//!
+//! Every primitive is a `const`-constructible static with a lazy
+//! self-registration bit: the first touch *while collection is enabled*
+//! publishes the metric to the global registry, so snapshots list exactly
+//! the metrics a run exercised. All arithmetic is relaxed — metrics are
+//! independent monotone accumulators, never used for synchronisation.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use crate::registry::{self, MetricRef};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values `v`
+/// with `floor(log2(max(v,1))) == i`, the last bucket absorbing the tail.
+/// 40 buckets cover a dynamic range of `2^40` — nanosecond spans up to
+/// ~18 minutes, node counts up to a trillion.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fresh all-zero bucket array, const so the statics can use it.
+/// The interior-mutability-in-const pattern is deliberate: the const is a
+/// *template* copied into each histogram, never a shared cell.
+#[allow(clippy::declare_interior_mutable_const)]
+const fn zero_buckets() -> [AtomicU64; HISTOGRAM_BUCKETS] {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; HISTOGRAM_BUCKETS]
+}
+
+/// A monotone event counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A counter named `name` (dotted lowercase, e.g. `prov.cache.hits`).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// A counter the registry has already published (dynamic interning
+    /// registers eagerly, so the first-touch path must not re-register).
+    pub(crate) const fn new_registered(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(true),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` events (no-op while collection is disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register(MetricRef::Counter(self));
+        }
+    }
+}
+
+/// A signed instantaneous value (e.g. spans currently in flight).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A gauge named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// See [`Counter::new_registered`].
+    pub(crate) const fn new_registered(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(true),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Shift the gauge by `delta` (no-op while collection is disabled).
+    #[inline]
+    pub fn add(&'static self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.raw_add(delta);
+        self.ensure_registered();
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&'static self) {
+        self.add(-1);
+    }
+
+    /// Ungated shift — used by [`crate::Span`]'s drop path so a gauge
+    /// incremented at span start is always decremented at span end, even if
+    /// collection was toggled off in between (in-flight accounting must
+    /// balance or the "no leaked spans" invariant would report false
+    /// positives).
+    #[inline]
+    pub(crate) fn raw_add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register(MetricRef::Gauge(self));
+        }
+    }
+}
+
+/// A distribution of `u64` values over power-of-two buckets, with count,
+/// sum and min/max. Used for durations (nanoseconds) and sizes (nodes,
+/// links, rows).
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A histogram named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: zero_buckets(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// See [`Counter::new_registered`].
+    pub(crate) const fn new_registered(name: &'static str) -> Self {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: zero_buckets(),
+            registered: AtomicBool::new(true),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The bucket index of `value`.
+    pub fn bucket_of(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one observation (no-op while collection is disabled).
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.raw_record(value);
+        self.ensure_registered();
+    }
+
+    /// Ungated record — used by [`crate::Span`]'s drop path (the gating
+    /// decision was taken at span start).
+    #[inline]
+    pub(crate) fn raw_record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register(MetricRef::Histogram(self));
+        }
+    }
+
+    /// `(count, sum, min, max)`; min/max are 0 when nothing was recorded.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return (0, 0, 0, 0);
+        }
+        (
+            count,
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Clear every cell.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    static H: Histogram = Histogram::new("metric.test.hist");
+    static G: Gauge = Gauge::new("metric.test.gauge");
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let _g = test_lock::hold();
+        crate::enable();
+        H.reset();
+        for v in [1u64, 2, 2, 9] {
+            H.record(v);
+        }
+        let (count, sum, min, max) = H.stats();
+        assert_eq!((count, sum, min, max), (4, 14, 1, 9));
+        let buckets = H.bucket_counts();
+        assert_eq!(buckets[0], 1); // 1
+        assert_eq!(buckets[1], 2); // 2, 2
+        assert_eq!(buckets[3], 1); // 9
+        H.reset();
+        assert_eq!(H.stats(), (0, 0, 0, 0));
+        crate::disable();
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let _g = test_lock::hold();
+        crate::enable();
+        G.reset();
+        G.inc();
+        G.inc();
+        G.dec();
+        assert_eq!(G.get(), 1);
+        G.add(-1);
+        assert_eq!(G.get(), 0);
+        crate::disable();
+    }
+}

@@ -1,0 +1,127 @@
+//! The global metric registry: self-registered statics plus interned
+//! dynamically named metrics.
+//!
+//! Statics push themselves here on first touch (see [`crate::metric`]).
+//! Dynamic names — per-service timers whose names are only known at run
+//! time — are interned through [`counter`]/[`gauge`]/[`histogram`]: the
+//! first request for a name leaks one allocation and returns a `&'static`
+//! handle, subsequent requests hit the intern table. Leaking is deliberate
+//! and bounded: the dynamic name set is the service vocabulary of the
+//! process, a few dozen entries at most.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metric::{Counter, Gauge, Histogram};
+
+/// A reference to any registered metric.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MetricRef {
+    /// A counter.
+    Counter(&'static Counter),
+    /// A gauge.
+    Gauge(&'static Gauge),
+    /// A histogram.
+    Histogram(&'static Histogram),
+}
+
+impl MetricRef {
+    pub(crate) fn reset(&self) {
+        match self {
+            MetricRef::Counter(c) => c.reset(),
+            MetricRef::Gauge(g) => g.reset(),
+            MetricRef::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+static INTERNED: Mutex<BTreeMap<&'static str, MetricRef>> = Mutex::new(BTreeMap::new());
+
+pub(crate) fn register(m: MetricRef) {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).push(m);
+}
+
+/// Visit every registered metric.
+pub(crate) fn for_each(mut f: impl FnMut(&MetricRef)) {
+    let metrics = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for m in metrics.iter() {
+        f(m);
+    }
+}
+
+fn interned(name: &str, make: impl FnOnce(&'static str) -> MetricRef) -> MetricRef {
+    let mut table = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(m) = table.get(name) {
+        return *m;
+    }
+    let leaked: &'static str = String::leak(name.to_string());
+    let m = make(leaked);
+    table.insert(leaked, m);
+    drop(table);
+    register(m);
+    m
+}
+
+/// The dynamically named counter `name`, interned on first request.
+pub fn counter(name: &str) -> &'static Counter {
+    match interned(name, |n| {
+        MetricRef::Counter(Box::leak(Box::new(Counter::new_registered(n))))
+    }) {
+        MetricRef::Counter(c) => c,
+        other => panic!("metric {name:?} already registered as {other:?}, not a counter"),
+    }
+}
+
+/// The dynamically named gauge `name`, interned on first request.
+pub fn gauge(name: &str) -> &'static Gauge {
+    match interned(name, |n| {
+        MetricRef::Gauge(Box::leak(Box::new(Gauge::new_registered(n))))
+    }) {
+        MetricRef::Gauge(g) => g,
+        other => panic!("metric {name:?} already registered as {other:?}, not a gauge"),
+    }
+}
+
+/// The dynamically named histogram `name`, interned on first request.
+pub fn histogram(name: &str) -> &'static Histogram {
+    match interned(name, |n| {
+        MetricRef::Histogram(Box::leak(Box::new(Histogram::new_registered(n))))
+    }) {
+        MetricRef::Histogram(h) => h,
+        other => panic!("metric {name:?} already registered as {other:?}, not a histogram"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_lock;
+
+    #[test]
+    fn interned_handles_are_stable() {
+        let _g = test_lock::hold();
+        crate::enable();
+        let a = super::counter("registry.test.dyn");
+        let b = super::counter("registry.test.dyn");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(crate::snapshot().counter("registry.test.dyn"), 5);
+        a.reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn distinct_names_are_distinct_metrics() {
+        let _g = test_lock::hold();
+        crate::enable();
+        let a = super::histogram("registry.test.h1");
+        let b = super::histogram("registry.test.h2");
+        a.record(1);
+        assert_eq!(a.stats().0, 1);
+        assert_eq!(b.stats().0, 0);
+        a.reset();
+        crate::disable();
+    }
+}

@@ -1,0 +1,254 @@
+//! Stable snapshots of the registry, renderable as JSON or a human table.
+//!
+//! Snapshots are *sorted by metric name* (`BTreeMap`s all the way down), so
+//! two captures of the same state render byte-identically — the property
+//! the golden counter tests and the CI report check rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{self, MetricRef};
+
+/// Captured state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Power-of-two bucket counts, trailing zero buckets trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// A name-sorted capture of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Capture the current state of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    registry::for_each(|m| match m {
+        MetricRef::Counter(c) => {
+            snap.counters.insert(c.name().to_string(), c.get());
+        }
+        MetricRef::Gauge(g) => {
+            snap.gauges.insert(g.name().to_string(), g.get());
+        }
+        MetricRef::Histogram(h) => {
+            let (count, sum, min, max) = h.stats();
+            let mut buckets: Vec<u64> = h.bucket_counts().to_vec();
+            while buckets.last() == Some(&0) {
+                buckets.pop();
+            }
+            snap.histograms.insert(
+                h.name().to_string(),
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                },
+            );
+        }
+    });
+    snap
+}
+
+impl Snapshot {
+    /// The counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counters and histogram counts/sums attributable to the interval
+    /// between `baseline` and `self` (gauges are instantaneous and carried
+    /// over unchanged; histogram min/max/buckets likewise, as they cannot
+    /// be subtracted meaningfully).
+    pub fn since(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (name, v) in &mut out.counters {
+            *v = v.saturating_sub(baseline.counter(name));
+        }
+        for (name, h) in &mut out.histograms {
+            if let Some(b) = baseline.histogram(name) {
+                h.count = h.count.saturating_sub(b.count);
+                h.sum = h.sum.saturating_sub(b.sum);
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON: one object with sorted `counters`, `gauges`
+    /// and `histograms` members. Hand-rolled (the workspace is offline and
+    /// serde-free); metric names pass through the string escaper.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Human-readable table, sorted by name within each section.
+    pub fn to_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  count={} sum={} min={} mean={} max={}",
+                    h.count, h.sum, h.min, mean, h.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Counter, Histogram};
+    use crate::test_lock;
+
+    static SNAP_A: Counter = Counter::new("snapshot.test.a");
+    static SNAP_B: Counter = Counter::new("snapshot.test.b");
+    static SNAP_H: Histogram = Histogram::new("snapshot.test.h");
+
+    #[test]
+    fn json_and_table_are_stable_and_sorted() {
+        let _g = test_lock::hold();
+        crate::enable();
+        SNAP_B.add(2); // registration order ≠ name order
+        SNAP_A.add(1);
+        SNAP_H.record(5);
+        let s1 = snapshot();
+        let s2 = snapshot();
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(s1.to_table(), s2.to_table());
+        let json = s1.to_json();
+        let a = json.find("snapshot.test.a").unwrap();
+        let b = json.find("snapshot.test.b").unwrap();
+        assert!(a < b, "counters must render in name order");
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"count\": 1, \"sum\": 5, \"min\": 5, \"max\": 5"));
+        SNAP_A.reset();
+        SNAP_B.reset();
+        SNAP_H.reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_histogram_totals() {
+        let _g = test_lock::hold();
+        crate::enable();
+        SNAP_A.reset();
+        SNAP_H.reset();
+        SNAP_A.add(3);
+        SNAP_H.record(10);
+        let base = snapshot();
+        SNAP_A.add(4);
+        SNAP_H.record(1);
+        let diff = snapshot().since(&base);
+        assert_eq!(diff.counter("snapshot.test.a"), 4);
+        let h = diff.histogram("snapshot.test.h").unwrap();
+        assert_eq!((h.count, h.sum), (1, 1));
+        SNAP_A.reset();
+        SNAP_H.reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

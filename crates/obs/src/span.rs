@@ -1,0 +1,147 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and its drop and
+//! records it (in nanoseconds) into a [`Histogram`]; an optional [`Gauge`]
+//! tracks how many spans are currently in flight. Because the recording
+//! happens in `Drop`, spans balance on *every* exit path — early returns
+//! and `?`-propagated errors included — which is what makes the "no leaked
+//! in-flight spans after a failure" invariant testable.
+//!
+//! When collection is disabled at span creation the span is fully inert
+//! (no clock read, no atomics); the enable decision is latched at creation
+//! so a toggle mid-span cannot unbalance the in-flight gauge.
+
+use std::time::Instant;
+
+use crate::metric::{Gauge, Histogram};
+
+/// A running span; drop it to record.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    live: Option<Live>,
+}
+
+#[derive(Debug)]
+struct Live {
+    hist: &'static Histogram,
+    inflight: Option<&'static Gauge>,
+    start: Instant,
+}
+
+impl Span {
+    /// Start a span recording into `hist` on drop.
+    pub fn start(hist: &'static Histogram) -> Span {
+        Self::start_with_inflight_opt(hist, None)
+    }
+
+    /// Start a span that additionally keeps `inflight` incremented for its
+    /// lifetime.
+    pub fn start_with_inflight(hist: &'static Histogram, inflight: &'static Gauge) -> Span {
+        Self::start_with_inflight_opt(hist, Some(inflight))
+    }
+
+    fn start_with_inflight_opt(
+        hist: &'static Histogram,
+        inflight: Option<&'static Gauge>,
+    ) -> Span {
+        if !crate::enabled() {
+            return Span { live: None };
+        }
+        if let Some(g) = inflight {
+            // Ungated: the recording decision is latched here, and the
+            // matching decrement in `Drop` is ungated too.
+            g.raw_add(1);
+            g.ensure_registered();
+        }
+        Span {
+            live: Some(Live {
+                hist,
+                inflight,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Is this span actually recording (collection was enabled when it
+    /// started)?
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Raw (ungated) recording: the gating decision was taken at start,
+        // and a gauge incremented then must be decremented now.
+        live.hist.raw_record(elapsed_ns);
+        live.hist.ensure_registered();
+        if let Some(g) = live.inflight {
+            g.raw_add(-1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    static SPAN_H: Histogram = Histogram::new("span.test.seconds");
+    static SPAN_G: Gauge = Gauge::new("span.test.inflight");
+
+    #[test]
+    fn span_records_once_and_balances_gauge() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        SPAN_H.reset();
+        SPAN_G.reset();
+        {
+            let span = Span::start_with_inflight(&SPAN_H, &SPAN_G);
+            assert!(span.is_recording());
+            assert_eq!(SPAN_G.get(), 1);
+        }
+        assert_eq!(SPAN_G.get(), 0);
+        assert_eq!(SPAN_H.stats().0, 1);
+        crate::disable();
+    }
+
+    #[test]
+    fn gauge_balances_across_error_paths() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        SPAN_H.reset();
+        SPAN_G.reset();
+        fn faillible(fail: bool) -> Result<(), ()> {
+            let _span = Span::start_with_inflight(&SPAN_H, &SPAN_G);
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        assert!(faillible(true).is_err());
+        assert!(faillible(false).is_ok());
+        assert_eq!(SPAN_G.get(), 0);
+        assert_eq!(SPAN_H.stats().0, 2);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_spans_are_inert_even_if_enabled_mid_flight() {
+        let _guard = test_lock::hold();
+        crate::disable();
+        SPAN_H.reset();
+        SPAN_G.reset();
+        let span = Span::start_with_inflight(&SPAN_H, &SPAN_G);
+        assert!(!span.is_recording());
+        crate::enable();
+        drop(span);
+        assert_eq!(SPAN_G.get(), 0);
+        assert_eq!(SPAN_H.stats().0, 0);
+        crate::disable();
+    }
+}

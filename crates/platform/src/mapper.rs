@@ -13,9 +13,17 @@
 
 use std::fmt;
 
+use weblab_obs::Counter;
 use weblab_prov::{
     infer_provenance, EngineOptions, ExecutionTrace, ProvenanceGraph, RuleSet,
 };
+
+/// Full provenance-graph materialisations performed by the Mapper.
+static MATERIALIZATIONS: Counter = Counter::new("platform.mapper.materializations");
+/// Incremental (`materialize_since`) requests served.
+static INCREMENTAL_RUNS: Counter = Counter::new("platform.mapper.incremental_runs");
+/// Links returned by incremental requests — the delta sizes.
+static DELTA_LINKS: Counter = Counter::new("platform.mapper.delta_links");
 use weblab_xml::Document;
 use weblab_xquery::{infer_provenance_xquery, CompileError, XQueryStrategyOptions};
 
@@ -90,6 +98,7 @@ impl Mapper {
         trace: &ExecutionTrace,
         rules: &RuleSet,
     ) -> Result<ProvenanceGraph, MapperError> {
+        MATERIALIZATIONS.inc();
         match &self.strategy {
             MapperStrategy::Native(opts) => Ok(infer_provenance(doc, trace, rules, opts)),
             MapperStrategy::XQuery(opts) => infer_provenance_xquery(doc, trace, rules, opts)
@@ -107,7 +116,8 @@ impl Mapper {
         first_call: usize,
         rules: &RuleSet,
     ) -> Result<Vec<weblab_prov::ProvLink>, MapperError> {
-        match &self.strategy {
+        INCREMENTAL_RUNS.inc();
+        let links = match &self.strategy {
             MapperStrategy::Native(opts) => Ok(weblab_prov::infer_links_since(
                 doc, trace, first_call, rules, opts,
             )),
@@ -131,7 +141,11 @@ impl Mapper {
                 links.dedup();
                 Ok(links)
             }
+        };
+        if let Ok(l) = &links {
+            DELTA_LINKS.add(l.len() as u64);
         }
+        links
     }
 }
 

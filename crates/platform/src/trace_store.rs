@@ -9,8 +9,14 @@
 use std::collections::HashMap;
 
 use std::sync::RwLock;
+use weblab_obs::Counter;
 use weblab_prov::{CallRecord, ExecutionTrace};
 use weblab_rdf::{vocab, Term, Triple, TripleStore};
+
+/// Call records written to the store (structured + RDF mirror).
+static RECORDS_WRITTEN: Counter = Counter::new("platform.trace_store.records");
+/// Structured-trace reads served (`get`).
+static TRACE_READS: Counter = Counter::new("platform.trace_store.reads");
 
 /// Namespace predicates for trace triples.
 const WL_SERVICE: &str = "http://weblab.example.org/prov#service";
@@ -35,6 +41,7 @@ impl TraceStore {
     /// trace and the RDF mirror. `produced_uris` are the URIs of
     /// `out(c_i)`.
     pub fn record(&self, exec_id: &str, call: CallRecord, produced_uris: &[String]) {
+        RECORDS_WRITTEN.inc();
         let activity = Term::iri(vocab::activity_iri(&call.service, call.time));
         {
             let mut triples = self.triples.write().expect("lock poisoned");
@@ -79,6 +86,7 @@ impl TraceStore {
 
     /// The structured trace of an execution.
     pub fn get(&self, exec_id: &str) -> Option<ExecutionTrace> {
+        TRACE_READS.inc();
         self.traces.read().expect("lock poisoned").get(exec_id).cloned()
     }
 

@@ -26,12 +26,21 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use weblab_obs::Counter;
 use weblab_xml::{DocView, StateMark};
 use weblab_xpath::{
     eval_pattern_indexed, BindingTable, ElementIndex, Env, EvalOptions, Pattern,
 };
 
 type Cell = Arc<OnceLock<Arc<BindingTable>>>;
+
+/// Cache hits across every [`PatternCache`] of the process. The `OnceLock`
+/// protocol makes misses equal the number of *distinct* `(pattern, state)`
+/// keys requested, independent of worker count or scheduling — which is
+/// what lets the metrics test suite assert exact totals at any parallelism.
+static CACHE_HITS: Counter = Counter::new("prov.cache.hits");
+/// Cache misses (actual pattern evaluations) across every cache.
+static CACHE_MISSES: Counter = Counter::new("prov.cache.misses");
 
 /// Shared evaluation cache: `(pattern fingerprint, state mark) → table`.
 #[derive(Debug, Default)]
@@ -73,8 +82,10 @@ impl PatternCache {
         }));
         if evaluated {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            CACHE_MISSES.inc();
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.inc();
         }
         table
     }

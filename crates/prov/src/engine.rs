@@ -36,6 +36,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::OnceLock;
 
+use weblab_obs::Counter;
 use weblab_xml::{DocView, Document, NodeId, Timestamp};
 use weblab_xpath::{
     effective_label, effective_time, eval_pattern, extend_descendant_or_self, BindingRow,
@@ -49,6 +50,17 @@ use crate::graph::ProvenanceGraph;
 use crate::rule::MappingRule;
 use crate::ruleset::RuleSet;
 use crate::trace::{channels_compatible, CallRecord, ExecutionTrace};
+
+/// Evaluation units dispatched by `StateReplay` ((call × rule) each).
+static REPLAY_UNITS: Counter = Counter::new("prov.engine.replay.units");
+/// Evaluation units dispatched by `TemporalRewrite` ((call × rule) each).
+static TEMPORAL_UNITS: Counter = Counter::new("prov.engine.temporal.units");
+/// Evaluation units dispatched by `GroupedSinglePass` ((service × rule)).
+static GROUPED_UNITS: Counter = Counter::new("prov.engine.grouped.units");
+/// Links produced by the strategy units, before sort/dedup/propagation.
+static LINKS_DERIVED: Counter = Counter::new("prov.engine.links.derived");
+/// Links emitted after post-processing (inheritance, sort, dedup).
+static LINKS_EMITTED: Counter = Counter::new("prov.engine.links.emitted");
 
 /// Which evaluation strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +111,12 @@ pub struct EngineOptions {
     /// across a scoped-thread worker pool. Output is byte-identical either
     /// way.
     pub parallelism: Parallelism,
+    /// Feed the engine-level `weblab_obs` counters (units dispatched, links
+    /// derived/emitted). A second gate besides the global
+    /// `weblab_obs::enable()` switch: a caller running several inferences
+    /// can exclude e.g. warm-up runs from the report without toggling
+    /// collection process-wide.
+    pub metrics: bool,
 }
 
 impl Default for EngineOptions {
@@ -109,6 +127,7 @@ impl Default for EngineOptions {
             join: JoinAlgorithm::Hash,
             use_index: true,
             parallelism: Parallelism::Sequential,
+            metrics: true,
         }
     }
 }
@@ -322,6 +341,9 @@ fn replay_links(
             .collect();
         filter_links_by_channel(&final_view, links, &call.channel, channel_map)
     });
+    if opts.metrics {
+        REPLAY_UNITS.add(units.len() as u64);
+    }
     finish(out, doc, opts)
 }
 
@@ -362,6 +384,9 @@ fn temporal_links(
         );
         filter_links_by_channel(&final_view, links, &call.channel, channel_map)
     });
+    if opts.metrics {
+        TEMPORAL_UNITS.add(units.len() as u64);
+    }
     finish(out, doc, opts)
 }
 
@@ -432,16 +457,25 @@ fn grouped_links(
         }
         out
     });
+    if opts.metrics {
+        GROUPED_UNITS.add(units.len() as u64);
+    }
     finish(out, doc, opts)
 }
 
 /// Common post-processing: optional graph propagation, sort, dedup.
 fn finish(mut links: Vec<ProvLink>, doc: &Document, opts: &EngineOptions) -> Vec<ProvLink> {
+    if opts.metrics {
+        LINKS_DERIVED.add(links.len() as u64);
+    }
     if opts.inherit == InheritMode::GraphPropagation {
         links = propagate_inherited(&doc.view(), &links);
     }
     links.sort();
     links.dedup();
+    if opts.metrics {
+        LINKS_EMITTED.add(links.len() as u64);
+    }
     links
 }
 

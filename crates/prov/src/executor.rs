@@ -24,7 +24,18 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use weblab_obs::{Counter, Gauge, Histogram, Span};
+
 use crate::algebra::ProvLink;
+
+/// Wall time per evaluation unit, nanoseconds. The *count* equals the
+/// number of units executed (deterministic); the sum is wall time and is
+/// not asserted by tests.
+static UNIT_NANOS: Histogram = Histogram::new("prov.executor.unit.duration_ns");
+/// Units currently executing across all workers.
+static UNITS_INFLIGHT: Gauge = Gauge::new("prov.executor.units.inflight");
+/// Worker threads spawned by parallel runs (sequential runs spawn none).
+static WORKERS_SPAWNED: Counter = Counter::new("prov.executor.workers.spawned");
 
 /// Degree of parallelism for provenance inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,10 +73,18 @@ pub fn run_units<F>(par: Parallelism, n_units: usize, unit: F) -> Vec<ProvLink>
 where
     F: Fn(usize) -> Vec<ProvLink> + Sync,
 {
+    // Time every unit identically on the sequential and parallel paths, so
+    // `prov.executor.unit.duration_ns` has the same count either way.
+    let timed_unit = |idx: usize| {
+        let _span = Span::start_with_inflight(&UNIT_NANOS, &UNITS_INFLIGHT);
+        unit(idx)
+    };
+
     let workers = par.worker_count().min(n_units);
     if workers <= 1 {
-        return (0..n_units).flat_map(unit).collect();
+        return (0..n_units).flat_map(timed_unit).collect();
     }
+    WORKERS_SPAWNED.add(workers as u64);
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Vec<ProvLink>)>> = Mutex::new(Vec::with_capacity(n_units));
@@ -80,7 +99,7 @@ where
                     if idx >= n_units {
                         break;
                     }
-                    local.push((idx, unit(idx)));
+                    local.push((idx, timed_unit(idx)));
                 }
                 results.lock().expect("worker panicked").extend(local);
             });

@@ -21,12 +21,24 @@
 //! indices); the provenance engine uses channel compatibility to restrict
 //! which resources a parallel call may depend on.
 
+use weblab_obs::{Counter, Gauge, Histogram, Span};
 use weblab_prov::{
     document_state_provenance, EngineOptions, ExecutionTrace, ProvLink, RuleSet,
 };
 use weblab_xml::{Document, NodeId, Timestamp};
 
 use crate::service::{CallContext, Service, WorkflowError};
+
+/// Service calls completed successfully (recorded in the trace).
+static WORKFLOW_CALLS: Counter = Counter::new("workflow.calls");
+/// Service calls that failed (service error or append-only violation).
+static WORKFLOW_ERRORS: Counter = Counter::new("workflow.errors");
+/// Nodes appended per call — the size of each call's new fragment.
+static FRAGMENT_NODES: Histogram = Histogram::new("workflow.fragment_nodes");
+/// Service calls currently executing. Balanced by the span's drop on every
+/// exit path, so it must read 0 after any execution — including a failed
+/// one (the failure-injection metrics test pins this).
+static CALLS_INFLIGHT: Gauge = Gauge::new("workflow.calls.inflight");
 
 /// One step of a workflow: a service call or a parallel block.
 pub enum WorkflowStep {
@@ -209,9 +221,30 @@ impl Orchestrator {
     ) -> Result<(), WorkflowError> {
         let input = doc.mark();
         let mut ctx = CallContext::new(service.name(), *time);
-        service.call(doc, &mut ctx)?;
+        // Per-service wall-time histogram, named dynamically. The lookup
+        // (format + intern) only happens while collection is enabled; the
+        // span itself then balances `workflow.calls.inflight` on every exit
+        // path, errors included.
+        let span = weblab_obs::enabled().then(|| {
+            let hist = weblab_obs::histogram(&format!(
+                "workflow.service.{}.duration_ns",
+                service.name()
+            ));
+            Span::start_with_inflight(hist, &CALLS_INFLIGHT)
+        });
+        let called = service.call(doc, &mut ctx);
+        drop(span);
+        if let Err(e) = called {
+            WORKFLOW_ERRORS.inc();
+            return Err(e);
+        }
         let output = doc.mark();
-        validate_append_only(doc, input, output, service.name())?;
+        if let Err(e) = validate_append_only(doc, input, output, service.name()) {
+            WORKFLOW_ERRORS.inc();
+            return Err(e);
+        }
+        WORKFLOW_CALLS.inc();
+        FRAGMENT_NODES.record((output.node_count() - input.node_count()) as u64);
         outcome.trace.record_call_on_channel(
             doc,
             service.name(),

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
+use weblab_obs::Counter;
 use weblab_xml::{DocView, NodeId};
 
 use crate::ast::{
@@ -30,6 +31,13 @@ use crate::ast::{
 use crate::binding::{BindingRow, BindingTable, SkolemColumn};
 use crate::index::ElementIndex;
 use crate::value::Value;
+
+/// Full pattern evaluations (one per `eval_pattern_indexed` call).
+static PATTERN_EVALS: Counter = Counter::new("xpath.pattern.evals");
+/// Candidate nodes visited across all steps of all evaluations.
+static NODES_VISITED: Counter = Counter::new("xpath.eval.nodes_visited");
+/// Step-predicate evaluations (top-level conjuncts on candidates).
+static PREDICATE_EVALS: Counter = Counter::new("xpath.eval.predicate_evals");
 
 /// Options controlling pattern evaluation.
 #[derive(Debug, Clone)]
@@ -154,6 +162,12 @@ pub fn eval_pattern_indexed(
     let mut table = BindingTable::with_columns(columns);
     table.skolem_columns = skolem_columns;
 
+    // Metrics are accumulated locally (plain integers on the stack) and
+    // flushed to the global counters once per evaluation, so the enabled
+    // path costs two atomic adds per eval rather than one per node.
+    let mut nodes_visited: u64 = 0;
+    let mut predicate_evals: u64 = 0;
+
     // contexts: None = virtual node above the root.
     let mut contexts: Vec<(Option<NodeId>, Rc<Frame>)> = vec![(None, Frame::from_env(env))];
     for step in &pattern.steps {
@@ -161,17 +175,17 @@ pub fn eval_pattern_indexed(
         let step_ctx = StepCtx::new(step);
         for (ctx, frame) in &contexts {
             for_each_candidate(view, *ctx, step.axis, &step.test, index, |cand| {
+                nodes_visited += 1;
                 let Some(name) = view.name(cand) else {
                     return; // text nodes never match name tests
                 };
                 if !step.test.matches(name) {
                     return;
                 }
-                if !step
-                    .predicates
-                    .iter()
-                    .all(|p| eval_predicate(p, view, cand, &step_ctx, frame))
-                {
+                if !step.predicates.iter().all(|p| {
+                    predicate_evals += 1;
+                    eval_predicate(p, view, cand, &step_ctx, frame)
+                }) {
                     return;
                 }
                 // Bindings this candidate adds; empty for most steps, in
@@ -262,6 +276,10 @@ pub fn eval_pattern_indexed(
         bucket.push(table.rows.len());
         table.rows.push(row);
     }
+
+    PATTERN_EVALS.inc();
+    NODES_VISITED.add(nodes_visited);
+    PREDICATE_EVALS.add(predicate_evals);
     table
 }
 

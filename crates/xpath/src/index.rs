@@ -9,7 +9,13 @@
 
 use std::collections::HashMap;
 
+use weblab_obs::Counter;
 use weblab_xml::{DocView, NodeId, StateMark};
+
+/// Index constructions (one pre-order document scan each).
+static INDEX_BUILDS: Counter = Counter::new("xpath.index.builds");
+/// Bucket lookups served (name or wildcard) in place of document scans.
+static INDEX_LOOKUPS: Counter = Counter::new("xpath.index.lookups");
 
 /// Name → nodes (document order) index over one document state.
 #[derive(Debug, Clone)]
@@ -30,6 +36,7 @@ impl ElementIndex {
                 all.push(node);
             }
         }
+        INDEX_BUILDS.inc();
         ElementIndex {
             mark: view.mark(),
             by_name,
@@ -46,12 +53,14 @@ impl ElementIndex {
     /// that exist at `view`'s state (the index may cover a later state of
     /// the same document — ids below the view's mark are still exact).
     pub fn nodes_named(&self, name: &str, view: &DocView<'_>) -> Vec<NodeId> {
+        INDEX_LOOKUPS.inc();
         let source = self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[]);
         Self::restrict(source, view)
     }
 
     /// All elements, in document order, restricted to `view`'s state.
     pub fn all_elements(&self, view: &DocView<'_>) -> Vec<NodeId> {
+        INDEX_LOOKUPS.inc();
         Self::restrict(&self.all, view)
     }
 

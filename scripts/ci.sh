@@ -13,4 +13,37 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> weblab --metrics smoke run (paper example pipeline)"
+metrics_dir="$(mktemp -d)"
+trap 'rm -rf "$metrics_dir"' EXIT
+./target/release/weblab run data/sample_corpus.xml \
+    Normaliser,LanguageExtractor,Translator -o "$metrics_dir/stamped.xml"
+./target/release/weblab --metrics --metrics-out "$metrics_dir/metrics.json" \
+    infer "$metrics_dir/stamped.xml" > /dev/null
+python3 - "$metrics_dir/metrics.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for section in ("counters", "gauges", "histograms"):
+    assert section in report, f"missing section {section!r}"
+
+counters = report["counters"]
+# the pipeline above must have exercised the engine's hot paths
+for key in (
+    "xpath.pattern.evals",
+    "prov.cache.misses",
+    "prov.engine.links.emitted",
+):
+    assert counters.get(key, 0) > 0, f"counter {key!r} did not tick"
+# conservation through the pattern cache (DESIGN.md § 7)
+assert counters["prov.cache.misses"] == counters["xpath.pattern.evals"], \
+    "every cache miss is exactly one pattern evaluation"
+# no dangling in-flight work after a clean run
+for name, value in report["gauges"].items():
+    assert value == 0, f"gauge {name!r} leaked: {value}"
+print(f"ci: metrics report ok ({len(counters)} counters)")
+PY
+
 echo "ci: all gates passed"

@@ -20,6 +20,12 @@
 //! (`auto` = all available cores); the default is sequential. The output is
 //! byte-identical at any setting.
 //!
+//! `--metrics` (any command) enables engine observability: pattern
+//! evaluations, cache hits/misses, per-service timings and more are
+//! collected during the run and printed as a table on stderr afterwards.
+//! `--metrics-out FILE` (implies `--metrics`) additionally writes the
+//! machine-readable JSON report to FILE.
+//!
 //! weblab services
 //!     List the built-in services and their default mapping rules.
 //! ```
@@ -44,7 +50,17 @@ use weblab::workflow::{Orchestrator, Service, Workflow};
 use weblab::xml::{parse_document, to_xml_string_pretty, Document};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = match extract_metrics_flags(&mut args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if metrics.enabled {
+        weblab::obs::enable();
+    }
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
@@ -56,6 +72,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let result = result.and_then(|()| report_metrics(&metrics));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -63,6 +80,50 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--metrics` / `--metrics-out FILE` are global flags: they apply to every
+/// command, so they are stripped from the argument list before dispatch.
+struct MetricsFlags {
+    enabled: bool,
+    out: Option<String>,
+}
+
+fn extract_metrics_flags(args: &mut Vec<String>) -> Result<MetricsFlags, String> {
+    let mut flags = MetricsFlags {
+        enabled: false,
+        out: None,
+    };
+    let mut kept = Vec::with_capacity(args.len());
+    let mut it = args.drain(..);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics" => flags.enabled = true,
+            "--metrics-out" => {
+                flags.out = Some(it.next().ok_or("missing value for --metrics-out")?);
+                flags.enabled = true;
+            }
+            _ => kept.push(a),
+        }
+    }
+    drop(it);
+    *args = kept;
+    Ok(flags)
+}
+
+/// After the command ran: human table to stderr (stdout belongs to the
+/// command's own output), JSON to the requested file.
+fn report_metrics(flags: &MetricsFlags) -> CliResult {
+    if !flags.enabled {
+        return Ok(());
+    }
+    let snap = weblab::obs::snapshot();
+    eprintln!("--- metrics ---\n{}", snap.to_table());
+    if let Some(path) = &flags.out {
+        std::fs::write(path, snap.to_json())
+            .map_err(|e| format!("writing metrics report {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 type CliResult = Result<(), String>;

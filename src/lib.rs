@@ -14,12 +14,15 @@
 //! * [`workflow`] — black-box services, orchestrator, execution traces.
 //! * [`platform`] — the Figure 5 architecture (Recorder / Mapper / Request
 //!   Manager).
+//! * [`obs`] — in-tree observability: engine counters, span timers and
+//!   snapshot reports (`weblab --metrics`).
 //!
 //! See the `examples/` directory for end-to-end walkthroughs, starting with
 //! `quickstart.rs`.
 
 #![forbid(unsafe_code)]
 
+pub use weblab_obs as obs;
 pub use weblab_platform as platform;
 pub use weblab_prov as prov;
 pub use weblab_rdf as rdf;

@@ -6,10 +6,35 @@ use proptest::prelude::*;
 
 use weblab::platform::ServiceCatalog;
 use weblab::prov::MappingRule;
-use weblab::rdf::{parse_select, parse_turtle};
+use weblab::rdf::{parse_select, parse_turtle, to_turtle, Term, Triple};
 use weblab::xml::parse_document;
 use weblab::xpath::parse_pattern;
 use weblab::xquery::parse_query;
+
+/// Strategy for one triple: IRI subject and predicate; the object is (by
+/// `kind`) an IRI, a plain literal over the charset the writer escapes
+/// losslessly (printable ASCII plus tab/newline), or an `xsd:integer`.
+fn triple() -> impl Strategy<Value = Triple> {
+    (
+        "[a-zA-Z0-9_]{1,8}",
+        "[a-zA-Z0-9_]{1,8}",
+        0u8..3,
+        "[ -~\\t\\n]{0,20}",
+        any::<i64>(),
+    )
+        .prop_map(|(s, p, kind, lit, int)| {
+            let o = match kind {
+                0 => Term::iri(format!("http://ex.org/o_{s}")),
+                1 => Term::lit(lit),
+                _ => Term::int(int),
+            };
+            Triple::new(
+                Term::iri(format!("http://ex.org/{s}")),
+                Term::iri(format!("http://ex.org/{p}")),
+                o,
+            )
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -82,5 +107,32 @@ proptest! {
         let mutated: String = bytes.into_iter().collect();
         let _ = parse_pattern(&mutated);
         let _ = MappingRule::parse(&format!("{mutated} => //X"));
+    }
+
+    #[test]
+    fn mutated_valid_xquery_never_panics(
+        flip in 0usize..90,
+        ch in prop::char::any(),
+    ) {
+        let base = "for $v in //TextMediaUnit let $x := $v/@id \
+                    where $v/@id = 'u1' \
+                    return <hit from=\"{$x}\" to=\"-\"/>";
+        let mut chars: Vec<char> = base.chars().collect();
+        if flip < chars.len() {
+            chars[flip] = ch;
+        }
+        let mutated: String = chars.into_iter().collect();
+        let _ = parse_query(&mutated);
+    }
+
+    #[test]
+    fn turtle_writer_round_trips(triples in prop::collection::vec(triple(), 0..12)) {
+        let ttl = to_turtle(&triples);
+        let mut parsed = parse_turtle(&ttl)
+            .unwrap_or_else(|e| panic!("writer output must reparse: {e}\n{ttl}"));
+        let mut original = triples;
+        parsed.sort();
+        original.sort();
+        prop_assert_eq!(parsed, original);
     }
 }

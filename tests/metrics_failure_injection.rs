@@ -1,0 +1,108 @@
+//! Failure injection for the observability layer: when a service fails
+//! midway through a workflow, the metrics must stay consistent — the error
+//! counter ticks, the per-call span still records (RAII drop), and no
+//! in-flight gauge is left dangling.
+//!
+//! A sibling of `tests/failure_injection.rs`, kept as its own test binary
+//! because `weblab_obs` metrics are process-global and that binary's tests
+//! run concurrently in one process. Tests here serialise on a mutex.
+
+use std::sync::Mutex;
+
+use weblab::obs;
+use weblab::workflow::services::Normaliser;
+use weblab::workflow::{CallContext, Orchestrator, Service, Workflow, WorkflowError};
+use weblab::xml::Document;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Fails after partially mutating the document (same shape as the
+/// `FailsMidway` service of `tests/failure_injection.rs`).
+struct FailsMidway;
+
+impl Service for FailsMidway {
+    fn name(&self) -> &str {
+        "FailsMidway"
+    }
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        let n = doc.append_element(root, "Partial")?;
+        ctx.register(doc, n)?;
+        Err(WorkflowError::Service {
+            service: "FailsMidway".into(),
+            message: "simulated crash".into(),
+        })
+    }
+}
+
+fn corpus() -> Document {
+    weblab::workflow::generator::generate_corpus(42, 1, 20)
+}
+
+#[test]
+fn failed_service_increments_errors_and_leaks_no_spans() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::enable();
+    let wf = Workflow::new().then(Normaliser).then(FailsMidway);
+    let mut doc = corpus();
+    let err = Orchestrator::new().execute(&wf, &mut doc).unwrap_err();
+    assert!(matches!(err, WorkflowError::Service { .. }));
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // exactly one successful call (Normaliser), exactly one failure
+    assert_eq!(snap.counter("workflow.calls"), 1);
+    assert_eq!(snap.counter("workflow.errors"), 1);
+    // the failing call's span recorded anyway: RAII drop runs on the error
+    // path, so both services have a timing observation…
+    let norm = snap
+        .histogram("workflow.service.Normaliser.duration_ns")
+        .expect("Normaliser span recorded");
+    assert_eq!(norm.count, 1);
+    let failed = snap
+        .histogram("workflow.service.FailsMidway.duration_ns")
+        .expect("failed call's span still recorded");
+    assert_eq!(failed.count, 1);
+    // …and the in-flight gauge balanced back to zero
+    assert_eq!(snap.gauge("workflow.calls.inflight"), 0);
+    // only the successful call contributed a fragment-size observation
+    let frag = snap.histogram("workflow.fragment_nodes").expect("fragments");
+    assert_eq!(frag.count, 1);
+}
+
+#[test]
+fn failure_inside_parallel_block_still_balances() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::enable();
+    let wf = Workflow::new().then_parallel(vec![
+        Workflow::new().then(Normaliser),
+        Workflow::new().then(FailsMidway),
+    ]);
+    let mut doc = corpus();
+    assert!(Orchestrator::new().execute(&wf, &mut doc).is_err());
+    let snap = obs::snapshot();
+    obs::disable();
+    assert_eq!(snap.counter("workflow.errors"), 1);
+    assert_eq!(snap.gauge("workflow.calls.inflight"), 0);
+}
+
+#[test]
+fn counters_across_failure_then_success_accumulate() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::enable();
+    let mut doc = corpus();
+    let bad = Workflow::new().then(FailsMidway);
+    assert!(Orchestrator::new().execute(&bad, &mut doc).is_err());
+    // the same orchestrator (and metrics) survive into a successful run
+    let good = Workflow::new().then(Normaliser);
+    let mut doc2 = corpus();
+    Orchestrator::new().execute(&good, &mut doc2).unwrap();
+    let snap = obs::snapshot();
+    obs::disable();
+    assert_eq!(snap.counter("workflow.errors"), 1);
+    assert_eq!(snap.counter("workflow.calls"), 1);
+    assert_eq!(snap.gauge("workflow.calls.inflight"), 0);
+}
