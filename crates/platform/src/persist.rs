@@ -23,12 +23,40 @@
 //! (`TemporalRewrite`, `GroupedSinglePass`) on reloaded executions — they
 //! depend only on labels and the final state, exactly like
 //! `ExecutionTrace::reconstruct_from`.
+//!
+//! ## Crash safety
+//!
+//! All files are written atomically: the bytes go to a temporary file in
+//! the same directory, the file is fsynced, renamed over the target, and
+//! (on unix) the directory is fsynced — a crash mid-save leaves either the
+//! old version or the new one, never a torn file. Trace and checkpoint
+//! files additionally end in a `# end …` footer whose counter is checked on
+//! load, so a file truncated by a crash *before* this scheme existed (or by
+//! external interference) is detected as [`PersistError::Truncated`]
+//! instead of being silently loaded as a shorter execution.
+//!
+//! ## Checkpoints
+//!
+//! A [`Checkpoint`] records how far an execution got: the number of
+//! completed top-level workflow steps, the next call instant, and the
+//! workflow's step names (verified on resume so a checkpoint cannot be
+//! replayed against a different workflow). It persists as `<id>.ckpt`
+//! alongside the document and trace:
+//!
+//! ```text
+//! completed: 2
+//! next-time: 5
+//! step: Normaliser
+//! step: Translator
+//! # end steps=2
+//! ```
 
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use weblab_prov::{CallRecord, ExecutionTrace};
-use weblab_xml::{parse_document, to_xml_string, Document, StateMark};
+use weblab_xml::{parse_document, to_xml_string, Document, StateMark, Timestamp};
 
 /// Persistence failure.
 #[derive(Debug)]
@@ -44,6 +72,19 @@ pub enum PersistError {
         /// Description.
         message: String,
     },
+    /// A file's integrity footer is missing or disagrees with its contents
+    /// — the file was truncated or otherwise damaged after being written.
+    Truncated {
+        /// Which file failed the check.
+        file: String,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A checkpoint file is malformed.
+    Checkpoint {
+        /// Description.
+        message: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -53,6 +94,12 @@ impl fmt::Display for PersistError {
             PersistError::Xml(m) => write!(f, "document error: {m}"),
             PersistError::Trace { line, message } => {
                 write!(f, "trace format error at line {line}: {message}")
+            }
+            PersistError::Truncated { file, message } => {
+                write!(f, "file {file} failed its integrity check: {message}")
+            }
+            PersistError::Checkpoint { message } => {
+                write!(f, "checkpoint format error: {message}")
             }
         }
     }
@@ -156,7 +203,61 @@ pub fn trace_from_text(doc: &Document, text: &str) -> Result<ExecutionTrace, Per
     Ok(trace)
 }
 
-/// Write an execution (document + trace) into `dir`.
+/// Atomically replace `path` with `contents`: write to a temporary file in
+/// the same directory, fsync it, rename it over the target, and (on unix)
+/// fsync the directory so the rename itself is durable. A crash at any
+/// point leaves either the complete old file or the complete new one.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), PersistError> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("persist")
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    #[cfg(unix)]
+    {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Trace integrity footer for `n` calls.
+fn trace_footer(n: usize) -> String {
+    format!("# end calls={n}\n")
+}
+
+/// Verify the `# end calls=N` footer of a trace file against the number of
+/// calls actually parsed from it.
+fn check_trace_footer(file: &str, text: &str, parsed_calls: usize) -> Result<(), PersistError> {
+    let last = text.lines().next_back().unwrap_or("");
+    let claimed: Option<usize> = last
+        .strip_prefix("# end calls=")
+        .and_then(|n| n.trim().parse().ok());
+    match claimed {
+        None => Err(PersistError::Truncated {
+            file: file.into(),
+            message: "missing '# end calls=N' footer (file truncated?)".into(),
+        }),
+        Some(n) if n != parsed_calls => Err(PersistError::Truncated {
+            file: file.into(),
+            message: format!("footer claims {n} calls but file holds {parsed_calls}"),
+        }),
+        Some(_) => Ok(()),
+    }
+}
+
+/// Write an execution (document + trace) into `dir`. Both files are
+/// written atomically and the trace carries an integrity footer.
 pub fn save_execution(
     dir: &Path,
     exec_id: &str,
@@ -164,21 +265,128 @@ pub fn save_execution(
     trace: &ExecutionTrace,
 ) -> Result<(), PersistError> {
     std::fs::create_dir_all(dir)?;
-    std::fs::write(doc_path(dir, exec_id), to_xml_string(&doc.view()))?;
-    std::fs::write(trace_path(dir, exec_id), trace_to_text(doc, trace))?;
+    write_atomic(&doc_path(dir, exec_id), &to_xml_string(&doc.view()))?;
+    let text = trace_to_text(doc, trace) + &trace_footer(trace.len());
+    write_atomic(&trace_path(dir, exec_id), &text)?;
     Ok(())
 }
 
-/// Load an execution written by [`save_execution`].
+/// Load an execution written by [`save_execution`], verifying the trace's
+/// integrity footer.
 pub fn load_execution(
     dir: &Path,
     exec_id: &str,
 ) -> Result<(Document, ExecutionTrace), PersistError> {
     let xml = std::fs::read_to_string(doc_path(dir, exec_id))?;
     let doc = parse_document(&xml).map_err(|e| PersistError::Xml(e.to_string()))?;
-    let text = std::fs::read_to_string(trace_path(dir, exec_id))?;
+    let trace_file = trace_path(dir, exec_id);
+    let text = std::fs::read_to_string(&trace_file)?;
     let trace = trace_from_text(&doc, &text)?;
+    check_trace_footer(&trace_file.display().to_string(), &text, trace.len())?;
     Ok((doc, trace))
+}
+
+/// How far an execution got: enough to resume it after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Top-level workflow steps fully completed (their effects are in the
+    /// persisted document and trace).
+    pub completed_steps: usize,
+    /// The call instant the next step must start at.
+    pub next_time: Timestamp,
+    /// The workflow's step names, for verifying on resume that the
+    /// checkpoint belongs to the same workflow.
+    pub step_names: Vec<String>,
+}
+
+/// Write `ckpt` as `<id>.ckpt` into `dir`, atomically.
+pub fn save_checkpoint(dir: &Path, exec_id: &str, ckpt: &Checkpoint) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    out.push_str(&format!("completed: {}\n", ckpt.completed_steps));
+    out.push_str(&format!("next-time: {}\n", ckpt.next_time));
+    for s in &ckpt.step_names {
+        out.push_str(&format!("step: {s}\n"));
+    }
+    out.push_str(&format!("# end steps={}\n", ckpt.step_names.len()));
+    write_atomic(&checkpoint_path(dir, exec_id), &out)
+}
+
+/// Load a checkpoint written by [`save_checkpoint`]. Returns `Ok(None)` if
+/// no checkpoint exists for the id.
+pub fn load_checkpoint(dir: &Path, exec_id: &str) -> Result<Option<Checkpoint>, PersistError> {
+    let path = checkpoint_path(dir, exec_id);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut completed = None;
+    let mut next_time = None;
+    let mut steps = Vec::new();
+    let mut footer = None;
+    for raw in text.lines() {
+        let raw = raw.trim();
+        if let Some(v) = raw.strip_prefix("completed:") {
+            completed = v.trim().parse::<usize>().ok();
+        } else if let Some(v) = raw.strip_prefix("next-time:") {
+            next_time = v.trim().parse::<Timestamp>().ok();
+        } else if let Some(v) = raw.strip_prefix("step:") {
+            steps.push(v.trim().to_string());
+        } else if let Some(v) = raw.strip_prefix("# end steps=") {
+            footer = v.trim().parse::<usize>().ok();
+        } else if !raw.is_empty() && !raw.starts_with('#') {
+            return Err(PersistError::Checkpoint {
+                message: format!("unrecognised line {raw:?}"),
+            });
+        }
+    }
+    match footer {
+        None => {
+            return Err(PersistError::Truncated {
+                file: path.display().to_string(),
+                message: "missing '# end steps=N' footer (file truncated?)".into(),
+            })
+        }
+        Some(n) if n != steps.len() => {
+            return Err(PersistError::Truncated {
+                file: path.display().to_string(),
+                message: format!("footer claims {n} steps but file holds {}", steps.len()),
+            })
+        }
+        Some(_) => {}
+    }
+    let (completed_steps, next_time) = match (completed, next_time) {
+        (Some(c), Some(t)) => (c, t),
+        _ => {
+            return Err(PersistError::Checkpoint {
+                message: "missing completed:/next-time: headers".into(),
+            })
+        }
+    };
+    if completed_steps > steps.len() {
+        return Err(PersistError::Checkpoint {
+            message: format!(
+                "completed {completed_steps} exceeds the {} workflow steps",
+                steps.len()
+            ),
+        });
+    }
+    Ok(Some(Checkpoint {
+        completed_steps,
+        next_time,
+        step_names: steps,
+    }))
+}
+
+/// Remove the checkpoint for `exec_id`, if any (called once an execution
+/// completes so a later run is not mistaken for a resume).
+pub fn clear_checkpoint(dir: &Path, exec_id: &str) -> Result<(), PersistError> {
+    match std::fs::remove_file(checkpoint_path(dir, exec_id)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 fn doc_path(dir: &Path, exec_id: &str) -> PathBuf {
@@ -187,6 +395,10 @@ fn doc_path(dir: &Path, exec_id: &str) -> PathBuf {
 
 fn trace_path(dir: &Path, exec_id: &str) -> PathBuf {
     dir.join(format!("{}.trace", sanitise(exec_id)))
+}
+
+fn checkpoint_path(dir: &Path, exec_id: &str) -> PathBuf {
+    dir.join(format!("{}.ckpt", sanitise(exec_id)))
 }
 
 fn sanitise(id: &str) -> String {
@@ -287,5 +499,104 @@ mod tests {
             load_execution(&dir, "nope"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn truncated_trace_file_is_detected() {
+        let (mut doc, wf, _rules) = synthetic_workload(7, 3, 2, 3);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let dir = tmpdir("truncated");
+        save_execution(&dir, "e", &doc, &outcome.trace).unwrap();
+        let tp = dir.join("e.trace");
+        let full = std::fs::read_to_string(&tp).unwrap();
+        // chop the footer and the last call line off, as a crash mid-write
+        // (pre-atomic-rename) or a damaged disk would
+        let lines: Vec<&str> = full.lines().collect();
+        let cut = lines[..lines.len() - 2].join("\n") + "\n";
+        std::fs::write(&tp, cut).unwrap();
+        assert!(matches!(
+            load_execution(&dir, "e"),
+            Err(PersistError::Truncated { .. })
+        ));
+        // a lying footer (count mismatch) is also caught
+        let mut bad: Vec<&str> = lines[..lines.len() - 2].to_vec();
+        let footer = lines[lines.len() - 1];
+        bad.push(footer);
+        std::fs::write(&tp, bad.join("\n") + "\n").unwrap();
+        assert!(matches!(
+            load_execution(&dir, "e"),
+            Err(PersistError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_temp_files() {
+        let (mut doc, wf, _rules) = synthetic_workload(3, 2, 2, 2);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let dir = tmpdir("atomic");
+        save_execution(&dir, "e", &doc, &outcome.trace).unwrap();
+        // overwrite in place — still atomic, still clean
+        save_execution(&dir, "e", &doc, &outcome.trace).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_detects_truncation() {
+        let dir = tmpdir("ckpt");
+        assert_eq!(load_checkpoint(&dir, "e").unwrap(), None);
+        let ckpt = Checkpoint {
+            completed_steps: 2,
+            next_time: 5,
+            step_names: vec![
+                "Normaliser".into(),
+                "Translator".into(),
+                "[A | B]".into(),
+            ],
+        };
+        save_checkpoint(&dir, "e", &ckpt).unwrap();
+        assert_eq!(load_checkpoint(&dir, "e").unwrap(), Some(ckpt.clone()));
+        // truncate: drop the footer
+        let cp = dir.join("e.ckpt");
+        let full = std::fs::read_to_string(&cp).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        std::fs::write(&cp, lines[..lines.len() - 1].join("\n") + "\n").unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir, "e"),
+            Err(PersistError::Truncated { .. })
+        ));
+        // clearing removes it; clearing twice is fine
+        std::fs::write(&cp, full).unwrap();
+        clear_checkpoint(&dir, "e").unwrap();
+        assert_eq!(load_checkpoint(&dir, "e").unwrap(), None);
+        clear_checkpoint(&dir, "e").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inconsistent_checkpoints_are_rejected() {
+        let dir = tmpdir("badckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = dir.join("e.ckpt");
+        // completed beyond the step list
+        std::fs::write(&cp, "completed: 9\nnext-time: 1\nstep: A\n# end steps=1\n").unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir, "e"),
+            Err(PersistError::Checkpoint { .. })
+        ));
+        // unknown line
+        std::fs::write(&cp, "completed: 0\nnext-time: 1\nwat\n# end steps=0\n").unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir, "e"),
+            Err(PersistError::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::sync::RwLock;
 use weblab_prov::ProvenanceGraph;
 use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
-use weblab_workflow::{next_time, Orchestrator, Service, Workflow, WorkflowError};
+use weblab_workflow::{next_time, FaultPolicy, Orchestrator, Service, Workflow, WorkflowError};
 use weblab_xml::Document;
 
 use crate::catalog::{CatalogError, ServiceCatalog};
@@ -140,6 +140,7 @@ pub struct Platform {
     provenance: RwLock<TripleStore>,
     materialized: RwLock<HashMap<String, MaterializedGraph>>,
     mapper: Mapper,
+    fault: RwLock<FaultPolicy>,
 }
 
 /// Cache entry: the graph as of a number of recorded calls.
@@ -166,7 +167,14 @@ impl Platform {
             provenance: RwLock::new(TripleStore::new()),
             materialized: RwLock::new(HashMap::new()),
             mapper,
+            fault: RwLock::new(FaultPolicy::default()),
         }
+    }
+
+    /// Replace the fault-tolerance policy applied to every subsequent
+    /// execution (default: abort on first failure, after rollback).
+    pub fn set_fault_policy(&self, fault: FaultPolicy) {
+        *self.fault.write().expect("lock poisoned") = fault;
     }
 
     /// Access the underlying Recorder (e.g. for out-of-process exchanges).
@@ -219,7 +227,10 @@ impl Platform {
             }
         }
         let workflow = self.build_workflow(spec)?;
-        let outcome = Orchestrator::new().execute_starting_at(&workflow, &mut doc, start)?;
+        let fault = self.fault.read().expect("lock poisoned").clone();
+        let outcome = Orchestrator::new()
+            .with_fault(fault)
+            .execute_starting_at(&workflow, &mut doc, start)?;
         // persist: document into the repository, calls into the trace store
         for call in &outcome.trace.calls {
             let produced_uris: Vec<String> = call
@@ -469,6 +480,30 @@ mod tests {
             p.execute_spec("e", &spec),
             Err(PlatformError::UnknownService(_))
         ));
+    }
+
+    #[test]
+    fn flaky_service_retries_transparently_under_a_retry_policy() {
+        use weblab_workflow::services::Flaky;
+        use weblab_workflow::RetryPolicy;
+        let p = platform();
+        p.register_service(Arc::new(Flaky::failing(2)), &[]).unwrap();
+        p.set_fault_policy(FaultPolicy::retrying(RetryPolicy::with_max_attempts(3)));
+        p.ingest("e", generate_corpus(1, 1, 10));
+        p.execute("e", &["Normaliser", "Flaky"]).unwrap();
+        // both steps made it into the trace exactly once: the two failed
+        // attempts were rolled back before recording
+        let trace = p.traces.get("e").unwrap();
+        let services: Vec<&str> = trace.calls.iter().map(|c| c.service.as_str()).collect();
+        assert_eq!(services, vec!["Normaliser", "Flaky"]);
+        // and the rolled-back attempts left no probes behind
+        let doc = p.repository.get("e").unwrap();
+        let v = doc.view();
+        let probes = v
+            .descendants(doc.root())
+            .filter(|&n| v.name(n) == Some("FlakyProbe"))
+            .count();
+        assert_eq!(probes, 1);
     }
 
     #[test]

@@ -50,6 +50,26 @@ fn fmt_pred(p: &Term, prefixes: &[(&str, &str)]) -> String {
     fmt_term(p, prefixes)
 }
 
+/// Escape an IRI for an `<…>` IRIREF per the Turtle grammar: code points
+/// `#x00`–`#x20` and ``< > " { } | ^ ` \`` cannot appear raw and are
+/// emitted as numeric `\uXXXX`/`\UXXXXXXXX` (UCHAR) escapes.
+fn escape_iri(iri: &str) -> String {
+    let mut out = String::with_capacity(iri.len());
+    for c in iri.chars() {
+        if c <= '\u{20}' || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\') {
+            let code = c as u32;
+            if code <= 0xFFFF {
+                let _ = write!(out, "\\u{code:04X}");
+            } else {
+                let _ = write!(out, "\\U{code:08X}");
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 fn fmt_term(t: &Term, prefixes: &[(&str, &str)]) -> String {
     match t {
         Term::Iri(iri) => {
@@ -64,7 +84,7 @@ fn fmt_term(t: &Term, prefixes: &[(&str, &str)]) -> String {
                     }
                 }
             }
-            format!("<{iri}>")
+            format!("<{}>", escape_iri(iri))
         }
         Term::Literal {
             value,
@@ -117,7 +137,8 @@ pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, TurtleError> {
             p.expect(":")?;
             p.ws();
             p.expect("<")?;
-            let ns = p.until('>')?;
+            let raw = p.until('>')?;
+            let ns = p.unescape_iri(&raw)?;
             p.expect(">")?;
             p.ws();
             p.expect(".")?;
@@ -222,10 +243,48 @@ impl<'a> TP<'a> {
         Ok(s)
     }
 
+    /// Resolve the `\uXXXX`/`\UXXXXXXXX` (UCHAR) escapes the writer emits
+    /// inside IRIREFs. Any other backslash sequence is an error — raw
+    /// backslashes cannot appear in an IRIREF.
+    fn unescape_iri(&self, raw: &str) -> Result<String, TurtleError> {
+        if !raw.contains('\\') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            let len = match chars.next() {
+                Some('u') => 4,
+                Some('U') => 8,
+                other => {
+                    return Err(self.err(format!(
+                        "invalid IRI escape \\{}",
+                        other.map(String::from).unwrap_or_default()
+                    )))
+                }
+            };
+            let hex: String = chars.by_ref().take(len).collect();
+            if hex.len() != len {
+                return Err(self.err("truncated \\u escape in IRI"));
+            }
+            let code = u32::from_str_radix(&hex, 16)
+                .map_err(|_| self.err(format!("invalid hex in IRI escape {hex:?}")))?;
+            let c = char::from_u32(code)
+                .ok_or_else(|| self.err(format!("IRI escape U+{code:X} is not a character")))?;
+            out.push(c);
+        }
+        Ok(out)
+    }
+
     fn term(&mut self) -> Result<Term, TurtleError> {
         self.ws();
         if self.eat("<") {
-            let iri = self.until('>')?;
+            let raw = self.until('>')?;
+            let iri = self.unescape_iri(&raw)?;
             self.expect(">")?;
             return Ok(Term::Iri(iri));
         }
@@ -346,5 +405,34 @@ mod tests {
     #[test]
     fn unknown_prefix_is_an_error() {
         assert!(parse_turtle("zz:a zz:b zz:c .").is_err());
+    }
+
+    #[test]
+    fn hostile_iris_are_escaped_and_round_trip() {
+        // every character class the IRIREF production forbids raw
+        let hostile = "http://x/a<b>c\"d{e}f|g^h`i\\j k\tl\nm";
+        let triples = vec![Triple::new(
+            Term::iri(hostile),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/o"),
+        )];
+        let ttl = to_turtle(&triples);
+        // nothing forbidden leaks into the IRIREF between the angle brackets
+        for line in ttl.lines().filter(|l| l.contains("http://x/a")) {
+            assert!(!line.contains('<') || line.matches('<').count() == line.matches('>').count());
+            assert!(!line.contains('\t') && !line.contains('"') && !line.contains('{'));
+        }
+        assert!(ttl.contains("\\u003C"), "escaped '<' missing: {ttl}");
+        let parsed = parse_turtle(&ttl).unwrap();
+        assert_eq!(parsed[0].s, Term::iri(hostile));
+    }
+
+    #[test]
+    fn invalid_iri_escapes_are_rejected() {
+        assert!(parse_turtle("<http://x/\\q> <http://x/p> <http://x/o> .").is_err());
+        assert!(parse_turtle("<http://x/\\u12> <http://x/p> <http://x/o> .").is_err());
+        assert!(parse_turtle("<http://x/\\uZZZZ> <http://x/p> <http://x/o> .").is_err());
+        // a surrogate code point is not a character
+        assert!(parse_turtle("<http://x/\\uD800> <http://x/p> <http://x/o> .").is_err());
     }
 }

@@ -12,6 +12,10 @@
 //!   increasing call instants, trace recording, and an optional *eager*
 //!   mode that computes provenance during execution (the intrusive
 //!   baseline the paper argues against).
+//! * [`FaultPolicy`] / [`RetryPolicy`] / [`FailurePolicy`] — fault
+//!   tolerance: deterministic retry/backoff schedules, per-attempt rollback
+//!   to the pre-call state mark, and abort/skip/retry dispositions, with
+//!   every attempt logged in [`ExecutionOutcome::attempts`].
 //! * [`services`] — media-mining analogues (Normaliser, LanguageExtractor,
 //!   Translator, Tokeniser, EntityExtractor, Summariser, SentimentAnalyser,
 //!   KeywordExtractor, Indexer) with their mapping rules
@@ -40,10 +44,14 @@
 
 pub mod generator;
 mod orchestrator;
+mod policy;
 pub mod rng;
 mod service;
 pub mod services;
 pub mod text;
 
-pub use orchestrator::{next_time, ExecutionOutcome, Orchestrator, Workflow};
+pub use orchestrator::{
+    next_time, AttemptRecord, AttemptStatus, ExecutionOutcome, Orchestrator, Workflow,
+};
+pub use policy::{FailurePolicy, FaultPolicy, RetryPolicy};
 pub use service::{CallContext, Service, WorkflowError};

@@ -27,12 +27,24 @@ use weblab_prov::{
 };
 use weblab_xml::{Document, NodeId, Timestamp};
 
+use crate::policy::{FailurePolicy, FaultPolicy};
 use crate::service::{CallContext, Service, WorkflowError};
 
 /// Service calls completed successfully (recorded in the trace).
 static WORKFLOW_CALLS: Counter = Counter::new("workflow.calls");
-/// Service calls that failed (service error or append-only violation).
+/// Service-call attempts that failed (service error or append-only
+/// violation); every failed attempt ticks once, retries included.
 static WORKFLOW_ERRORS: Counter = Counter::new("workflow.errors");
+/// Failed attempts whose document effects were rolled back to the pre-call
+/// mark.
+static WORKFLOW_ROLLBACKS: Counter = Counter::new("workflow.rollbacks");
+/// Retries performed (attempt n+1 started after attempt n failed).
+static WORKFLOW_RETRIES: Counter = Counter::new("workflow.retries");
+/// Steps abandoned under [`FailurePolicy::Skip`] after their final attempt
+/// failed.
+static WORKFLOW_SKIPS: Counter = Counter::new("workflow.skips");
+/// Scheduled backoff before retries, in nanoseconds.
+static BACKOFF_NS: Histogram = Histogram::new("workflow.backoff_ns");
 /// Nodes appended per call — the size of each call's new fragment.
 static FRAGMENT_NODES: Histogram = Histogram::new("workflow.fragment_nodes");
 /// Service calls currently executing. Balanced by the span's drop on every
@@ -109,6 +121,43 @@ impl Workflow {
     }
 }
 
+/// How one attempt at a service call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptStatus {
+    /// The attempt completed; its fragment is part of the document and the
+    /// call is recorded in the trace.
+    Succeeded,
+    /// The attempt failed; its document effects were rolled back to the
+    /// pre-call mark.
+    RolledBack {
+        /// The failure, rendered.
+        error: String,
+    },
+    /// All attempts failed and the step was abandoned under
+    /// [`FailurePolicy::Skip`], leaving a gap at the call's instant.
+    Skipped,
+}
+
+/// Record of one attempt at a service call — including rolled-back ones,
+/// which never appear in the [`ExecutionTrace`] itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Service name.
+    pub service: String,
+    /// The call instant the attempt ran at (retries reuse the instant of
+    /// the attempt they replace).
+    pub time: Timestamp,
+    /// 1-based attempt number within the step.
+    pub attempt: u32,
+    /// Control-flow channel of the step.
+    pub channel: String,
+    /// How the attempt ended.
+    pub status: AttemptStatus,
+    /// Backoff scheduled before this attempt started, in nanoseconds
+    /// (0 for first attempts).
+    pub backoff_ns: u64,
+}
+
 /// Result of an execution: the trace plus, in eager mode, the provenance
 /// links computed along the way.
 #[derive(Debug, Default)]
@@ -117,6 +166,10 @@ pub struct ExecutionOutcome {
     pub trace: ExecutionTrace,
     /// Links computed during execution (eager mode only).
     pub eager_links: Vec<ProvLink>,
+    /// Every attempt made, in execution order — successful calls, failed
+    /// and rolled-back attempts, and skip markers alike. On a fault-free
+    /// run this is one `Succeeded` entry per trace call.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 /// The workflow execution engine.
@@ -126,12 +179,15 @@ pub struct Orchestrator {
     /// intrusive mode; `None` = non-invasive, provenance is inferred
     /// posthoc from the trace).
     pub eager_rules: Option<RuleSet>,
+    /// Fault-tolerance configuration (default: abort on first failure,
+    /// after rolling the failed call back).
+    pub fault: FaultPolicy,
 }
 
 impl Orchestrator {
     /// A non-invasive orchestrator (provenance inferred after the fact).
     pub fn new() -> Self {
-        Orchestrator { eager_rules: None }
+        Orchestrator::default()
     }
 
     /// An orchestrator that evaluates mapping rules after every call — the
@@ -139,7 +195,14 @@ impl Orchestrator {
     pub fn eager(rules: RuleSet) -> Self {
         Orchestrator {
             eager_rules: Some(rules),
+            ..Orchestrator::default()
         }
+    }
+
+    /// Replace the fault-tolerance policy (builder style).
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Execute `workflow` over `doc`, starting call instants after any
@@ -163,9 +226,42 @@ impl Orchestrator {
         doc: &mut Document,
         start: Timestamp,
     ) -> Result<ExecutionOutcome, WorkflowError> {
+        self.execute_resumable(workflow, doc, start, 0, &mut |_, _, _, _| {})
+    }
+
+    /// Execute with checkpoint/resume support: skip the first `completed`
+    /// top-level steps (they ran before a crash and their effects are
+    /// already in `doc`), and invoke `checkpoint` after every top-level
+    /// step that completes, with the number of steps now completed, the
+    /// document, the outcome so far, and the next call instant. The
+    /// platform's persist layer plugs in here to write durable checkpoints
+    /// a crashed execution can be reloaded from.
+    ///
+    /// A parallel block counts as one step: it either completes as a whole
+    /// or is re-run as a whole on resume.
+    pub fn execute_resumable<F>(
+        &self,
+        workflow: &Workflow,
+        doc: &mut Document,
+        start: Timestamp,
+        completed: usize,
+        checkpoint: &mut F,
+    ) -> Result<ExecutionOutcome, WorkflowError>
+    where
+        F: FnMut(usize, &Document, &ExecutionOutcome, Timestamp),
+    {
         let mut outcome = ExecutionOutcome::default();
         let mut time = start;
-        self.exec_steps(&workflow.steps, doc, &mut time, "", &mut outcome)?;
+        for (i, step) in workflow.steps.iter().enumerate().skip(completed) {
+            self.exec_steps(
+                std::slice::from_ref(step),
+                doc,
+                &mut time,
+                "",
+                &mut outcome,
+            )?;
+            checkpoint(i + 1, doc, &outcome, time);
+        }
         outcome.eager_links.sort();
         outcome.eager_links.dedup();
         Ok(outcome)
@@ -211,6 +307,11 @@ impl Orchestrator {
         Ok(())
     }
 
+    /// Run one service step under the fault policy: attempt the call up to
+    /// its attempt budget, rolling the document (and thereby the timestamp
+    /// counter — retries reuse the same instant) back to the pre-call mark
+    /// after every failure, so no failed attempt can leak nodes or
+    /// half-registered resources into the containment chain.
     fn exec_service(
         &self,
         service: &dyn Service,
@@ -219,8 +320,93 @@ impl Orchestrator {
         channel: &str,
         outcome: &mut ExecutionOutcome,
     ) -> Result<(), WorkflowError> {
+        let name = service.name();
+        let disposition = self.fault.failure_for(name);
+        let retry = self.fault.retry_for(name);
+        let max_attempts = self.fault.max_attempts_for(name);
+        let mut attempt = 1u32;
+        loop {
+            let backoff_ns = if attempt > 1 {
+                retry.backoff_ns(name, attempt - 1)
+            } else {
+                0
+            };
+            if backoff_ns > 0 {
+                BACKOFF_NS.record(backoff_ns);
+                std::thread::sleep(std::time::Duration::from_nanos(backoff_ns));
+            }
+            if weblab_obs::enabled() {
+                weblab_obs::counter(&format!("workflow.service.{name}.attempts")).inc();
+            }
+            let rollback_mark = doc.mark();
+            match self.attempt_service(service, doc, *time, channel, outcome) {
+                Ok(()) => {
+                    outcome.attempts.push(AttemptRecord {
+                        service: name.to_string(),
+                        time: *time,
+                        attempt,
+                        channel: channel.to_string(),
+                        status: AttemptStatus::Succeeded,
+                        backoff_ns,
+                    });
+                    *time += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    WORKFLOW_ERRORS.inc();
+                    doc.truncate_to_mark(rollback_mark)
+                        .expect("rollback mark was just taken on this document");
+                    WORKFLOW_ROLLBACKS.inc();
+                    outcome.attempts.push(AttemptRecord {
+                        service: name.to_string(),
+                        time: *time,
+                        attempt,
+                        channel: channel.to_string(),
+                        status: AttemptStatus::RolledBack {
+                            error: e.to_string(),
+                        },
+                        backoff_ns,
+                    });
+                    if attempt < max_attempts {
+                        WORKFLOW_RETRIES.inc();
+                        attempt += 1;
+                        continue;
+                    }
+                    return match disposition {
+                        FailurePolicy::Skip => {
+                            WORKFLOW_SKIPS.inc();
+                            outcome.attempts.push(AttemptRecord {
+                                service: name.to_string(),
+                                time: *time,
+                                attempt,
+                                channel: channel.to_string(),
+                                status: AttemptStatus::Skipped,
+                                backoff_ns: 0,
+                            });
+                            // reserve the failed call's instant so the gap
+                            // is visible in the trace's label sequence
+                            *time += 1;
+                            Ok(())
+                        }
+                        FailurePolicy::Abort | FailurePolicy::Retry => Err(e),
+                    };
+                }
+            }
+        }
+    }
+
+    /// One attempt at a service call: run it, validate append-only
+    /// containment, record the trace entry and (in eager mode) the links.
+    fn attempt_service(
+        &self,
+        service: &dyn Service,
+        doc: &mut Document,
+        time: Timestamp,
+        channel: &str,
+        outcome: &mut ExecutionOutcome,
+    ) -> Result<(), WorkflowError> {
         let input = doc.mark();
-        let mut ctx = CallContext::new(service.name(), *time);
+        let mut ctx = CallContext::new(service.name(), time);
         // Per-service wall-time histogram, named dynamically. The lookup
         // (format + intern) only happens while collection is enabled; the
         // span itself then balances `workflow.calls.inflight` on every exit
@@ -234,21 +420,15 @@ impl Orchestrator {
         });
         let called = service.call(doc, &mut ctx);
         drop(span);
-        if let Err(e) = called {
-            WORKFLOW_ERRORS.inc();
-            return Err(e);
-        }
+        called?;
         let output = doc.mark();
-        if let Err(e) = validate_append_only(doc, input, output, service.name()) {
-            WORKFLOW_ERRORS.inc();
-            return Err(e);
-        }
+        validate_append_only(doc, input, output, service.name())?;
         WORKFLOW_CALLS.inc();
         FRAGMENT_NODES.record((output.node_count() - input.node_count()) as u64);
         outcome.trace.record_call_on_channel(
             doc,
             service.name(),
-            *time,
+            time,
             input,
             output,
             channel,
@@ -268,7 +448,6 @@ impl Orchestrator {
                 );
             }
         }
-        *time += 1;
         Ok(())
     }
 }
@@ -461,5 +640,168 @@ mod tests {
         assert_eq!(wf.step_names(), vec!["AppendOne", "LinkedAppend"]);
         assert_eq!(wf.len(), 2);
         assert!(!wf.is_empty());
+    }
+
+    /// Parallel branches run on forks, but `time` is threaded sequentially
+    /// through them, so two branches can never mint the same `(s, t)` label
+    /// — this pins the invariant that the merge relies on.
+    #[test]
+    fn parallel_branches_never_mint_colliding_labels() {
+        let wf = Workflow::new()
+            .then(AppendOne)
+            .then_parallel(vec![
+                Workflow::new().then(AppendOne).then(AppendOne),
+                Workflow::new().then(AppendOne),
+            ])
+            .then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &n in doc.resource_nodes() {
+            if let Some(label) = doc.resource(n).and_then(|m| m.label.as_ref()) {
+                assert!(
+                    seen.insert((label.service.clone(), label.time)),
+                    "duplicate label {label} minted across parallel branches"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 5);
+        let times: Vec<_> = outcome.trace.calls.iter().map(|c| c.time).collect();
+        let mut dedup = times.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(times.len(), dedup.len(), "trace instants collide: {times:?}");
+    }
+
+    struct FailNTimes {
+        fail: u32,
+        seen: std::sync::atomic::AtomicU32,
+    }
+    impl Service for FailNTimes {
+        fn name(&self) -> &str {
+            "FailNTimes"
+        }
+        fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+            let root = doc.root();
+            let n = doc.append_element(root, "Item")?;
+            ctx.register(doc, n)?;
+            let attempt = self
+                .seen
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                + 1;
+            if attempt <= self.fail {
+                return Err(WorkflowError::Service {
+                    service: "FailNTimes".into(),
+                    message: format!("injected failure on attempt {attempt}"),
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn retry_rolls_back_and_reuses_the_call_instant() {
+        let wf = Workflow::new().then(AppendOne).then(FailNTimes {
+            fail: 2,
+            seen: std::sync::atomic::AtomicU32::new(0),
+        });
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new().with_fault(crate::policy::FaultPolicy::retrying(
+            crate::policy::RetryPolicy::with_max_attempts(3),
+        ));
+        let outcome = orch.execute(&wf, &mut doc).unwrap();
+        // trace has exactly the two successful calls, at consecutive instants
+        assert_eq!(outcome.trace.len(), 2);
+        assert_eq!(outcome.trace.calls[1].time, 2);
+        // attempt log shows the two rolled-back tries at the same instant
+        let statuses: Vec<(u32, bool)> = outcome
+            .attempts
+            .iter()
+            .filter(|a| a.service == "FailNTimes")
+            .map(|a| (a.attempt, a.status == AttemptStatus::Succeeded))
+            .collect();
+        assert_eq!(statuses, vec![(1, false), (2, false), (3, true)]);
+        assert!(outcome
+            .attempts
+            .iter()
+            .filter(|a| a.service == "FailNTimes")
+            .all(|a| a.time == 2));
+        // exactly one FailNTimes item survived the rollbacks
+        assert_eq!(doc.view().children(doc.root()).len(), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_the_last_error() {
+        let wf = Workflow::new().then(FailNTimes {
+            fail: 9,
+            seen: std::sync::atomic::AtomicU32::new(0),
+        });
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new().with_fault(crate::policy::FaultPolicy::retrying(
+            crate::policy::RetryPolicy::with_max_attempts(2),
+        ));
+        let before = doc.mark();
+        let err = orch.execute(&wf, &mut doc).unwrap_err();
+        assert!(matches!(err, WorkflowError::Service { .. }));
+        // both attempts rolled back: the document is untouched
+        assert_eq!(doc.mark(), before);
+    }
+
+    #[test]
+    fn skip_policy_leaves_a_gap_and_continues() {
+        let wf = Workflow::new()
+            .then(FailNTimes {
+                fail: 9,
+                seen: std::sync::atomic::AtomicU32::new(0),
+            })
+            .then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new().with_fault(crate::policy::FaultPolicy::skipping());
+        let outcome = orch.execute(&wf, &mut doc).unwrap();
+        // the failed step is absent from the trace, but its instant is
+        // reserved: AppendOne runs at t=2
+        assert_eq!(outcome.trace.len(), 1);
+        assert_eq!(outcome.trace.calls[0].service, "AppendOne");
+        assert_eq!(outcome.trace.calls[0].time, 2);
+        assert!(outcome
+            .attempts
+            .iter()
+            .any(|a| a.status == AttemptStatus::Skipped));
+    }
+
+    #[test]
+    fn resume_skips_completed_steps() {
+        // run the full workflow once, checkpointing after each step
+        let wf = Workflow::new().then(AppendOne).then(AppendOne).then(AppendOne);
+        let orch = Orchestrator::new();
+        let mut full = Document::new("Resource");
+        let mut marks = Vec::new();
+        let mut times = Vec::new();
+        orch.execute_resumable(&wf, &mut full, 1, 0, &mut |done, d, _, t| {
+            marks.push((done, d.mark()));
+            times.push(t);
+        })
+        .unwrap();
+        assert_eq!(marks.len(), 3);
+        // replay: rebuild the state after step 1, then resume from there
+        let mut resumed = Document::new("Resource");
+        orch.execute_resumable(
+            &Workflow::new().then(AppendOne),
+            &mut resumed,
+            1,
+            0,
+            &mut |_, _, _, _| {},
+        )
+        .unwrap();
+        let outcome = orch
+            .execute_resumable(&wf, &mut resumed, times[0], 1, &mut |_, _, _, _| {})
+            .unwrap();
+        assert_eq!(outcome.trace.len(), 2); // only the remaining steps ran
+        assert_eq!(resumed.mark(), full.mark());
+        assert_eq!(serialize_both(&full), serialize_both(&resumed));
+    }
+
+    fn serialize_both(doc: &Document) -> String {
+        weblab_xml::to_xml_string(&doc.view())
     }
 }

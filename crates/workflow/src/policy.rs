@@ -1,0 +1,286 @@
+//! Fault-tolerance policies for workflow execution.
+//!
+//! The paper's services are black boxes that "append XML fragments to a
+//! single growing document" — and black boxes fail mid-call. The policies
+//! here decide what the [`crate::Orchestrator`] does when they do:
+//!
+//! * [`FailurePolicy`] — per-step disposition once a call (and its retries)
+//!   has failed: abort the execution, skip the step, or retry it.
+//! * [`RetryPolicy`] — how many attempts a step gets and how long to back
+//!   off between them. The backoff schedule is *deterministic*: it is
+//!   derived from the in-tree SplitMix64 generator seeded by the policy
+//!   seed, the service name and the attempt number, so re-running an
+//!   execution reproduces the exact same delays (and so tests can assert
+//!   them).
+//! * [`FaultPolicy`] — the orchestrator-level bundle: a default disposition
+//!   and retry policy plus per-service overrides.
+//!
+//! Whatever the policy, every failed attempt is rolled back to the state
+//! mark taken before the call (`Document::truncate_to_mark`), so a retried
+//! or skipped service can never violate the append-only containment
+//! invariant `d_{i-1} ⊑_uri d_i` or leak half-registered resources.
+
+use std::collections::HashMap;
+
+use crate::rng::SplitMix64;
+
+/// What to do once a service call has exhausted its attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abort the whole execution (the pre-fault-tolerance behaviour). The
+    /// failed call is still rolled back, so the document is left at the
+    /// last consistent state.
+    #[default]
+    Abort,
+    /// Roll back the failed call and continue with the next step, leaving a
+    /// gap at the call's instant.
+    Skip,
+    /// Retry the call up to [`RetryPolicy::max_attempts`] times, rolling
+    /// back between attempts; abort if the final attempt fails.
+    Retry,
+}
+
+impl FailurePolicy {
+    /// Parse a policy name as accepted by the CLI's `--on-failure` flag.
+    pub fn parse(s: &str) -> Option<FailurePolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "abort" => Some(FailurePolicy::Abort),
+            "skip" => Some(FailurePolicy::Skip),
+            "retry" => Some(FailurePolicy::Retry),
+            _ => None,
+        }
+    }
+}
+
+/// Attempt budget and deterministic backoff schedule for one service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts a call gets, the first one included. `0` is treated
+    /// as `1`.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in nanoseconds; doubles per
+    /// further retry (exponential backoff). `0` disables waiting entirely —
+    /// the schedule is all zeros.
+    pub base_backoff_ns: u64,
+    /// Upper bound on any single backoff, in nanoseconds. `0` means
+    /// unbounded.
+    pub max_backoff_ns: u64,
+    /// Seed for the jitter stream. Two policies with equal fields produce
+    /// identical schedules.
+    pub backoff_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ns: 0,
+            max_backoff_ns: 0,
+            backoff_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy granting `max_attempts` total attempts with no waiting
+    /// between them.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based: the delay between
+    /// attempt `retry` failing and attempt `retry + 1` starting) of calls
+    /// to `service`.
+    ///
+    /// Exponential base doubling plus a jitter of up to one base interval,
+    /// drawn from SplitMix64 seeded by `(backoff_seed, service, retry)` —
+    /// fully deterministic per policy.
+    pub fn backoff_ns(&self, service: &str, retry: u32) -> u64 {
+        if self.base_backoff_ns == 0 || retry == 0 {
+            return 0;
+        }
+        // fold the service name into the seed (FNV-1a style)
+        let mut h = self.backoff_seed ^ 0xcbf2_9ce4_8422_2325;
+        for b in service.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = SplitMix64::seed_from_u64(h.wrapping_add(retry as u64));
+        let exp = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << (retry - 1).min(20));
+        let jitter = rng.next_u64() % self.base_backoff_ns;
+        let delay = exp.saturating_add(jitter);
+        if self.max_backoff_ns == 0 {
+            delay
+        } else {
+            delay.min(self.max_backoff_ns)
+        }
+    }
+
+    /// The full deterministic schedule for `service`: one delay per
+    /// possible retry (`max_attempts - 1` entries).
+    pub fn backoff_schedule(&self, service: &str) -> Vec<u64> {
+        (1..self.max_attempts.max(1))
+            .map(|r| self.backoff_ns(service, r))
+            .collect()
+    }
+}
+
+/// Per-service override slots inside a [`FaultPolicy`].
+#[derive(Debug, Clone, Default)]
+struct ServiceOverride {
+    on_failure: Option<FailurePolicy>,
+    retry: Option<RetryPolicy>,
+}
+
+/// The orchestrator-level fault-tolerance configuration: a default
+/// disposition and retry policy, plus per-service overrides keyed by
+/// service name.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Default disposition for every step without an override.
+    pub on_failure: FailurePolicy,
+    /// Default retry policy for every step without an override.
+    pub retry: RetryPolicy,
+    per_service: HashMap<String, ServiceOverride>,
+}
+
+impl FaultPolicy {
+    /// The pre-fault-tolerance behaviour: abort on first failure (but roll
+    /// the failed call back). This is the default.
+    pub fn abort() -> Self {
+        FaultPolicy::default()
+    }
+
+    /// Retry every failing step under `retry`, aborting only when the
+    /// final attempt fails.
+    pub fn retrying(retry: RetryPolicy) -> Self {
+        FaultPolicy {
+            on_failure: FailurePolicy::Retry,
+            retry,
+            per_service: HashMap::new(),
+        }
+    }
+
+    /// Skip every failing step after rolling it back.
+    pub fn skipping() -> Self {
+        FaultPolicy {
+            on_failure: FailurePolicy::Skip,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Override the disposition for one service.
+    pub fn override_failure(
+        mut self,
+        service: impl Into<String>,
+        policy: FailurePolicy,
+    ) -> Self {
+        self.per_service
+            .entry(service.into())
+            .or_default()
+            .on_failure = Some(policy);
+        self
+    }
+
+    /// Override the retry policy for one service.
+    pub fn override_retry(mut self, service: impl Into<String>, retry: RetryPolicy) -> Self {
+        self.per_service.entry(service.into()).or_default().retry = Some(retry);
+        self
+    }
+
+    /// Effective disposition for `service`.
+    pub fn failure_for(&self, service: &str) -> FailurePolicy {
+        self.per_service
+            .get(service)
+            .and_then(|o| o.on_failure)
+            .unwrap_or(self.on_failure)
+    }
+
+    /// Effective retry policy for `service`.
+    pub fn retry_for(&self, service: &str) -> &RetryPolicy {
+        self.per_service
+            .get(service)
+            .and_then(|o| o.retry.as_ref())
+            .unwrap_or(&self.retry)
+    }
+
+    /// Total attempts a call to `service` gets under this policy: its retry
+    /// budget when its disposition is [`FailurePolicy::Retry`], otherwise a
+    /// single attempt.
+    pub fn max_attempts_for(&self, service: &str) -> u32 {
+        match self.failure_for(service) {
+            FailurePolicy::Retry => self.retry_for(service).max_attempts.max(1),
+            FailurePolicy::Abort | FailurePolicy::Skip => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 0,
+            backoff_seed: 7,
+        };
+        let a = p.backoff_schedule("Normaliser");
+        let b = p.backoff_schedule("Normaliser");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // each delay is exponential base + jitter < base
+        assert!((1_000..2_000).contains(&a[0]), "{a:?}");
+        assert!((2_000..3_000).contains(&a[1]), "{a:?}");
+        assert!((4_000..5_000).contains(&a[2]), "{a:?}");
+        // different services draw different jitter
+        let other = p.backoff_schedule("Translator");
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn zero_base_means_no_waiting() {
+        let p = RetryPolicy::with_max_attempts(5);
+        assert_eq!(p.backoff_schedule("S"), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn backoff_respects_cap() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 2_500,
+            backoff_seed: 1,
+        };
+        for d in p.backoff_schedule("S") {
+            assert!(d <= 2_500, "{d}");
+        }
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let fp = FaultPolicy::retrying(RetryPolicy::with_max_attempts(3))
+            .override_failure("Fragile", FailurePolicy::Skip)
+            .override_retry("Stubborn", RetryPolicy::with_max_attempts(7));
+        assert_eq!(fp.failure_for("Other"), FailurePolicy::Retry);
+        assert_eq!(fp.max_attempts_for("Other"), 3);
+        assert_eq!(fp.failure_for("Fragile"), FailurePolicy::Skip);
+        // Skip disposition means a single attempt even with a retry budget
+        assert_eq!(fp.max_attempts_for("Fragile"), 1);
+        assert_eq!(fp.max_attempts_for("Stubborn"), 7);
+    }
+
+    #[test]
+    fn failure_policy_parses_cli_names() {
+        assert_eq!(FailurePolicy::parse("abort"), Some(FailurePolicy::Abort));
+        assert_eq!(FailurePolicy::parse("Skip"), Some(FailurePolicy::Skip));
+        assert_eq!(FailurePolicy::parse("RETRY"), Some(FailurePolicy::Retry));
+        assert_eq!(FailurePolicy::parse("explode"), None);
+    }
+}

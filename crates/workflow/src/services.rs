@@ -517,6 +517,55 @@ impl Service for Indexer {
     }
 }
 
+/// Flaky: a fault-injection service for exercising retry policies. It
+/// appends and registers a `FlakyProbe` resource under the root, then fails
+/// the first `fail_times` calls *after* mutating the document — so every
+/// early attempt leaves work behind that the orchestrator must roll back.
+/// Succeeds from call `fail_times + 1` on.
+pub struct Flaky {
+    fail_times: u32,
+    calls: std::sync::atomic::AtomicU32,
+}
+
+impl Flaky {
+    /// A service that fails its first `fail_times` calls, then succeeds.
+    pub fn failing(fail_times: u32) -> Self {
+        Flaky {
+            fail_times,
+            calls: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+}
+
+impl Service for Flaky {
+    fn name(&self) -> &str {
+        "Flaky"
+    }
+
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        // idempotent on success: only one probe per call instant
+        let marker = format!("t{}", ctx.time());
+        let v = doc.view();
+        if v.descendants(root)
+            .any(|n| v.name(n) == Some("FlakyProbe") && v.attr(n, "at") == Some(marker.as_str()))
+        {
+            return Ok(());
+        }
+        let probe = doc.append_element(root, "FlakyProbe")?;
+        doc.set_attr(probe, "at", marker)?;
+        ctx.register(doc, probe)?;
+        let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        if call <= self.fail_times {
+            return Err(WorkflowError::Service {
+                service: "Flaky".into(),
+                message: format!("injected fault {call}/{}", self.fail_times),
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -366,6 +366,47 @@ impl Document {
         self.resource_log[mark.resources as usize..].to_vec()
     }
 
+    /// Roll the document back to `mark`, discarding every node allocation
+    /// and resource registration made after it — the inverse of the append
+    /// operations, used by the workflow engine to retry or skip a failed
+    /// service call without violating the containment chain
+    /// `d_{i-1} ⊑_uri d_i`.
+    ///
+    /// Because the arena and the resource log are strictly append-only, the
+    /// state at `mark` is exactly "the first `nodes` nodes and the first
+    /// `resources` registrations": truncating both (and detaching truncated
+    /// children from surviving parents) restores it. Marks previously taken
+    /// at or below `mark` remain valid afterwards; later marks become
+    /// foreign.
+    ///
+    /// One caveat mirrors [`StateMark`]'s definition of a state: attribute
+    /// values of *pre-existing* elements are not versioned, so a service
+    /// that mutated an old node's attribute before failing is not undone
+    /// here. The orchestrator's append-only validation has the same blind
+    /// spot by design — well-behaved services only touch nodes they
+    /// created.
+    pub fn truncate_to_mark(&mut self, mark: StateMark) -> Result<()> {
+        let nodes = mark.nodes as usize;
+        let resources = mark.resources as usize;
+        if nodes > self.arena.len() || resources > self.resource_log.len() {
+            return Err(Error::MarkAhead {
+                nodes,
+                resources,
+            });
+        }
+        for &n in &self.resource_log[resources..] {
+            if let Some((_, meta)) = self.resources.remove(&n) {
+                self.uri_index.remove(&meta.uri);
+            }
+        }
+        self.resource_log.truncate(resources);
+        for node in &mut self.arena.nodes[..nodes] {
+            node.children.retain(|c| (c.0 as usize) < nodes);
+        }
+        self.arena.nodes.truncate(nodes);
+        Ok(())
+    }
+
     /// Deep-copy the state at `mark` into a standalone document.
     ///
     /// Node ids are preserved (states are prefixes of the arena), so marks
@@ -709,6 +750,48 @@ mod tests {
         assert!(!v1.is_ancestor_or_self(a, n));
         let v0 = d.view_at(d0);
         assert!(!v0.is_ancestor_or_self(n, a)); // a not in d0
+    }
+
+    #[test]
+    fn truncate_restores_earlier_state_exactly() {
+        let (mut d, _m, n, d0) = sample();
+        // a "failed call": new fragment, a promotion of n, a new resource
+        let t = d.append_element(d.root(), "T").unwrap();
+        d.register_resource(n, "r-promo", Some(CallLabel::new("S", 2)))
+            .unwrap();
+        d.register_resource(t, "r-new", Some(CallLabel::new("S", 2)))
+            .unwrap();
+        d.truncate_to_mark(d0).unwrap();
+        assert_eq!(d.mark(), d0);
+        assert_eq!(d.view().children(d.root()).len(), 2);
+        assert_eq!(d.view().uri(n), None);
+        assert_eq!(d.node_by_uri("r-promo"), None);
+        assert_eq!(d.node_by_uri("r-new"), None);
+        // the rolled-back URIs are free for a clean re-registration
+        let t2 = d.append_element(d.root(), "T").unwrap();
+        d.register_resource(t2, "r-new", Some(CallLabel::new("S", 2)))
+            .unwrap();
+        assert_eq!(d.node_by_uri("r-new"), Some(t2));
+    }
+
+    #[test]
+    fn truncate_to_current_mark_is_a_no_op() {
+        let (mut d, ..) = sample();
+        let before = d.mark();
+        let xml_before = crate::to_xml_string(&d.view());
+        d.truncate_to_mark(before).unwrap();
+        assert_eq!(d.mark(), before);
+        assert_eq!(crate::to_xml_string(&d.view()), xml_before);
+    }
+
+    #[test]
+    fn truncate_rejects_future_marks() {
+        let (mut d, ..) = sample();
+        let ahead = StateMark::from_counts(d.node_count() + 1, 0);
+        assert!(matches!(
+            d.truncate_to_mark(ahead),
+            Err(Error::MarkAhead { .. })
+        ));
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub enum Error {
     WouldCycle(NodeId),
     /// Attribute mutation on a node that is already frozen into a state mark.
     FrozenNode(NodeId),
+    /// A state mark describes a state the document never reached (its
+    /// counters exceed the document's), so it cannot be rolled back to.
+    MarkAhead {
+        /// Node count claimed by the mark.
+        nodes: usize,
+        /// Resource count claimed by the mark.
+        resources: usize,
+    },
     /// XML syntax error at a byte offset.
     Parse {
         /// Byte offset of the error in the input.
@@ -41,6 +49,12 @@ impl fmt::Display for Error {
             Error::WouldCycle(n) => write!(f, "attaching node {n} would create a cycle"),
             Error::FrozenNode(n) => {
                 write!(f, "node {n} belongs to a frozen state and cannot be modified")
+            }
+            Error::MarkAhead { nodes, resources } => {
+                write!(
+                    f,
+                    "state mark ({nodes} nodes, {resources} resources) is ahead of this document"
+                )
             }
             Error::Parse { offset, message } => {
                 write!(f, "xml parse error at byte {offset}: {message}")

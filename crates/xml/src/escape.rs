@@ -1,12 +1,30 @@
 //! Minimal XML escaping/unescaping for the five predefined entities.
+//!
+//! Both directions enforce the XML 1.0 `Char` production: `unescape`
+//! rejects character references to code points outside it (`&#0;`,
+//! `&#x1;`, surrogate halves …), because the resulting control characters
+//! would serialise raw and break the round-trip re-parse; the escapers emit
+//! `\r` as `&#13;` so carriage returns survive a re-parse instead of being
+//! line-end-normalised away.
 
-/// Escape text content (`&`, `<`, `>`).
+/// Is `c` in the XML 1.0 `Char` production? Everything else may not appear
+/// in a document, even via a character reference.
+fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\t' | '\n' | '\r'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Escape text content (`&`, `<`, `>`, and `\r` as a character reference).
 pub(crate) fn escape_text(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
@@ -20,13 +38,15 @@ pub(crate) fn escape_attr(s: &str, out: &mut String) {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
 }
 
 /// Resolve the predefined entities and decimal/hex character references.
-/// Returns `None` on a malformed reference.
+/// Returns `None` on a malformed reference or a reference to a code point
+/// outside the XML 1.0 `Char` production.
 pub(crate) fn unescape(s: &str) -> Option<String> {
     if !s.contains('&') {
         return Some(s.to_string());
@@ -46,11 +66,13 @@ pub(crate) fn unescape(s: &str) -> Option<String> {
             "apos" => out.push('\''),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
                 let code = u32::from_str_radix(&name[2..], 16).ok()?;
-                out.push(char::from_u32(code)?);
+                let c = char::from_u32(code).filter(|&c| is_xml_char(c))?;
+                out.push(c);
             }
             _ if name.starts_with('#') => {
                 let code: u32 = name[1..].parse().ok()?;
-                out.push(char::from_u32(code)?);
+                let c = char::from_u32(code).filter(|&c| is_xml_char(c))?;
+                out.push(c);
             }
             _ => return None,
         }
@@ -82,6 +104,36 @@ mod tests {
         assert!(unescape("&bogus;").is_none());
         assert!(unescape("&#xZZ;").is_none());
         assert!(unescape("&unterminated").is_none());
+    }
+
+    #[test]
+    fn non_xml_code_points_rejected() {
+        // NUL and other C0 controls (except tab/lf/cr) are not XML chars
+        assert!(unescape("&#0;").is_none());
+        assert!(unescape("&#x1;").is_none());
+        assert!(unescape("&#8;").is_none());
+        // bare surrogate halves (already rejected by char::from_u32)
+        assert!(unescape("&#xD800;").is_none());
+        // the non-characters at the top of the BMP
+        assert!(unescape("&#xFFFE;").is_none());
+        // beyond the Unicode range
+        assert!(unescape("&#x110000;").is_none());
+        // whitespace controls remain legal
+        assert_eq!(unescape("&#9;&#10;&#13;").unwrap(), "\t\n\r");
+        assert_eq!(unescape("&#x1F600;").unwrap(), "😀");
+    }
+
+    #[test]
+    fn carriage_returns_round_trip_through_escaping() {
+        let original = "line1\r\nline2\rtail";
+        let mut text = String::new();
+        escape_text(original, &mut text);
+        assert!(!text.contains('\r'), "raw CR must not be emitted: {text:?}");
+        assert_eq!(unescape(&text).unwrap(), original);
+        let mut attr = String::new();
+        escape_attr(original, &mut attr);
+        assert!(!attr.contains('\r'));
+        assert_eq!(unescape(&attr).unwrap(), original);
     }
 
     #[test]

@@ -46,4 +46,32 @@ for name, value in report["gauges"].items():
 print(f"ci: metrics report ok ({len(counters)} counters)")
 PY
 
+echo "==> fault-tolerance smoke run (flaky service under --retries 2)"
+./target/release/weblab --metrics --metrics-out "$metrics_dir/fault.json" \
+    run data/sample_corpus.xml Normaliser,flaky:2,LanguageExtractor \
+    --retries 2 -o "$metrics_dir/retried.xml" \
+    || { echo "ci: flaky run under --retries 2 must exit 0" >&2; exit 1; }
+python3 - "$metrics_dir/fault.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+counters = report["counters"]
+# the two injected faults were rolled back and retried, then succeeded
+assert counters.get("workflow.rollbacks", 0) >= 1, \
+    f"workflow.rollbacks did not tick: {counters.get('workflow.rollbacks')}"
+assert counters.get("workflow.retries", 0) >= 1, "workflow.retries did not tick"
+assert counters.get("workflow.errors", 0) >= 2, "each failed attempt must count"
+assert counters.get("workflow.skips", 0) == 0, "nothing was skipped in this run"
+assert counters.get("workflow.service.Flaky.attempts", 0) == 3, \
+    "the flaky step takes exactly three attempts"
+# rolled-back attempts never reach the trace: one recorded call per step
+assert counters.get("workflow.calls", 0) == 3, "exactly three calls recorded"
+for name, value in report["gauges"].items():
+    assert value == 0, f"gauge {name!r} leaked: {value}"
+print("ci: fault-tolerance metrics ok "
+      f"(rollbacks={counters['workflow.rollbacks']}, retries={counters['workflow.retries']})")
+PY
+
 echo "ci: all gates passed"

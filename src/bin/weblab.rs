@@ -1,9 +1,19 @@
 //! `weblab` — command-line interface to the WebLab PROV reproduction.
 //!
 //! ```text
-//! weblab run <input.xml> <service,service,…> [-o out.xml]
+//! weblab run <input.xml> <service,service,…> [-o out.xml] [--retries N]
+//!            [--on-failure abort|skip|retry] [--checkpoint DIR [--resume]]
 //!     Run built-in media-mining services over a WebLab document and write
 //!     the stamped result (wl:id / wl:s / wl:t metadata included).
+//!     `--retries N` grants each step N extra attempts (failed attempts are
+//!     rolled back to the pre-call state; retries reuse the call instant).
+//!     `--on-failure` sets the disposition once attempts are exhausted:
+//!     abort the run (default), skip the step, or retry (implied by
+//!     `--retries`). `--checkpoint DIR` persists document + trace + a
+//!     checkpoint after every completed step; `--resume` restarts a crashed
+//!     run from the last checkpoint in DIR instead of from <input.xml>.
+//!     The `flaky` / `flaky:N` pseudo-service fails its first 2 / N calls
+//!     and then succeeds — a fault-injection aid for exercising the flags.
 //!
 //! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]
 //!     Reconstruct the execution trace from the document's labels, apply
@@ -36,17 +46,19 @@
 
 use std::process::ExitCode;
 
-use weblab::platform::ServiceCatalog;
+use weblab::platform::{persist, ServiceCatalog};
 use weblab::prov::{
     infer_provenance, query as provq, EngineOptions, ExecutionTrace, InheritMode, Parallelism,
     ProvenanceGraph, RuleSet,
 };
 use weblab::rdf::{export_prov, parse_select, select, to_turtle, TripleStore};
 use weblab::workflow::services::{
-    self, EntityExtractor, Indexer, KeywordExtractor, LanguageExtractor, Normaliser,
+    self, EntityExtractor, Flaky, Indexer, KeywordExtractor, LanguageExtractor, Normaliser,
     OcrExtractor, SentimentAnalyser, SpeechTranscriber, Summariser, Tokeniser, Translator,
 };
-use weblab::workflow::{Orchestrator, Service, Workflow};
+use weblab::workflow::{
+    AttemptStatus, FailurePolicy, FaultPolicy, Orchestrator, RetryPolicy, Service, Workflow,
+};
 use weblab::xml::{parse_document, to_xml_string_pretty, Document};
 
 fn main() -> ExitCode {
@@ -148,6 +160,16 @@ fn read_doc(path: &str) -> Result<Document, String> {
 }
 
 fn service_by_name(name: &str) -> Option<Box<dyn Service>> {
+    // fault-injection service: `flaky` fails twice then succeeds; `flaky:N`
+    // fails N times
+    if let Some(rest) = name.to_lowercase().strip_prefix("flaky") {
+        let n = match rest.strip_prefix(':') {
+            Some(v) => v.parse().ok()?,
+            None if rest.is_empty() => 2,
+            None => return None,
+        };
+        return Some(Box::new(Flaky::failing(n)));
+    }
     Some(match name.to_lowercase().as_str() {
         "normaliser" | "normalizer" => Box::new(Normaliser),
         "languageextractor" | "language" => Box::new(LanguageExtractor),
@@ -230,31 +252,171 @@ fn build_graph(
 
 fn cmd_run(args: &[String]) -> CliResult {
     let (mut input, mut pipeline, mut out) = (None, None, None);
+    let mut retries: Option<u32> = None;
+    let mut on_failure: Option<FailurePolicy> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--out" => out = Some(it.next().ok_or("missing value for -o")?.clone()),
+            "--retries" => {
+                let v = it.next().ok_or("missing value for --retries")?;
+                retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("--retries expects a count, got {v:?}"))?,
+                );
+            }
+            "--on-failure" => {
+                let v = it.next().ok_or("missing value for --on-failure")?;
+                on_failure = Some(FailurePolicy::parse(v).ok_or_else(|| {
+                    format!("--on-failure expects abort|skip|retry, got {v:?}")
+                })?);
+            }
+            "--checkpoint" => {
+                checkpoint_dir = Some(it.next().ok_or("missing value for --checkpoint")?.clone())
+            }
+            "--resume" => resume = true,
             other if input.is_none() => input = Some(other.to_string()),
             other if pipeline.is_none() => pipeline = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let input = input.ok_or("usage: weblab run <input.xml> <service,…> [-o out.xml]")?;
+    let input = input.ok_or(
+        "usage: weblab run <input.xml> <service,…> [-o out.xml] [--retries N] \
+         [--on-failure abort|skip|retry] [--checkpoint DIR [--resume]]",
+    )?;
     let pipeline = pipeline.ok_or("missing service list")?;
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint DIR".into());
+    }
 
-    let mut doc = read_doc(&input)?;
     let mut wf = Workflow::new();
     for name in pipeline.split(',') {
         let svc =
             service_by_name(name.trim()).ok_or_else(|| format!("unknown service {name:?}"))?;
         wf = wf.then_boxed(svc);
     }
-    let outcome = Orchestrator::new()
-        .execute(&wf, &mut doc)
-        .map_err(|e| e.to_string())?;
+    let step_names = wf.step_names();
+
+    // fault policy: --retries N grants N extra attempts per step and implies
+    // the retry disposition unless --on-failure overrides it
+    let mut fault = FaultPolicy::default();
+    if let Some(n) = retries {
+        fault.on_failure = FailurePolicy::Retry;
+        fault.retry = RetryPolicy::with_max_attempts(n + 1);
+    }
+    if let Some(d) = on_failure {
+        fault.on_failure = d;
+    }
+    let orch = Orchestrator::new().with_fault(fault);
+
+    // checkpoint/resume: the execution id is derived from the input path
+    let exec_id = std::path::Path::new(&input)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("execution")
+        .to_string();
+    let ckpt_dir = checkpoint_dir.as_ref().map(std::path::Path::new);
+
+    let (mut doc, mut completed, mut start, prior_calls) = if resume {
+        let dir = ckpt_dir.expect("checked above");
+        match persist::load_checkpoint(dir, &exec_id).map_err(|e| e.to_string())? {
+            Some(ckpt) => {
+                if ckpt.step_names != step_names {
+                    return Err(format!(
+                        "checkpoint in {} was written by a different workflow \
+                         ({:?}, not {:?})",
+                        dir.display(),
+                        ckpt.step_names,
+                        step_names
+                    ));
+                }
+                let (doc, trace) =
+                    persist::load_execution(dir, &exec_id).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "resuming after {} completed step(s) at t={}",
+                    ckpt.completed_steps, ckpt.next_time
+                );
+                (doc, ckpt.completed_steps, ckpt.next_time, trace.calls)
+            }
+            None => {
+                eprintln!("no checkpoint found in {}; starting fresh", dir.display());
+                (read_doc(&input)?, 0, 0, Vec::new())
+            }
+        }
+    } else {
+        (read_doc(&input)?, 0, 0, Vec::new())
+    };
+    if start == 0 {
+        start = weblab::workflow::next_time(&doc);
+        completed = 0;
+    }
+
+    // after every completed top-level step, persist document + trace + a
+    // checkpoint (atomically); a crash resumes from the last completed step
+    let ckpt_error = std::cell::RefCell::new(None::<String>);
+    let outcome_result = orch.execute_resumable(
+        &wf,
+        &mut doc,
+        start,
+        completed,
+        &mut |done, doc, outcome, next_time| {
+            if let Some(dir) = ckpt_dir {
+                let mut full = ExecutionTrace {
+                    calls: prior_calls.clone(),
+                };
+                full.calls.extend(outcome.trace.calls.iter().cloned());
+                let r = persist::save_execution(dir, &exec_id, doc, &full)
+                    .and_then(|()| {
+                        persist::save_checkpoint(
+                            dir,
+                            &exec_id,
+                            &persist::Checkpoint {
+                                completed_steps: done,
+                                next_time,
+                                step_names: step_names.clone(),
+                            },
+                        )
+                    });
+                if let Err(e) = r {
+                    ckpt_error.borrow_mut().get_or_insert(e.to_string());
+                }
+            }
+        },
+    );
+    let outcome = outcome_result.map_err(|e| e.to_string())?;
+    if let Some(e) = ckpt_error.into_inner() {
+        return Err(format!("writing checkpoint: {e}"));
+    }
+    if let Some(dir) = ckpt_dir {
+        persist::clear_checkpoint(dir, &exec_id).map_err(|e| e.to_string())?;
+    }
+
+    let (mut rolled_back, mut skipped) = (0usize, 0usize);
+    for a in &outcome.attempts {
+        match &a.status {
+            AttemptStatus::RolledBack { error } => {
+                rolled_back += 1;
+                eprintln!(
+                    "attempt {} of {} at t={} rolled back: {error}",
+                    a.attempt, a.service, a.time
+                );
+            }
+            AttemptStatus::Skipped => {
+                skipped += 1;
+                eprintln!("step {} at t={} skipped after final attempt", a.service, a.time);
+            }
+            AttemptStatus::Succeeded => {}
+        }
+    }
     eprintln!(
-        "executed {} calls; document has {} nodes, {} resources",
+        "executed {} calls ({} attempt(s), {} rolled back, {} skipped); \
+         document has {} nodes, {} resources",
         outcome.trace.len(),
+        outcome.attempts.len(),
+        rolled_back,
+        skipped,
         doc.node_count(),
         doc.resource_nodes().len()
     );

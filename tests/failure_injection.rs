@@ -3,12 +3,15 @@
 
 use std::sync::Arc;
 
-use weblab::platform::{Mapper, Platform, PlatformError};
-use weblab::prov::{infer_provenance, EngineOptions, RuleSet};
+use weblab::platform::{persist, Mapper, Platform, PlatformError};
+use weblab::prov::{infer_provenance, EngineOptions, ProvenanceGraph, RuleSet};
 use weblab::workflow::generator::generate_corpus;
-use weblab::workflow::services::Normaliser;
-use weblab::workflow::{CallContext, Orchestrator, Service, Workflow, WorkflowError};
-use weblab::xml::Document;
+use weblab::workflow::services::{self, Flaky, LanguageExtractor, Normaliser};
+use weblab::workflow::{
+    next_time, AttemptStatus, CallContext, FaultPolicy, Orchestrator, RetryPolicy, Service,
+    Workflow, WorkflowError,
+};
+use weblab::xml::{to_xml_string, Document};
 
 /// Fails after partially mutating the document.
 struct FailsMidway;
@@ -124,6 +127,161 @@ fn recorder_rejects_malformed_and_regressive_responses() {
     // neither attempt corrupted the stored document
     assert!(p.recorder().repository.get("e").is_some());
     assert!(p.recorder().traces.get("e").is_none());
+}
+
+/// The PR's acceptance scenario: a service that fails twice then succeeds
+/// completes under `RetryPolicy { max_attempts: 3 }`, with the final
+/// document byte-identical to a clean run and all three attempts recorded.
+#[test]
+fn service_failing_twice_then_succeeding_is_byte_identical_to_a_clean_run() {
+    let mk = |fails| {
+        Workflow::new()
+            .then(Normaliser)
+            .then(Flaky::failing(fails))
+            .then(LanguageExtractor)
+    };
+    let mut clean = generate_corpus(8, 1, 20);
+    Orchestrator::new().execute(&mk(0), &mut clean).unwrap();
+
+    let mut faulty = generate_corpus(8, 1, 20);
+    let orch = Orchestrator::new()
+        .with_fault(FaultPolicy::retrying(RetryPolicy::with_max_attempts(3)));
+    let outcome = orch.execute(&mk(2), &mut faulty).unwrap();
+
+    assert_eq!(
+        to_xml_string(&clean.view()),
+        to_xml_string(&faulty.view()),
+        "retried run must be indistinguishable from a first-try run"
+    );
+    let flaky: Vec<(u32, bool)> = outcome
+        .attempts
+        .iter()
+        .filter(|a| a.service == "Flaky")
+        .map(|a| (a.attempt, a.status == AttemptStatus::Succeeded))
+        .collect();
+    assert_eq!(flaky, vec![(1, false), (2, false), (3, true)]);
+    assert_eq!(outcome.trace.len(), 3); // rolled-back attempts never reach the trace
+}
+
+/// A skipped step reserves its call instant, and posthoc inference over the
+/// gapped trace still works.
+#[test]
+fn skipped_step_gap_is_tolerated_by_inference() {
+    let mut doc = generate_corpus(6, 1, 20);
+    let wf = Workflow::new()
+        .then(Normaliser)
+        .then(Flaky::failing(99))
+        .then(LanguageExtractor);
+    let orch = Orchestrator::new().with_fault(FaultPolicy::skipping());
+    let outcome = orch.execute(&wf, &mut doc).unwrap();
+    assert_eq!(outcome.trace.len(), 2);
+    assert_eq!(
+        outcome.trace.calls[1].time,
+        outcome.trace.calls[0].time + 2,
+        "the skipped step's instant must stay reserved"
+    );
+    let g = infer_provenance(
+        &doc,
+        &outcome.trace,
+        &services::default_rules(),
+        &EngineOptions::default(),
+    );
+    assert!(g.is_acyclic());
+    assert!(!g.links.is_empty());
+}
+
+/// An aborted call's rollback restores node and resource counts exactly —
+/// no half-registered resources survive.
+#[test]
+fn rollback_restores_node_and_resource_counts() {
+    let mut doc = generate_corpus(7, 1, 20);
+    let before_nodes = doc.node_count();
+    let before_resources = doc.resource_nodes().len();
+    let wf = Workflow::new().then(FailsMidway);
+    let err = Orchestrator::new().execute(&wf, &mut doc).unwrap_err();
+    assert!(matches!(err, WorkflowError::Service { .. }));
+    assert_eq!(doc.node_count(), before_nodes);
+    assert_eq!(doc.resource_nodes().len(), before_resources);
+    // the rolled-back registration's uri is free again
+    let root = doc.root();
+    let n = doc.append_element(root, "Reclaim").unwrap();
+    assert!(doc
+        .register_resource(n, "weblab://res/FailsMidway-t1-1", None)
+        .is_ok());
+}
+
+fn link_pairs(g: &ProvenanceGraph) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = g
+        .links
+        .iter()
+        .map(|l| (l.from_uri.clone(), l.to_uri.clone()))
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// Crash after the first step, resume from the persisted checkpoint: the
+/// inferred provenance links match a run that never crashed.
+#[test]
+fn resume_after_crash_produces_the_same_inferred_links() {
+    let dir = std::env::temp_dir().join(format!("weblab-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let full_wf = || Workflow::new().then(Normaliser).then(LanguageExtractor);
+
+    let mut clean = generate_corpus(9, 1, 20);
+    let clean_outcome = Orchestrator::new().execute(&full_wf(), &mut clean).unwrap();
+
+    // first process: run only the first step, checkpointing, then "crash"
+    let orch = Orchestrator::new();
+    let step_names = full_wf().step_names();
+    let mut doc = generate_corpus(9, 1, 20);
+    let start = next_time(&doc);
+    orch.execute_resumable(
+        &Workflow::new().then(Normaliser),
+        &mut doc,
+        start,
+        0,
+        &mut |done, d, o, t| {
+            persist::save_execution(&dir, "e", d, &o.trace).unwrap();
+            persist::save_checkpoint(
+                &dir,
+                "e",
+                &persist::Checkpoint {
+                    completed_steps: done,
+                    next_time: t,
+                    step_names: step_names.clone(),
+                },
+            )
+            .unwrap();
+        },
+    )
+    .unwrap();
+    drop(doc); // the crash: in-memory state is gone
+
+    // second process: reload and resume from the checkpoint
+    let ckpt = persist::load_checkpoint(&dir, "e").unwrap().unwrap();
+    assert_eq!(ckpt.completed_steps, 1);
+    let (mut resumed, prior) = persist::load_execution(&dir, "e").unwrap();
+    let outcome = orch
+        .execute_resumable(
+            &full_wf(),
+            &mut resumed,
+            ckpt.next_time,
+            ckpt.completed_steps,
+            &mut |_, _, _, _| {},
+        )
+        .unwrap();
+    assert_eq!(outcome.trace.len(), 1); // only the remaining step ran
+    let mut full_trace = prior;
+    full_trace.calls.extend(outcome.trace.calls);
+
+    let rules = services::default_rules();
+    let opts = EngineOptions::default();
+    let g_clean = infer_provenance(&clean, &clean_outcome.trace, &rules, &opts);
+    let g_resumed = infer_provenance(&resumed, &full_trace, &rules, &opts);
+    assert_eq!(link_pairs(&g_clean), link_pairs(&g_resumed));
+    assert!(!g_resumed.links.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

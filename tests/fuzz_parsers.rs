@@ -135,4 +135,33 @@ proptest! {
         original.sort();
         prop_assert_eq!(parsed, original);
     }
+
+    /// Hostile URIs — angle brackets, quotes, braces, backslashes, control
+    /// characters — must survive the writer → parser round trip via the
+    /// IRIREF `\u` escapes, not corrupt neighbouring triples.
+    #[test]
+    fn turtle_writer_round_trips_hostile_iris(
+        evil in "[a-z<>\"{}|\\^`\\\\\\t\\n ]{0,24}",
+        tail in "[a-zA-Z0-9_]{1,8}",
+    ) {
+        let triples = vec![
+            Triple::new(
+                Term::iri(format!("http://ex.org/{evil}")),
+                Term::iri(format!("http://ex.org/p_{tail}")),
+                Term::iri(format!("http://ex.org/{evil}#{tail}")),
+            ),
+            Triple::new(
+                Term::iri(format!("http://ex.org/{tail}")),
+                Term::iri(format!("http://ex.org/p_{tail}")),
+                Term::lit("witness"),
+            ),
+        ];
+        let ttl = to_turtle(&triples);
+        let mut parsed = parse_turtle(&ttl)
+            .unwrap_or_else(|e| panic!("writer output must reparse: {e}\n{ttl}"));
+        let mut original = triples;
+        parsed.sort();
+        original.sort();
+        prop_assert_eq!(parsed, original);
+    }
 }
