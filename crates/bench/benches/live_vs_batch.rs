@@ -1,0 +1,71 @@
+//! X12 — Live maintenance vs batch inference.
+//!
+//! Live provenance maintenance folds each committed call into a
+//! materialised link store from the orchestrator's call-completion hook
+//! (incremental channel map, shared pattern cache, O(delta) per call);
+//! batch inference pays the whole cost once at the end. This experiment
+//! measures both totals over the same workloads. Expected shape: the
+//! summed cost of all live deltas stays within a small constant factor of
+//! the single batch pass — the price of having the graph queryable after
+//! *every* call instead of only at the end — and does not degrade
+//! super-linearly as the workflow grows (the trap a naive per-call
+//! re-inference falls into by rebuilding the channel map per delta).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+use weblab_prov::{infer_provenance, EngineOptions, LiveProvenance};
+use weblab_workflow::generator::synthetic_workload;
+use weblab_workflow::Orchestrator;
+
+fn bench_live_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x12_live_vs_batch");
+    group.sample_size(10);
+    for n_calls in [8usize, 24, 48] {
+        group.bench_with_input(
+            BenchmarkId::new("execute_then_batch", n_calls),
+            &n_calls,
+            |b, &n| {
+                b.iter(|| {
+                    let (mut doc, wf, rules) = synthetic_workload(1, n, 4, 5);
+                    let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+                    let g = infer_provenance(
+                        &doc,
+                        &outcome.trace,
+                        &rules,
+                        &EngineOptions::default(),
+                    );
+                    black_box(g.links.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("execute_live", n_calls),
+            &n_calls,
+            |b, &n| {
+                b.iter(|| {
+                    let (mut doc, wf, rules) = synthetic_workload(1, n, 4, 5);
+                    let maintainer = Arc::new(Mutex::new(LiveProvenance::new(
+                        rules,
+                        EngineOptions::default(),
+                    )));
+                    let hook = Arc::clone(&maintainer);
+                    let orch = Orchestrator::new().with_call_hook(Arc::new(
+                        move |d, t, i| {
+                            hook.lock().unwrap().observe_call(d, t, i);
+                        },
+                    ));
+                    let outcome = orch.execute(&wf, &mut doc).unwrap();
+                    let mut lp = maintainer.lock().unwrap();
+                    lp.catch_up(&doc, &outcome.trace);
+                    black_box(lp.link_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_vs_batch);
+criterion_main!(benches);

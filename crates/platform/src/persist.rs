@@ -55,7 +55,7 @@ use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use weblab_prov::{CallRecord, ExecutionTrace};
+use weblab_prov::{CallRecord, ExecutionTrace, ProvLink};
 use weblab_xml::{parse_document, to_xml_string, Document, StateMark, Timestamp};
 
 /// Persistence failure.
@@ -284,6 +284,81 @@ pub fn load_execution(
     let trace = trace_from_text(&doc, &text)?;
     check_trace_footer(&trace_file.display().to_string(), &text, trace.len())?;
     Ok((doc, trace))
+}
+
+/// Serialise a materialised link store (e.g. a live maintainer's
+/// accumulated graph) to its line format:
+///
+/// ```text
+/// link: weblab://res/8 | weblab://res/4
+/// # end links=1
+/// ```
+pub fn link_store_to_text(links: &[ProvLink]) -> String {
+    let mut out = String::new();
+    for l in links {
+        out.push_str(&format!("link: {} | {}\n", l.from_uri, l.to_uri));
+    }
+    out.push_str(&format!("# end links={}\n", links.len()));
+    out
+}
+
+/// Write a link store to `path`, atomically, with an integrity footer.
+pub fn save_link_store(path: &Path, links: &[ProvLink]) -> Result<(), PersistError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    write_atomic(path, &link_store_to_text(links))
+}
+
+/// Load a link store written by [`save_link_store`], verifying the
+/// `# end links=N` footer and resolving each URI against the document.
+pub fn load_link_store(path: &Path, doc: &Document) -> Result<Vec<ProvLink>, PersistError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut links = Vec::new();
+    let mut footer = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let raw = raw.trim();
+        if let Some(v) = raw.strip_prefix("# end links=") {
+            footer = v.trim().parse::<usize>().ok();
+        } else if let Some(rest) = raw.strip_prefix("link:") {
+            let (from_uri, to_uri) = rest.split_once('|').ok_or(PersistError::Trace {
+                line,
+                message: "expected 'link: from | to'".into(),
+            })?;
+            let resolve = |uri: &str| {
+                doc.node_by_uri(uri).ok_or(PersistError::Trace {
+                    line,
+                    message: format!("link uri {uri:?} not in document"),
+                })
+            };
+            let (from_uri, to_uri) = (from_uri.trim(), to_uri.trim());
+            links.push(ProvLink {
+                from: resolve(from_uri)?,
+                from_uri: from_uri.to_string(),
+                to: resolve(to_uri)?,
+                to_uri: to_uri.to_string(),
+            });
+        } else if !raw.is_empty() && !raw.starts_with('#') {
+            return Err(PersistError::Trace {
+                line,
+                message: format!("unrecognised line {raw:?}"),
+            });
+        }
+    }
+    match footer {
+        None => Err(PersistError::Truncated {
+            file: path.display().to_string(),
+            message: "missing '# end links=N' footer (file truncated?)".into(),
+        }),
+        Some(n) if n != links.len() => Err(PersistError::Truncated {
+            file: path.display().to_string(),
+            message: format!("footer claims {n} links but file holds {}", links.len()),
+        }),
+        Some(_) => Ok(links),
+    }
 }
 
 /// How far an execution got: enough to resume it after a crash.
@@ -577,6 +652,42 @@ mod tests {
         clear_checkpoint(&dir, "e").unwrap();
         assert_eq!(load_checkpoint(&dir, "e").unwrap(), None);
         clear_checkpoint(&dir, "e").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn link_store_round_trips_and_detects_truncation() {
+        use weblab_prov::LiveProvenance;
+        let (mut doc, wf, rules) = synthetic_workload(13, 4, 2, 3);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let mut live = LiveProvenance::new(rules, EngineOptions::default());
+        live.catch_up(&doc, &outcome.trace);
+        let links = live.links();
+        assert!(!links.is_empty());
+
+        let dir = tmpdir("linkstore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.links");
+        save_link_store(&path, &links).unwrap();
+        let back = load_link_store(&path, &doc).unwrap();
+        assert_eq!(back, links);
+
+        // chop the footer off: detected as truncation
+        let full = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        std::fs::write(&path, lines[..lines.len() - 1].join("\n") + "\n").unwrap();
+        assert!(matches!(
+            load_link_store(&path, &doc),
+            Err(PersistError::Truncated { .. })
+        ));
+        // a footer that disagrees with the body is also caught
+        let mut bad: Vec<&str> = lines[..lines.len() - 2].to_vec();
+        bad.push(lines[lines.len() - 1]);
+        std::fs::write(&path, bad.join("\n") + "\n").unwrap();
+        assert!(matches!(
+            load_link_store(&path, &doc),
+            Err(PersistError::Truncated { .. })
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

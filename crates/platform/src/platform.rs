@@ -11,14 +11,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use std::sync::RwLock;
-use weblab_prov::ProvenanceGraph;
+use std::sync::{Mutex, RwLock};
+use weblab_prov::{EngineOptions, LiveProvenance, ProvenanceGraph};
 use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
 use weblab_workflow::{next_time, FaultPolicy, Orchestrator, Service, Workflow, WorkflowError};
 use weblab_xml::Document;
 
 use crate::catalog::{CatalogError, ServiceCatalog};
-use crate::mapper::{Mapper, MapperError};
+use crate::mapper::{Mapper, MapperError, MapperStrategy};
 use crate::recorder::{Recorder, RecorderError};
 use crate::repository::ResourceRepository;
 use crate::trace_store::TraceStore;
@@ -141,6 +141,10 @@ pub struct Platform {
     materialized: RwLock<HashMap<String, MaterializedGraph>>,
     mapper: Mapper,
     fault: RwLock<FaultPolicy>,
+    /// Live provenance maintainers, per execution id, for executions where
+    /// [`Platform::enable_live`] was called. Each is shared with the
+    /// call-completion hook of in-flight orchestrations.
+    live: RwLock<HashMap<String, Arc<Mutex<LiveProvenance>>>>,
 }
 
 /// Cache entry: the graph as of a number of recorded calls.
@@ -168,6 +172,7 @@ impl Platform {
             materialized: RwLock::new(HashMap::new()),
             mapper,
             fault: RwLock::new(FaultPolicy::default()),
+            live: RwLock::new(HashMap::new()),
         }
     }
 
@@ -220,17 +225,31 @@ impl Platform {
             .repository
             .get(exec_id)
             .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let prior = self.traces.get(exec_id);
         let mut start = next_time(&doc);
-        if let Some(t) = self.traces.get(exec_id) {
-            if let Some(last) = t.calls.last() {
-                start = start.max(last.time + 1);
-            }
+        if let Some(last) = prior.as_ref().and_then(|t| t.calls.last()) {
+            start = start.max(last.time + 1);
         }
         let workflow = self.build_workflow(spec)?;
         let fault = self.fault.read().expect("lock poisoned").clone();
-        let outcome = Orchestrator::new()
-            .with_fault(fault)
-            .execute_starting_at(&workflow, &mut doc, start)?;
+        let mut orch = Orchestrator::new().with_fault(fault);
+        let live = self.live.read().expect("lock poisoned").get(exec_id).cloned();
+        if let Some(maintainer) = &live {
+            {
+                // Fold in anything recorded before live mode was enabled (or
+                // sources present before any call), then open a fresh segment:
+                // the orchestration below reports its calls from index 0.
+                let mut lp = maintainer.lock().expect("lock poisoned");
+                let folded = lp.calls_folded();
+                lp.catch_up_from(&doc, &prior.unwrap_or_default(), folded);
+                lp.new_segment();
+            }
+            let hook = Arc::clone(maintainer);
+            orch = orch.with_call_hook(Arc::new(move |doc, trace, idx| {
+                hook.lock().expect("lock poisoned").observe_call(doc, trace, idx);
+            }));
+        }
+        let outcome = orch.execute_starting_at(&workflow, &mut doc, start)?;
         // persist: document into the repository, calls into the trace store
         for call in &outcome.trace.calls {
             let produced_uris: Vec<String> = call
@@ -328,6 +347,85 @@ impl Platform {
         }
         let query = parse_select(sparql)?;
         Ok(select(&self.provenance.read().expect("lock poisoned"), &query))
+    }
+
+    /// Switch an execution to *live provenance maintenance*: every
+    /// subsequent committed service call is folded into a materialised link
+    /// store as it happens, so [`Platform::dependencies_of`] /
+    /// [`Platform::dependents_of`] answer without re-running inference —
+    /// even mid-execution, from the call-completion hook's point of view.
+    /// Calls recorded before live mode was enabled are caught up on the
+    /// next [`Platform::execute_spec`] or [`Platform::live_graph`] request.
+    pub fn enable_live(&self, exec_id: &str) {
+        let rules = self.catalog.read().expect("lock poisoned").rule_set();
+        let opts = match &self.mapper.strategy {
+            MapperStrategy::Native(opts) => *opts,
+            MapperStrategy::XQuery(_) => EngineOptions::default(),
+        };
+        self.live.write().expect("lock poisoned").insert(
+            exec_id.to_string(),
+            Arc::new(Mutex::new(LiveProvenance::new(rules, opts))),
+        );
+    }
+
+    /// Whether live maintenance is enabled for an execution.
+    pub fn live_enabled(&self, exec_id: &str) -> bool {
+        self.live.read().expect("lock poisoned").contains_key(exec_id)
+    }
+
+    /// The live maintainer for an execution, shared with any in-flight
+    /// orchestration's hook — lock it to query mid-execution state.
+    pub fn live_provenance(&self, exec_id: &str) -> Option<Arc<Mutex<LiveProvenance>>> {
+        self.live.read().expect("lock poisoned").get(exec_id).cloned()
+    }
+
+    /// The live maintainer's view as a batch-style [`ProvenanceGraph`],
+    /// catching up on any calls recorded outside live mode first. Errors if
+    /// the execution is unknown or live mode was never enabled.
+    pub fn live_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        let maintainer = self
+            .live_provenance(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let doc = self
+            .repository
+            .get(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let trace = self.traces.get(exec_id).unwrap_or_default();
+        let mut lp = maintainer.lock().expect("lock poisoned");
+        let folded = lp.calls_folded();
+        lp.catch_up_from(&doc, &trace, folded);
+        Ok(lp.to_provenance_graph())
+    }
+
+    /// Direct dependencies of a resource: answered from the live link
+    /// store when live mode is enabled for the execution (O(lookup), no
+    /// inference), else from the materialised batch graph.
+    pub fn dependencies_of(
+        &self,
+        exec_id: &str,
+        uri: &str,
+    ) -> Result<Vec<String>, PlatformError> {
+        if self.live_enabled(exec_id) {
+            let g = self.live_graph(exec_id)?;
+            return Ok(g.dependencies_of(uri).into_iter().map(String::from).collect());
+        }
+        let g = self.provenance_graph(exec_id)?;
+        Ok(g.dependencies_of(uri).into_iter().map(String::from).collect())
+    }
+
+    /// Direct dependents of a resource — live-store-backed like
+    /// [`Platform::dependencies_of`].
+    pub fn dependents_of(
+        &self,
+        exec_id: &str,
+        uri: &str,
+    ) -> Result<Vec<String>, PlatformError> {
+        if self.live_enabled(exec_id) {
+            let g = self.live_graph(exec_id)?;
+            return Ok(g.dependents_of(uri).into_iter().map(String::from).collect());
+        }
+        let g = self.provenance_graph(exec_id)?;
+        Ok(g.dependents_of(uri).into_iter().map(String::from).collect())
     }
 
     /// Whether the execution's graph is materialised and current (exposed
@@ -504,6 +602,100 @@ mod tests {
             .filter(|&n| v.name(n) == Some("FlakyProbe"))
             .count();
         assert_eq!(probes, 1);
+    }
+
+    #[test]
+    fn live_graph_matches_batch_after_execution() {
+        let p = platform();
+        p.ingest("e", generate_corpus(4, 2, 25));
+        p.enable_live("e");
+        let spec = WorkflowSpec::default()
+            .then("Normaliser")
+            .then_parallel(vec![
+                WorkflowSpec::sequence(&["LanguageExtractor"]),
+                WorkflowSpec::sequence(&["Translator"]),
+            ]);
+        p.execute_spec("e", &spec).unwrap();
+        let live = p.live_graph("e").unwrap();
+        let batch = p.provenance_graph("e").unwrap();
+        let mut batch_links = batch.links.clone();
+        batch_links.sort();
+        assert_eq!(live.links, batch_links);
+        assert_eq!(live.sources, batch.sources);
+        assert!(!live.links.is_empty());
+    }
+
+    #[test]
+    fn live_queries_answer_without_rematerialisation() {
+        let p = platform();
+        p.ingest("e", generate_corpus(3, 1, 20));
+        p.enable_live("e");
+        assert!(p.live_enabled("e"));
+        p.execute("e", &["Normaliser", "LanguageExtractor"]).unwrap();
+        // the live store already holds the graph: querying it does not
+        // trigger batch materialisation
+        let batch = p.provenance_graph("e").unwrap();
+        p.invalidate_provenance("e");
+        for l in &batch.links {
+            let deps = p.dependencies_of("e", &l.from_uri).unwrap();
+            assert!(deps.contains(&l.to_uri));
+            let rdeps = p.dependents_of("e", &l.to_uri).unwrap();
+            assert!(rdeps.contains(&l.from_uri));
+        }
+        assert!(!p.is_materialized("e")); // live answers left the cache alone
+    }
+
+    #[test]
+    fn live_enabled_late_catches_up_on_prior_calls() {
+        let p = platform();
+        p.ingest("e", generate_corpus(3, 1, 20));
+        p.execute("e", &["Normaliser"]).unwrap();
+        p.enable_live("e"); // after one call already recorded
+        p.execute("e", &["LanguageExtractor", "Translator"]).unwrap();
+        let live = p.live_graph("e").unwrap();
+        let batch = p.provenance_graph("e").unwrap();
+        let mut batch_links = batch.links.clone();
+        batch_links.sort();
+        assert_eq!(live.links, batch_links);
+        assert_eq!(live.sources, batch.sources);
+        let trace = p.traces.get("e").unwrap();
+        let lp = p.live_provenance("e").unwrap();
+        assert_eq!(lp.lock().unwrap().calls_folded(), trace.calls.len());
+    }
+
+    #[test]
+    fn live_ignores_rolled_back_attempts() {
+        use weblab_workflow::services::Flaky;
+        use weblab_workflow::RetryPolicy;
+        let p = platform();
+        p.register_service(Arc::new(Flaky::failing(2)), &[]).unwrap();
+        p.set_fault_policy(FaultPolicy::retrying(RetryPolicy::with_max_attempts(3)));
+        p.ingest("e", generate_corpus(2, 1, 15));
+        p.enable_live("e");
+        p.execute("e", &["Normaliser", "Flaky", "LanguageExtractor"]).unwrap();
+        let live = p.live_graph("e").unwrap();
+        let batch = p.provenance_graph("e").unwrap();
+        let mut batch_links = batch.links.clone();
+        batch_links.sort();
+        assert_eq!(live.links, batch_links);
+        // only committed calls were folded in — one per workflow step
+        let lp = p.live_provenance("e").unwrap();
+        assert_eq!(lp.lock().unwrap().calls_folded(), 3);
+    }
+
+    #[test]
+    fn non_live_dependency_queries_fall_back_to_batch() {
+        let p = platform();
+        p.ingest("e", generate_corpus(2, 1, 15));
+        p.execute("e", &["Normaliser"]).unwrap();
+        assert!(!p.live_enabled("e"));
+        let batch = p.provenance_graph("e").unwrap();
+        let l = &batch.links[0];
+        assert!(p.dependencies_of("e", &l.from_uri).unwrap().contains(&l.to_uri));
+        assert!(matches!(
+            p.live_graph("e"),
+            Err(PlatformError::UnknownExecution(_))
+        ));
     }
 
     #[test]

@@ -133,21 +133,22 @@ impl Default for EngineOptions {
 }
 
 /// Read-only evaluation state shared by every unit of one inference run:
-/// the pattern cache, and the element index built lazily by whichever
-/// worker first needs it (all others block on the `OnceLock` and then share
-/// it read-only).
-struct SharedEval {
+/// the pattern cache (borrowed, so a live maintainer can carry one cache
+/// across many per-delta runs), and the element index built lazily by
+/// whichever worker first needs it (all others block on the `OnceLock` and
+/// then share it read-only).
+struct SharedEval<'a> {
     use_index: bool,
     index: OnceLock<Option<ElementIndex>>,
-    cache: PatternCache,
+    cache: &'a PatternCache,
 }
 
-impl SharedEval {
-    fn new(use_index: bool) -> Self {
+impl<'a> SharedEval<'a> {
+    fn new(use_index: bool, cache: &'a PatternCache) -> Self {
         SharedEval {
             use_index,
             index: OnceLock::new(),
-            cache: PatternCache::new(),
+            cache,
         }
     }
 
@@ -224,15 +225,42 @@ pub fn infer_links_since(
     rules: &RuleSet,
     opts: &EngineOptions,
 ) -> Vec<ProvLink> {
-    let calls = &trace.calls[first_call.min(trace.calls.len())..];
     // channel visibility depends on every call of the execution
     let channel_map = trace.channel_map();
+    let cache = PatternCache::new();
+    infer_links_since_cached(doc, trace, first_call, rules, opts, &channel_map, &cache)
+}
+
+/// [`infer_links_since`] with caller-owned evaluation state: the channel
+/// map and the pattern cache are passed in instead of being rebuilt per
+/// invocation. This is the live-maintenance entry point
+/// ([`crate::live::LiveProvenance`]): a maintainer processing one delta per
+/// call keeps the channel map incrementally updated (O(delta) instead of
+/// the O(trace) rebuild `trace.channel_map()` performs) and carries one
+/// [`PatternCache`] across deltas so evaluations against unchanged document
+/// states are reused.
+///
+/// The caller's `channel_map` must cover at least every produced node of
+/// `trace.calls[..first_call + processed]` — for a prefix map this is
+/// equivalent to the full map because a call's link targets (and their
+/// ancestors) always predate the call.
+#[allow(clippy::too_many_arguments)]
+pub fn infer_links_since_cached(
+    doc: &Document,
+    trace: &ExecutionTrace,
+    first_call: usize,
+    rules: &RuleSet,
+    opts: &EngineOptions,
+    channel_map: &HashMap<NodeId, String>,
+    cache: &PatternCache,
+) -> Vec<ProvLink> {
+    let calls = &trace.calls[first_call.min(trace.calls.len())..];
     match opts.strategy {
         Strategy::StateReplay { materialize } => {
-            replay_links(doc, calls, &channel_map, rules, opts, materialize)
+            replay_links(doc, calls, channel_map, rules, opts, materialize, cache)
         }
-        Strategy::TemporalRewrite => temporal_links(doc, calls, &channel_map, rules, opts),
-        Strategy::GroupedSinglePass => grouped_links(doc, calls, &channel_map, rules, opts),
+        Strategy::TemporalRewrite => temporal_links(doc, calls, channel_map, rules, opts, cache),
+        Strategy::GroupedSinglePass => grouped_links(doc, calls, channel_map, rules, opts, cache),
     }
 }
 
@@ -303,11 +331,12 @@ fn replay_links(
     rules: &RuleSet,
     opts: &EngineOptions,
     materialize: bool,
+    cache: &PatternCache,
 ) -> Vec<ProvLink> {
     let final_view = doc.view();
     // the final-document index is exact for every earlier state view;
     // materialized copies have their own arenas, so no index for them
-    let shared = SharedEval::new(opts.use_index && !materialize);
+    let shared = SharedEval::new(opts.use_index && !materialize, cache);
     let units: Vec<(&CallRecord, &MappingRule)> = calls
         .iter()
         .flat_map(|c| rules.rules_for(&c.service).iter().map(move |r| (c, r)))
@@ -353,9 +382,10 @@ fn temporal_links(
     channel_map: &HashMap<NodeId, String>,
     rules: &RuleSet,
     opts: &EngineOptions,
+    cache: &PatternCache,
 ) -> Vec<ProvLink> {
     let final_view = doc.view();
-    let shared = SharedEval::new(opts.use_index);
+    let shared = SharedEval::new(opts.use_index, cache);
     let units: Vec<(&CallRecord, &MappingRule)> = calls
         .iter()
         .flat_map(|c| rules.rules_for(&c.service).iter().map(move |r| (c, r)))
@@ -396,9 +426,10 @@ fn grouped_links(
     channel_map: &HashMap<NodeId, String>,
     rules: &RuleSet,
     opts: &EngineOptions,
+    cache: &PatternCache,
 ) -> Vec<ProvLink> {
     let final_view = doc.view();
-    let shared = SharedEval::new(opts.use_index);
+    let shared = SharedEval::new(opts.use_index, cache);
     let channel_of_call: HashMap<Timestamp, &str> = calls
         .iter()
         .map(|c| (c.time, c.channel.as_str()))

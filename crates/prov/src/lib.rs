@@ -18,6 +18,8 @@
 //! * [`skolem`] — the Section 5 aggregation mappings;
 //! * [`query`] — why-provenance, depth-limited lineage, impact analysis;
 //! * [`storage`] — compact (interned, grouped-adjacency) graph storage;
+//! * [`live`] — per-call incremental maintenance of that storage
+//!   ([`LiveProvenance`]), fed by the orchestrator's call-completion hook;
 //! * [`views`] — provenance views over composite service modules;
 //! * parallel-execution support: control-flow channels on call records
 //!   ([`CallRecord::channel`], [`channels_compatible`]) with visibility
@@ -41,6 +43,7 @@ mod cache;
 mod engine;
 mod executor;
 mod graph;
+pub mod live;
 pub mod paper_example;
 pub mod query;
 mod rule;
@@ -53,11 +56,12 @@ pub mod views;
 pub use algebra::{join_tables, join_tables_where, JoinAlgorithm, ProvLink};
 pub use cache::PatternCache;
 pub use engine::{
-    document_state_provenance, filter_links_by_channel, infer_links_since, infer_provenance,
-    propagate_inherited,
+    document_state_provenance, filter_links_by_channel, infer_links_since,
+    infer_links_since_cached, infer_provenance, propagate_inherited,
     service_call_provenance, EngineOptions, InheritMode, Strategy,
 };
 pub use executor::{run_units, Parallelism};
+pub use live::{LiveDelta, LiveProvenance};
 pub use graph::{ProvenanceGraph, SourceEntry};
 pub use rule::{MappingRule, RuleError};
 pub use ruleset::RuleSet;

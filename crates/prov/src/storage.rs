@@ -39,7 +39,7 @@ pub struct CompactGraph {
     deps: HashMap<UriId, Vec<UriId>>,
     /// Incoming adjacency: used resource → sorted dependents.
     rdeps: HashMap<UriId, Vec<UriId>>,
-    /// Total number of edges.
+    /// Number of distinct edges.
     edges: usize,
 }
 
@@ -47,27 +47,42 @@ impl CompactGraph {
     /// Build from a graph's edge list.
     pub fn from_links(links: &[ProvLink]) -> Self {
         let mut g = CompactGraph::default();
-        for l in links {
-            let from = g.intern(&l.from_uri, l.from);
-            let to = g.intern(&l.to_uri, l.to);
-            g.deps.entry(from).or_default().push(to);
-            g.rdeps.entry(to).or_default().push(from);
-            g.edges += 1;
-        }
-        for v in g.deps.values_mut() {
-            v.sort_unstable();
-            v.dedup();
-        }
-        for v in g.rdeps.values_mut() {
-            v.sort_unstable();
-            v.dedup();
-        }
+        g.merge_links(links);
         g
     }
 
     /// Build from a full provenance graph.
     pub fn from_graph(graph: &ProvenanceGraph) -> Self {
         Self::from_links(&graph.links)
+    }
+
+    /// Merge one link into the graph, interning any new URI and keeping
+    /// both adjacency lists sorted. Returns `false` if the edge was
+    /// already present (the merge is idempotent, so re-delivered deltas
+    /// leave the graph unchanged).
+    pub fn merge_link(&mut self, link: &ProvLink) -> bool {
+        let from = self.intern(&link.from_uri, link.from);
+        let to = self.intern(&link.to_uri, link.to);
+        let deps = self.deps.entry(from).or_default();
+        match deps.binary_search(&to) {
+            Ok(_) => return false,
+            Err(pos) => deps.insert(pos, to),
+        }
+        let rdeps = self.rdeps.entry(to).or_default();
+        if let Err(pos) = rdeps.binary_search(&from) {
+            rdeps.insert(pos, from);
+        }
+        self.edges += 1;
+        true
+    }
+
+    /// Merge a delta of links (live maintenance: the edges contributed by
+    /// one newly completed call), returning how many were actually new.
+    /// Work is proportional to the delta, not to the accumulated graph —
+    /// URIs already interned are reused and untouched adjacency lists are
+    /// never revisited.
+    pub fn merge_links(&mut self, links: &[ProvLink]) -> usize {
+        links.iter().filter(|l| self.merge_link(l)).count()
     }
 
     fn intern(&mut self, uri: &str, node: NodeId) -> UriId {
@@ -251,6 +266,24 @@ mod tests {
         assert!(compact.approx_bytes() < CompactGraph::approx_naive_bytes(&links) / 3);
         assert_eq!(compact.resource_count(), 60);
         assert_eq!(compact.edge_count(), 500);
+    }
+
+    #[test]
+    fn incremental_merge_equals_batch_build() {
+        let links = sample_links();
+        let batch = CompactGraph::from_links(&links);
+        let mut incremental = CompactGraph::default();
+        let mut added = 0;
+        for l in &links {
+            added += incremental.merge_links(std::slice::from_ref(l));
+        }
+        assert_eq!(added, links.len());
+        assert_eq!(incremental.expand(), batch.expand());
+        assert_eq!(incremental.edge_count(), batch.edge_count());
+        assert_eq!(incremental.resource_count(), batch.resource_count());
+        // merging the same delta again is a no-op
+        assert_eq!(incremental.merge_links(&links), 0);
+        assert_eq!(incremental.edge_count(), batch.edge_count());
     }
 
     #[test]

@@ -6,7 +6,15 @@
 //! labels stamped on the document this is exactly the paper's *execution
 //! trace*: "the final XML document and the Source table".
 
+use weblab_obs::Counter;
 use weblab_xml::{CallLabel, Document, NodeId, StateMark, Timestamp};
+
+/// Full O(trace) channel-map builds performed by
+/// [`ExecutionTrace::channel_map`]. The live maintainer avoids these by
+/// updating its map incrementally per delta; the perf-regression suite
+/// asserts a live run performs at most one build per execution while the
+/// naive per-delta loop performs one per call.
+static CHANNEL_MAP_BUILDS: Counter = Counter::new("prov.trace.channel_map.builds");
 
 /// Record of one service call `c_i = (s, t_i)` within an execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +122,7 @@ impl ExecutionTrace {
     /// Map from produced resource node to its channel, for visibility
     /// filtering during inference.
     pub fn channel_map(&self) -> std::collections::HashMap<NodeId, String> {
+        CHANNEL_MAP_BUILDS.inc();
         let mut m = std::collections::HashMap::new();
         for c in &self.calls {
             if c.channel.is_empty() {

@@ -12,7 +12,8 @@
 //! | `λ(r) = c`                     | `r prov:wasGeneratedBy c`            |
 //! | edge `r → r'` ∈ E              | `r prov:wasDerivedFrom r'` and `λ(r) prov:used r'` |
 
-use weblab_prov::ProvenanceGraph;
+use weblab_prov::{ProvLink, ProvenanceGraph, SourceEntry};
+use weblab_xml::CallLabel;
 
 use crate::store::TripleStore;
 use crate::term::{Term, Triple};
@@ -21,61 +22,61 @@ use crate::vocab::{
     PROV_USED, PROV_WAS_ASSOCIATED_WITH, PROV_WAS_DERIVED_FROM, PROV_WAS_GENERATED_BY, RDF_TYPE,
 };
 
-/// Convert a provenance graph into PROV-O triples.
-pub fn export_prov(graph: &ProvenanceGraph) -> Vec<Triple> {
-    let mut out = Vec::new();
+/// The PROV-O triples describing one Source row: the entity, its
+/// generating activity and agent with their types, and the
+/// `wasGeneratedBy` / `wasAssociatedWith` / `startedAtTime` edges. Shared
+/// by the batch exporter and the live store so both emit identical shapes.
+pub fn source_triples(s: &SourceEntry) -> Vec<Triple> {
     let type_iri = Term::iri(RDF_TYPE);
-
-    for s in &graph.sources {
-        let entity = Term::iri(&s.uri);
-        let activity = Term::iri(activity_iri(&s.label.service, s.label.time));
-        let agent = Term::iri(agent_iri(&s.label.service));
-        out.push(Triple::new(
-            entity.clone(),
-            type_iri.clone(),
-            Term::iri(PROV_ENTITY),
-        ));
-        out.push(Triple::new(
-            activity.clone(),
-            type_iri.clone(),
-            Term::iri(PROV_ACTIVITY),
-        ));
-        out.push(Triple::new(
-            agent.clone(),
-            type_iri.clone(),
-            Term::iri(PROV_AGENT),
-        ));
-        out.push(Triple::new(
-            entity,
-            Term::iri(PROV_WAS_GENERATED_BY),
-            activity.clone(),
-        ));
-        out.push(Triple::new(
+    let entity = Term::iri(&s.uri);
+    let activity = Term::iri(activity_iri(&s.label.service, s.label.time));
+    let agent = Term::iri(agent_iri(&s.label.service));
+    vec![
+        Triple::new(entity.clone(), type_iri.clone(), Term::iri(PROV_ENTITY)),
+        Triple::new(activity.clone(), type_iri.clone(), Term::iri(PROV_ACTIVITY)),
+        Triple::new(agent.clone(), type_iri, Term::iri(PROV_AGENT)),
+        Triple::new(entity, Term::iri(PROV_WAS_GENERATED_BY), activity.clone()),
+        Triple::new(
             activity.clone(),
             Term::iri(PROV_WAS_ASSOCIATED_WITH),
             agent,
-        ));
-        out.push(Triple::new(
+        ),
+        Triple::new(
             activity,
             Term::iri(PROV_STARTED_AT_TIME),
             Term::int(s.label.time as i64),
-        ));
-    }
+        ),
+    ]
+}
 
-    for l in &graph.links {
+/// The PROV-O triples describing one dependency link: `wasDerivedFrom`,
+/// plus `<activity> prov:used <source>` when the dependent endpoint's
+/// generating call is known.
+pub fn link_triples(l: &ProvLink, label: Option<&CallLabel>) -> Vec<Triple> {
+    let mut out = vec![Triple::new(
+        Term::iri(&l.from_uri),
+        Term::iri(PROV_WAS_DERIVED_FROM),
+        Term::iri(&l.to_uri),
+    )];
+    // the generating activity used the source entity
+    if let Some(label) = label {
         out.push(Triple::new(
-            Term::iri(&l.from_uri),
-            Term::iri(PROV_WAS_DERIVED_FROM),
+            Term::iri(activity_iri(&label.service, label.time)),
+            Term::iri(PROV_USED),
             Term::iri(&l.to_uri),
         ));
-        // the generating activity used the source entity
-        if let Some(label) = graph.label_of(&l.from_uri) {
-            out.push(Triple::new(
-                Term::iri(activity_iri(&label.service, label.time)),
-                Term::iri(PROV_USED),
-                Term::iri(&l.to_uri),
-            ));
-        }
+    }
+    out
+}
+
+/// Convert a provenance graph into PROV-O triples.
+pub fn export_prov(graph: &ProvenanceGraph) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for s in &graph.sources {
+        out.extend(source_triples(s));
+    }
+    for l in &graph.links {
+        out.extend(link_triples(l, graph.label_of(&l.from_uri)));
     }
     out
 }

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod export;
+mod live;
 mod provxml;
 mod sparql;
 mod store;
@@ -41,7 +42,8 @@ mod term;
 mod turtle;
 pub mod vocab;
 
-pub use export::{export_prov, export_prov_into};
+pub use export::{export_prov, export_prov_into, link_triples, source_triples};
+pub use live::LiveProvStore;
 pub use provxml::{derivations_from_prov_xml, export_prov_xml};
 pub use sparql::{parse_select, select, Filter, PatTerm, SelectQuery, Solution, SparqlError, TriplePattern};
 pub use store::{TermPattern, TripleStore};

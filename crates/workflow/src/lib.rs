@@ -51,7 +51,8 @@ pub mod services;
 pub mod text;
 
 pub use orchestrator::{
-    next_time, AttemptRecord, AttemptStatus, ExecutionOutcome, Orchestrator, Workflow,
+    next_time, AttemptRecord, AttemptStatus, CallHook, ExecutionOutcome, Orchestrator,
+    Workflow, WorkflowStep,
 };
 pub use policy::{FailurePolicy, FaultPolicy, RetryPolicy};
 pub use service::{CallContext, Service, WorkflowError};

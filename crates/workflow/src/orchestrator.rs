@@ -21,6 +21,9 @@
 //! indices); the provenance engine uses channel compatibility to restrict
 //! which resources a parallel call may depend on.
 
+use std::fmt;
+use std::sync::Arc;
+
 use weblab_obs::{Counter, Gauge, Histogram, Span};
 use weblab_prov::{
     document_state_provenance, EngineOptions, ExecutionTrace, ProvLink, RuleSet,
@@ -172,8 +175,21 @@ pub struct ExecutionOutcome {
     pub attempts: Vec<AttemptRecord>,
 }
 
+/// Observer invoked after every *committed* service call, with the
+/// document state at the call's completion, the trace so far, and the
+/// index of the new [`weblab_prov::CallRecord`] within it.
+///
+/// Commit semantics: the hook never fires for rolled-back attempts (their
+/// document effects are gone when the retry or abort happens) nor for
+/// skipped steps (nothing was recorded), and calls made inside parallel
+/// branches fire only once their fork has been merged back into the main
+/// arena — with the merged record, whose node ids are main-arena ids. A
+/// provenance maintainer subscribed here therefore only ever sees durable
+/// state.
+pub type CallHook = Arc<dyn Fn(&Document, &ExecutionTrace, usize) + Send + Sync>;
+
 /// The workflow execution engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Orchestrator {
     /// Compute provenance during execution using these rules (the
     /// intrusive mode; `None` = non-invasive, provenance is inferred
@@ -182,6 +198,18 @@ pub struct Orchestrator {
     /// Fault-tolerance configuration (default: abort on first failure,
     /// after rolling the failed call back).
     pub fault: FaultPolicy,
+    /// Call-completion observer (e.g. a live provenance maintainer).
+    pub call_hook: Option<CallHook>,
+}
+
+impl fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("eager_rules", &self.eager_rules)
+            .field("fault", &self.fault)
+            .field("call_hook", &self.call_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl Orchestrator {
@@ -202,6 +230,13 @@ impl Orchestrator {
     /// Replace the fault-tolerance policy (builder style).
     pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Subscribe a call-completion observer (builder style). See
+    /// [`CallHook`] for the commit semantics.
+    pub fn with_call_hook(mut self, hook: CallHook) -> Self {
+        self.call_hook = Some(hook);
         self
     }
 
@@ -259,6 +294,7 @@ impl Orchestrator {
                 &mut time,
                 "",
                 &mut outcome,
+                true,
             )?;
             checkpoint(i + 1, doc, &outcome, time);
         }
@@ -267,6 +303,11 @@ impl Orchestrator {
         Ok(outcome)
     }
 
+    /// `notify` gates the call hook: true on the main document, false
+    /// inside branch forks (a fork's calls only become durable — and get
+    /// main-arena node ids — when the fork is merged, at which point the
+    /// caller fires the hook per merged record).
+    #[allow(clippy::too_many_arguments)]
     fn exec_steps(
         &self,
         steps: &[WorkflowStep],
@@ -274,11 +315,12 @@ impl Orchestrator {
         time: &mut Timestamp,
         channel: &str,
         outcome: &mut ExecutionOutcome,
+        notify: bool,
     ) -> Result<(), WorkflowError> {
         for step in steps {
             match step {
                 WorkflowStep::Service(service) => {
-                    self.exec_service(service.as_ref(), doc, time, channel, outcome)?;
+                    self.exec_service(service.as_ref(), doc, time, channel, outcome, notify)?;
                 }
                 WorkflowStep::Parallel(branches) => {
                     let fork_mark = doc.mark();
@@ -298,8 +340,17 @@ impl Orchestrator {
                             time,
                             &child_channel,
                             &mut branch_outcome,
+                            false,
                         )?;
+                        let merged_from = outcome.trace.calls.len();
                         merge_branch(doc, &fork, fork_mark, branch_outcome, outcome)?;
+                        if notify {
+                            if let Some(hook) = &self.call_hook {
+                                for idx in merged_from..outcome.trace.calls.len() {
+                                    hook(doc, &outcome.trace, idx);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -319,6 +370,7 @@ impl Orchestrator {
         time: &mut Timestamp,
         channel: &str,
         outcome: &mut ExecutionOutcome,
+        notify: bool,
     ) -> Result<(), WorkflowError> {
         let name = service.name();
         let disposition = self.fault.failure_for(name);
@@ -349,6 +401,15 @@ impl Orchestrator {
                         status: AttemptStatus::Succeeded,
                         backoff_ns,
                     });
+                    // the attempt is committed: its fragment is durable and
+                    // its trace record final — fire the call hook (but not
+                    // for fork-local records, which are only durable once
+                    // merged)
+                    if notify {
+                        if let Some(hook) = &self.call_hook {
+                            hook(doc, &outcome.trace, outcome.trace.calls.len() - 1);
+                        }
+                    }
                     *time += 1;
                     return Ok(());
                 }
@@ -803,5 +864,101 @@ mod tests {
 
     fn serialize_both(doc: &Document) -> String {
         weblab_xml::to_xml_string(&doc.view())
+    }
+
+    #[test]
+    fn call_hook_fires_once_per_committed_call() {
+        let events: Arc<std::sync::Mutex<Vec<(String, Timestamp, usize)>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let hook: CallHook = Arc::new(move |_doc, trace, idx| {
+            let c = &trace.calls[idx];
+            sink.lock().unwrap().push((c.service.clone(), c.time, idx));
+        });
+        let wf = Workflow::new()
+            .then(AppendOne)
+            .then(FailNTimes {
+                fail: 2,
+                seen: std::sync::atomic::AtomicU32::new(0),
+            })
+            .then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new()
+            .with_fault(crate::policy::FaultPolicy::retrying(
+                crate::policy::RetryPolicy::with_max_attempts(3),
+            ))
+            .with_call_hook(hook);
+        let outcome = orch.execute(&wf, &mut doc).unwrap();
+        // three committed calls, three hook firings — the two rolled-back
+        // FailNTimes attempts fired nothing
+        assert_eq!(outcome.trace.len(), 3);
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec![
+                ("AppendOne".to_string(), 1, 0),
+                ("FailNTimes".to_string(), 2, 1),
+                ("AppendOne".to_string(), 3, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn call_hook_skips_skipped_steps() {
+        let count = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let sink = Arc::clone(&count);
+        let hook: CallHook = Arc::new(move |_, _, _| {
+            sink.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        let wf = Workflow::new()
+            .then(FailNTimes {
+                fail: 9,
+                seen: std::sync::atomic::AtomicU32::new(0),
+            })
+            .then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new()
+            .with_fault(crate::policy::FaultPolicy::skipping())
+            .with_call_hook(hook);
+        orch.execute(&wf, &mut doc).unwrap();
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn call_hook_sees_merged_records_for_parallel_branches() {
+        let seen: Arc<std::sync::Mutex<Vec<(String, usize)>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let hook: CallHook = Arc::new(move |doc, trace, idx| {
+            let c = &trace.calls[idx];
+            // every produced node id must resolve in the *main* document —
+            // fork-local ids would not
+            for &n in &c.produced {
+                assert!(doc.resource(n).is_some(), "unmerged node id leaked to hook");
+            }
+            sink.lock().unwrap().push((c.channel.clone(), idx));
+        });
+        let wf = Workflow::new()
+            .then(AppendOne)
+            .then_parallel(vec![
+                Workflow::new().then(AppendOne).then(AppendOne),
+                Workflow::new().then(AppendOne),
+            ])
+            .then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let outcome = Orchestrator::new()
+            .with_call_hook(hook)
+            .execute(&wf, &mut doc)
+            .unwrap();
+        assert_eq!(outcome.trace.len(), 5);
+        let events = seen.lock().unwrap();
+        // one firing per trace record, in trace order
+        assert_eq!(
+            events.iter().map(|(_, i)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(
+            events.iter().map(|(c, _)| c.as_str()).collect::<Vec<_>>(),
+            vec!["", "0", "0", "1", ""]
+        );
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! weblab run <input.xml> <service,service,…> [-o out.xml] [--retries N]
 //!            [--on-failure abort|skip|retry] [--checkpoint DIR [--resume]]
+//!            [--live [--link-store FILE]]
 //!     Run built-in media-mining services over a WebLab document and write
 //!     the stamped result (wl:id / wl:s / wl:t metadata included).
 //!     `--retries N` grants each step N extra attempts (failed attempts are
@@ -14,6 +15,12 @@
 //!     run from the last checkpoint in DIR instead of from <input.xml>.
 //!     The `flaky` / `flaky:N` pseudo-service fails its first 2 / N calls
 //!     and then succeeds — a fault-injection aid for exercising the flags.
+//!     `--live` maintains the provenance graph *during* the run: every
+//!     committed call is folded into a materialized link store as it
+//!     completes (rolled-back attempts never reach it), so by the final
+//!     call the full graph exists without a batch inference pass. A
+//!     summary goes to stderr; `--link-store FILE` (implies `--live`)
+//!     additionally writes the links atomically with an integrity footer.
 //!
 //! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]
 //!     Reconstruct the execution trace from the document's labels, apply
@@ -256,10 +263,17 @@ fn cmd_run(args: &[String]) -> CliResult {
     let mut on_failure: Option<FailurePolicy> = None;
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
+    let mut live = false;
+    let mut link_store: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--out" => out = Some(it.next().ok_or("missing value for -o")?.clone()),
+            "--live" => live = true,
+            "--link-store" => {
+                link_store = Some(it.next().ok_or("missing value for --link-store")?.clone());
+                live = true;
+            }
             "--retries" => {
                 let v = it.next().ok_or("missing value for --retries")?;
                 retries = Some(
@@ -284,7 +298,8 @@ fn cmd_run(args: &[String]) -> CliResult {
     }
     let input = input.ok_or(
         "usage: weblab run <input.xml> <service,…> [-o out.xml] [--retries N] \
-         [--on-failure abort|skip|retry] [--checkpoint DIR [--resume]]",
+         [--on-failure abort|skip|retry] [--checkpoint DIR [--resume]] \
+         [--live [--link-store FILE]]",
     )?;
     let pipeline = pipeline.ok_or("missing service list")?;
     if resume && checkpoint_dir.is_none() {
@@ -309,7 +324,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     if let Some(d) = on_failure {
         fault.on_failure = d;
     }
-    let orch = Orchestrator::new().with_fault(fault);
+    let mut orch = Orchestrator::new().with_fault(fault);
 
     // checkpoint/resume: the execution id is derived from the input path
     let exec_id = std::path::Path::new(&input)
@@ -351,6 +366,31 @@ fn cmd_run(args: &[String]) -> CliResult {
     if start == 0 {
         start = weblab::workflow::next_time(&doc);
         completed = 0;
+    }
+
+    // live mode: a maintainer folds every committed call into its link
+    // store from the orchestrator's call-completion hook. On a resumed run
+    // it first catches up on the calls of the persisted trace, then opens a
+    // fresh segment (the resumed outcome's call indices restart at 0).
+    let maintainer = live.then(|| {
+        let mut lp = weblab::prov::LiveProvenance::new(
+            services::default_rules(),
+            EngineOptions::default(),
+        );
+        lp.catch_up(
+            &doc,
+            &ExecutionTrace {
+                calls: prior_calls.clone(),
+            },
+        );
+        lp.new_segment();
+        std::sync::Arc::new(std::sync::Mutex::new(lp))
+    });
+    if let Some(lp) = &maintainer {
+        let hook = std::sync::Arc::clone(lp);
+        orch = orch.with_call_hook(std::sync::Arc::new(move |doc, trace, idx| {
+            hook.lock().expect("live maintainer lock poisoned").observe_call(doc, trace, idx);
+        }));
     }
 
     // after every completed top-level step, persist document + trace + a
@@ -420,6 +460,22 @@ fn cmd_run(args: &[String]) -> CliResult {
         doc.node_count(),
         doc.resource_nodes().len()
     );
+    if let Some(lp) = &maintainer {
+        let mut lp = lp.lock().expect("live maintainer lock poisoned");
+        // absorb any sources registered after the last committed call
+        lp.catch_up(&doc, &outcome.trace);
+        eprintln!(
+            "live provenance: {} call(s) folded, {} link(s), {} source(s)",
+            lp.calls_folded(),
+            lp.link_count(),
+            lp.sources().len()
+        );
+        if let Some(path) = &link_store {
+            persist::save_link_store(std::path::Path::new(path), &lp.links())
+                .map_err(|e| format!("writing link store {path}: {e}"))?;
+            eprintln!("link store written to {path}");
+        }
+    }
     let xml = to_xml_string_pretty(&doc.view());
     match out {
         Some(path) => {

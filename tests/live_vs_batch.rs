@@ -1,0 +1,329 @@
+//! Differential tests for live provenance maintenance: a [`LiveProvenance`]
+//! maintainer fed one committed call at a time from the orchestrator's
+//! call-completion hook must end up with *exactly* the graph a one-shot
+//! batch `infer_provenance` derives over the final document and trace —
+//! across every strategy, inherit mode and worker count, through parallel
+//! blocks, and under fault injection (retried and skipped steps), where
+//! rolled-back attempts must leave no residue in the live store.
+//!
+//! The underlying law is the append-only delta decomposition
+//! `links(0..n) = links(0..k) ∪ links(k..n)` (DESIGN.md § 9); these tests
+//! pin the orchestration-level consequences end to end.
+
+use std::sync::{Arc, Mutex};
+
+use weblab::prov::{
+    infer_provenance, paper_example, EngineOptions, ExecutionTrace, InheritMode, LiveProvenance,
+    Parallelism, ProvenanceGraph, RuleSet, Strategy,
+};
+use weblab::rdf::{export_prov_into, to_turtle, LiveProvStore, Triple, TripleStore};
+use weblab::workflow::generator::{synthetic_workload, SyntheticService};
+use weblab::workflow::services::Flaky;
+use weblab::workflow::{
+    ExecutionOutcome, FaultPolicy, Orchestrator, RetryPolicy, Workflow,
+};
+use weblab::xml::Document;
+
+/// Every inference configuration the differential sweep covers.
+fn all_opts() -> Vec<EngineOptions> {
+    let mut out = Vec::new();
+    for strategy in [
+        Strategy::StateReplay { materialize: false },
+        Strategy::TemporalRewrite,
+        Strategy::GroupedSinglePass,
+    ] {
+        for inherit in [
+            InheritMode::Off,
+            InheritMode::PatternRewrite,
+            InheritMode::GraphPropagation,
+        ] {
+            for parallelism in [
+                Parallelism::Sequential,
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+            ] {
+                out.push(EngineOptions {
+                    strategy,
+                    inherit,
+                    parallelism,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Execute `wf` over `doc` with a live maintainer attached to the
+/// orchestrator's call hook, returning the final document, the outcome and
+/// the maintainer (with trailing sources absorbed).
+fn run_live(
+    mut doc: Document,
+    wf: &Workflow,
+    rules: &RuleSet,
+    opts: EngineOptions,
+    fault: Option<FaultPolicy>,
+) -> (Document, ExecutionOutcome, LiveProvenance) {
+    let maintainer = Arc::new(Mutex::new(LiveProvenance::new(rules.clone(), opts)));
+    maintainer
+        .lock()
+        .unwrap()
+        .catch_up(&doc, &ExecutionTrace::default());
+    let hook = Arc::clone(&maintainer);
+    let mut orch = Orchestrator::new().with_call_hook(Arc::new(move |d, t, i| {
+        hook.lock().unwrap().observe_call(d, t, i);
+    }));
+    if let Some(f) = fault {
+        orch = orch.with_fault(f);
+    }
+    let outcome = orch.execute(wf, &mut doc).expect("workflow execution");
+    drop(orch); // release the hook's clone of the maintainer
+    let mut live = match Arc::try_unwrap(maintainer) {
+        Ok(m) => m.into_inner().unwrap(),
+        Err(_) => panic!("maintainer uniquely owned after the orchestrator is dropped"),
+    };
+    live.catch_up(&doc, &outcome.trace);
+    (doc, outcome, live)
+}
+
+fn sorted_pairs(g: &ProvenanceGraph) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = g
+        .links
+        .iter()
+        .map(|l| (l.from_uri.clone(), l.to_uri.clone()))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    pairs
+}
+
+/// Assert the maintainer's accumulated state equals a fresh batch
+/// inference over the final document and trace.
+fn assert_live_equals_batch(
+    doc: &Document,
+    trace: &ExecutionTrace,
+    rules: &RuleSet,
+    opts: &EngineOptions,
+    live: &LiveProvenance,
+    label: &str,
+) {
+    let batch = infer_provenance(doc, trace, rules, opts);
+    let live_graph = live.to_provenance_graph();
+    assert_eq!(
+        sorted_pairs(&live_graph),
+        sorted_pairs(&batch),
+        "link sets diverge: {label}"
+    );
+    assert_eq!(
+        live_graph.sources, batch.sources,
+        "source tables diverge: {label}"
+    );
+}
+
+#[test]
+fn live_equals_batch_across_strategies_inherit_modes_and_workers() {
+    for seed in [3, 17] {
+        for opts in all_opts() {
+            let (doc, wf, rules) = synthetic_workload(seed, 5, 3, 2);
+            let (doc, outcome, live) = run_live(doc, &wf, &rules, opts, None);
+            assert!(live.link_count() > 0, "workload produced no links");
+            assert_live_equals_batch(
+                &doc,
+                &outcome.trace,
+                &rules,
+                &opts,
+                &live,
+                &format!("seed {seed}, {opts:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn live_equals_batch_through_parallel_blocks() {
+    // fork two branches of fan-out services between sequential stages; the
+    // hook only sees branch calls after the join merges them into the main
+    // arena, yet the accumulated graph must match batch inference (which
+    // applies channel visibility filtering to the whole trace at once)
+    for opts in [
+        EngineOptions::default(),
+        EngineOptions {
+            strategy: Strategy::GroupedSinglePass,
+            inherit: InheritMode::PatternRewrite,
+            ..Default::default()
+        },
+    ] {
+        let mut rules = RuleSet::new();
+        rules
+            .add_parsed("Synthetic", SyntheticService::rule())
+            .unwrap();
+        let mut doc = Document::new("Resource");
+        let root = doc.root();
+        doc.register_resource(root, "weblab://doc/synthetic", None)
+            .unwrap();
+        let wf = Workflow::new()
+            .then(SyntheticService::new(1, 3, 2))
+            .then_parallel(vec![
+                Workflow::new()
+                    .then(SyntheticService::new(2, 2, 2))
+                    .then(SyntheticService::new(3, 2, 2)),
+                Workflow::new().then(SyntheticService::new(4, 3, 2)),
+            ])
+            .then(SyntheticService::new(5, 2, 2));
+        let (doc, outcome, live) = run_live(doc, &wf, &rules, opts, None);
+        let channels: Vec<&str> = outcome
+            .trace
+            .calls
+            .iter()
+            .map(|c| c.channel.as_str())
+            .collect();
+        assert_eq!(channels, vec!["", "0", "0", "1", ""]);
+        assert_live_equals_batch(&doc, &outcome.trace, &rules, &opts, &live, &format!("{opts:?}"));
+    }
+}
+
+#[test]
+fn retried_steps_leave_no_rollback_residue_in_the_live_store() {
+    let mut rules = RuleSet::new();
+    rules
+        .add_parsed("Synthetic", SyntheticService::rule())
+        .unwrap();
+    let mut doc = Document::new("Resource");
+    let root = doc.root();
+    doc.register_resource(root, "weblab://doc/synthetic", None)
+        .unwrap();
+    let wf = Workflow::new()
+        .then(SyntheticService::new(1, 3, 2))
+        .then(Flaky::failing(2))
+        .then(SyntheticService::new(2, 3, 2));
+    let opts = EngineOptions::default();
+    let fault = FaultPolicy::retrying(RetryPolicy::with_max_attempts(3));
+    let (doc, outcome, live) = run_live(doc, &wf, &rules, opts, Some(fault));
+    // all three steps committed exactly once
+    assert_eq!(outcome.trace.len(), 3);
+    assert_live_equals_batch(&doc, &outcome.trace, &rules, &opts, &live, "flaky + retry");
+    // rolled-back attempts registered probes that were truncated away; the
+    // live source table must hold exactly the one committed probe
+    let probes = live
+        .sources()
+        .iter()
+        .filter(|s| s.label.service == "Flaky")
+        .count();
+    assert_eq!(probes, 1, "rolled-back probes leaked into the live store");
+}
+
+#[test]
+fn skipped_steps_contribute_nothing_to_the_live_store() {
+    let mut rules = RuleSet::new();
+    rules
+        .add_parsed("Synthetic", SyntheticService::rule())
+        .unwrap();
+    let mut doc = Document::new("Resource");
+    let root = doc.root();
+    doc.register_resource(root, "weblab://doc/synthetic", None)
+        .unwrap();
+    let wf = Workflow::new()
+        .then(SyntheticService::new(1, 3, 2))
+        .then(Flaky::failing(u32::MAX)) // never succeeds → skipped
+        .then(SyntheticService::new(2, 3, 2));
+    let opts = EngineOptions::default();
+    let (doc, outcome, live) = run_live(doc, &wf, &rules, opts, Some(FaultPolicy::skipping()));
+    // the skipped step never committed: two recorded calls only
+    assert_eq!(outcome.trace.len(), 2);
+    assert_live_equals_batch(&doc, &outcome.trace, &rules, &opts, &live, "flaky + skip");
+    assert!(
+        !live.sources().iter().any(|s| s.label.service == "Flaky"),
+        "a skipped step's rolled-back work reached the live store"
+    );
+}
+
+#[test]
+fn live_turtle_export_is_byte_identical_to_batch_on_the_paper_example() {
+    let (doc, trace, rules) = paper_example::build();
+    for inherit in [
+        InheritMode::Off,
+        InheritMode::PatternRewrite,
+        InheritMode::GraphPropagation,
+    ] {
+        let opts = EngineOptions {
+            inherit,
+            ..Default::default()
+        };
+        let mut live = LiveProvenance::new(rules.clone(), opts);
+        let mut store = LiveProvStore::new();
+        store.apply(&live.catch_up(&doc, &ExecutionTrace::default()));
+        for k in 0..trace.calls.len() {
+            store.apply(&live.observe_call(&doc, &trace, k));
+        }
+        let batch_graph = infer_provenance(&doc, &trace, &rules, &opts);
+        let mut batch = TripleStore::new();
+        export_prov_into(&batch_graph, &mut batch);
+        let live_triples: Vec<Triple> = store.store().iter().collect();
+        let batch_triples: Vec<Triple> = batch.iter().collect();
+        assert_eq!(
+            to_turtle(&live_triples),
+            to_turtle(&batch_triples),
+            "Turtle output diverges under {inherit:?}"
+        );
+    }
+}
+
+#[test]
+fn cli_live_link_store_matches_batch_inference_on_the_stamped_output() {
+    use std::process::Command;
+    let bin = env!("CARGO_BIN_EXE_weblab");
+    let dir = std::env::temp_dir().join(format!("weblab-live-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let stamped = dir.join("stamped.xml");
+    let links = dir.join("run.links");
+    let status = Command::new(bin)
+        .args([
+            "run",
+            concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample_corpus.xml"),
+            "Normaliser,flaky:2,LanguageExtractor,Translator",
+            "--retries",
+            "2",
+            "--live",
+        ])
+        .arg("--link-store")
+        .arg(&links)
+        .arg("-o")
+        .arg(&stamped)
+        .status()
+        .expect("spawn weblab");
+    assert!(status.success(), "weblab run --live failed");
+
+    // the persisted store carries its integrity footer…
+    let text = std::fs::read_to_string(&links).unwrap();
+    let n_links = text.lines().filter(|l| l.starts_with("link:")).count();
+    assert_eq!(
+        text.lines().next_back().unwrap(),
+        format!("# end links={n_links}"),
+        "link store footer missing or wrong"
+    );
+
+    // …and its link set equals batch inference over the stamped document
+    let xml = std::fs::read_to_string(&stamped).unwrap();
+    let doc = weblab::xml::parse_document(&xml).unwrap();
+    let trace = ExecutionTrace::reconstruct_from(&doc);
+    let batch = infer_provenance(
+        &doc,
+        &trace,
+        &weblab::workflow::services::default_rules(),
+        &EngineOptions::default(),
+    );
+    let mut batch_pairs = sorted_pairs(&batch);
+    batch_pairs.sort();
+    let mut live_pairs: Vec<(String, String)> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("link:"))
+        .filter_map(|rest| {
+            rest.split_once('|')
+                .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+        })
+        .collect();
+    live_pairs.sort();
+    assert_eq!(live_pairs, batch_pairs);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,6 +72,7 @@ fn temporal_rewrite_golden_counters() {
         ("prov.engine.links.derived", 3),
         ("prov.engine.links.emitted", 3),
         ("prov.engine.temporal.units", 3),
+        ("prov.trace.channel_map.builds", 1),
         ("xpath.eval.nodes_visited", 34),
         ("xpath.eval.predicate_evals", 8),
         ("xpath.index.builds", 1),
@@ -96,6 +97,7 @@ fn grouped_single_pass_golden_counters() {
         ("prov.engine.links.derived", 3),
         ("prov.engine.links.emitted", 3),
         ("prov.engine.grouped.units", 3),
+        ("prov.trace.channel_map.builds", 1),
         ("xpath.eval.nodes_visited", 34),
         ("xpath.eval.predicate_evals", 8),
         ("xpath.index.builds", 1),
@@ -124,6 +126,7 @@ fn state_replay_golden_counters() {
         ("prov.engine.links.derived", 3),
         ("prov.engine.links.emitted", 3),
         ("prov.engine.replay.units", 3),
+        ("prov.trace.channel_map.builds", 1),
         ("xpath.eval.nodes_visited", 13),
         ("xpath.eval.predicate_evals", 5),
         ("xpath.index.builds", 1),

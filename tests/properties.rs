@@ -290,6 +290,49 @@ proptest! {
         prop_assert_eq!(p, reparsed);
     }
 
+    /// The delta law behind live maintenance (DESIGN.md § 9): links derived
+    /// for calls `0..n` decompose at *any* split point `k` into the links
+    /// for `0..k` (inferred against the final document, as a live
+    /// maintainer does) plus the links for `k..n` — with no duplicates
+    /// across the two deltas.
+    #[test]
+    fn incremental_deltas_compose_at_any_split(
+        seed in 0u64..400,
+        n_calls in 1usize..6,
+        fanout in 1usize..4,
+        split in 0usize..64,
+        strategy_idx in 0usize..3,
+        rewrite in proptest::bool::ANY,
+    ) {
+        let (mut doc, wf, rules) = synthetic_workload(seed, n_calls, fanout, 0);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let n = outcome.trace.calls.len();
+        let k = split % (n + 1);
+        let opts = EngineOptions {
+            strategy: [
+                ProvStrategy::StateReplay { materialize: false },
+                ProvStrategy::TemporalRewrite,
+                ProvStrategy::GroupedSinglePass,
+            ][strategy_idx],
+            inherit: if rewrite { InheritMode::PatternRewrite } else { InheritMode::Off },
+            ..Default::default()
+        };
+        let full = weblab::prov::infer_links_since(&doc, &outcome.trace, 0, &rules, &opts);
+        let head_trace = weblab::prov::ExecutionTrace {
+            calls: outcome.trace.calls[..k].to_vec(),
+        };
+        let head = weblab::prov::infer_links_since(&doc, &head_trace, 0, &rules, &opts);
+        let tail = weblab::prov::infer_links_since(&doc, &outcome.trace, k, &rules, &opts);
+        // disjoint deltas: nothing is derived twice
+        prop_assert_eq!(head.len() + tail.len(), full.len());
+        let mut union = head;
+        union.extend(tail);
+        union.sort();
+        let mut expected = full;
+        expected.sort();
+        prop_assert_eq!(union, expected);
+    }
+
     #[test]
     fn evaluation_is_deterministic_and_state_monotone(ops in doc_ops()) {
         let doc = build_doc(&ops);
