@@ -13,9 +13,12 @@
 //!    catalog rules with the trace and the final document to materialise
 //!    the provenance graph, through either the native engine or compiled
 //!    XQuery.
-//! 3. **Request management** — [`Platform::provenance_query`] checks the
-//!    Provenance triple store for an already-materialised graph, invokes
-//!    the Mapper on a miss, and answers SPARQL queries.
+//! 3. **Request management** — per-execution behaviour is grouped behind
+//!    the [`ExecutionHandle`] façade ([`Platform::execution`]): batch
+//!    materialisation checks the Provenance triple store for an
+//!    already-materialised graph and invokes the Mapper on a miss, while
+//!    structured queries ([`ProvQuery`]) answer from a published
+//!    epoch/snapshot reachability index without re-walking edge lists.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -28,9 +31,10 @@
 //!     Arc::new(Normaliser),
 //!     &["//NativeContent[$x := @id] => //TextMediaUnit[@origin = $x]"],
 //! ).unwrap();
-//! p.ingest("exec-1", generate_corpus(1, 1, 20));
-//! p.execute("exec-1", &["Normaliser"]).unwrap();
-//! let graph = p.provenance_graph("exec-1").unwrap();
+//! let exec = p.execution("exec-1");
+//! exec.ingest(generate_corpus(1, 1, 20));
+//! exec.execute(&["Normaliser"]).unwrap();
+//! let graph = exec.graph().unwrap();
 //! assert!(!graph.links.is_empty());
 //! ```
 
@@ -41,13 +45,15 @@ mod catalog;
 mod mapper;
 pub mod persist;
 mod platform;
+pub mod query;
 mod recorder;
 mod repository;
 mod trace_store;
 
 pub use catalog::{CatalogError, ServiceCatalog, ServiceEntry};
 pub use mapper::{Mapper, MapperError, MapperStrategy};
-pub use platform::{Platform, PlatformError, SpecStep, WorkflowSpec};
+pub use platform::{ExecutionHandle, Platform, PlatformError, SpecStep, WorkflowSpec};
+pub use query::{ProvQuery, QueryAnswer};
 pub use recorder::{merge_exchange, Recorder, RecorderError};
 pub use repository::ResourceRepository;
 pub use trace_store::TraceStore;

@@ -2,23 +2,33 @@
 //!
 //! [`Platform`] wires the Recorder, Resource Repository, Execution Trace
 //! store, Service Catalog, Mapper and Provenance triple store together.
-//! The Request Manager behaviour lives in [`Platform::provenance_query`]:
-//! "it first checks in the Provenance triple-store if the graph has
-//! already been materialized by a previous query. If not, the Mapper
-//! materializes the request…".
+//! Per-execution behaviour is exposed through [`Platform::execution`],
+//! which returns an [`ExecutionHandle`] — the façade the CLI and the
+//! `weblab serve` query service are written against. The handle answers
+//! reachability queries from a published [`EpochSnapshot`] (an immutable
+//! graph + [`ReachabilityIndex`] pair swapped in after every committed
+//! live delta), so readers never block ingestion and never re-walk the
+//! edge list.
+//!
+//! The original per-execution method sprawl (`provenance_graph`,
+//! `dependencies_of`, …) survives as `#[deprecated]` shims delegating to
+//! the same internals, so pre-existing callers compile unchanged.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use std::sync::{Mutex, RwLock};
-use weblab_prov::{EngineOptions, LiveProvenance, ProvenanceGraph};
+use weblab_prov::{
+    EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph, ReachabilityIndex,
+};
 use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
 use weblab_workflow::{next_time, FaultPolicy, Orchestrator, Service, Workflow, WorkflowError};
 use weblab_xml::Document;
 
 use crate::catalog::{CatalogError, ServiceCatalog};
 use crate::mapper::{Mapper, MapperError, MapperStrategy};
+use crate::query::{ProvQuery, QueryAnswer};
 use crate::recorder::{Recorder, RecorderError};
 use crate::repository::ResourceRepository;
 use crate::trace_store::TraceStore;
@@ -142,9 +152,12 @@ pub struct Platform {
     mapper: Mapper,
     fault: RwLock<FaultPolicy>,
     /// Live provenance maintainers, per execution id, for executions where
-    /// [`Platform::enable_live`] was called. Each is shared with the
-    /// call-completion hook of in-flight orchestrations.
+    /// live mode was enabled. Each is shared with the call-completion hook
+    /// of in-flight orchestrations.
     live: RwLock<HashMap<String, Arc<Mutex<LiveProvenance>>>>,
+    /// Per-execution reachability index state backing [`ExecutionHandle`]
+    /// queries and the `weblab serve` daemon.
+    index_states: RwLock<HashMap<String, Arc<IndexState>>>,
 }
 
 /// Cache entry: the graph as of a number of recorded calls.
@@ -152,6 +165,111 @@ pub struct Platform {
 struct MaterializedGraph {
     calls: usize,
     graph: ProvenanceGraph,
+}
+
+/// The writer's side of one execution's reachability index: the mutable
+/// master copy that live deltas fold into, plus the immutable published
+/// [`EpochSnapshot`] that readers clone an `Arc` of (so queries run
+/// lock-free, concurrently with ingestion).
+struct MasterIndex {
+    epoch: u64,
+    calls: usize,
+    graph: ProvenanceGraph,
+    index: ReachabilityIndex,
+}
+
+/// Per-execution epoch/snapshot machinery. Lock order is always
+/// *maintainer before master*: callers compute graphs (which may lock the
+/// [`LiveProvenance`] mutex) before taking `master`, and the call hook
+/// releases the maintainer before applying its delta here.
+struct IndexState {
+    master: Mutex<MasterIndex>,
+    published: RwLock<Arc<EpochSnapshot>>,
+    /// Epoch-keyed PROV-O export of the published graph, built lazily on
+    /// the first SPARQL query of an epoch and shared by the rest.
+    store: Mutex<Option<(u64, Arc<TripleStore>)>>,
+}
+
+impl IndexState {
+    fn new() -> Self {
+        IndexState {
+            master: Mutex::new(MasterIndex {
+                epoch: 0,
+                calls: 0,
+                graph: ProvenanceGraph::default(),
+                // `new` counts under `prov.index.builds`: one build per
+                // execution index, maintained incrementally afterwards.
+                index: ReachabilityIndex::new(),
+            }),
+            published: RwLock::new(Arc::new(EpochSnapshot::empty())),
+            store: Mutex::new(None),
+        }
+    }
+
+    fn published(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.read().expect("lock poisoned"))
+    }
+
+    fn publish_locked(&self, m: &MasterIndex) -> Arc<EpochSnapshot> {
+        let snap = Arc::new(EpochSnapshot {
+            epoch: m.epoch,
+            calls: m.calls,
+            graph: m.graph.clone(),
+            index: m.index.clone(),
+        });
+        *self.published.write().expect("lock poisoned") = Arc::clone(&snap);
+        snap
+    }
+
+    /// Fold one committed live delta into the master index and publish the
+    /// next epoch. No-op for an empty delta that advances nothing.
+    fn apply_delta(&self, delta: &LiveDelta, calls: usize) {
+        let mut m = self.master.lock().expect("lock poisoned");
+        if delta.is_empty() && calls <= m.calls {
+            return;
+        }
+        m.index.add_sources(&delta.sources);
+        m.index.add_links(&delta.links);
+        m.graph.sources.extend(delta.sources.iter().cloned());
+        m.graph.add_links(delta.links.iter().cloned());
+        m.calls = m.calls.max(calls);
+        m.epoch += 1;
+        self.publish_locked(&m);
+    }
+
+    /// Replace the master with a freshly materialised graph (rebuilding the
+    /// index) and publish it — the refresh path for executions whose calls
+    /// were recorded outside any live hook. Skipped if a concurrent
+    /// [`IndexState::apply_delta`] already advanced past `calls`, so a
+    /// slower full rebuild never rolls back a newer incremental epoch.
+    fn publish_full(&self, graph: ProvenanceGraph, calls: usize) -> Arc<EpochSnapshot> {
+        let index = ReachabilityIndex::from_graph(&graph);
+        let mut m = self.master.lock().expect("lock poisoned");
+        if m.epoch > 0 && m.calls >= calls {
+            drop(m);
+            return self.published();
+        }
+        m.graph = graph;
+        m.index = index;
+        m.calls = m.calls.max(calls);
+        m.epoch += 1;
+        self.publish_locked(&m)
+    }
+
+    /// The PROV-O triple store of a snapshot, cached per epoch.
+    fn store_for(&self, snap: &EpochSnapshot) -> Arc<TripleStore> {
+        let mut cached = self.store.lock().expect("lock poisoned");
+        if let Some((epoch, store)) = cached.as_ref() {
+            if *epoch == snap.epoch {
+                return Arc::clone(store);
+            }
+        }
+        let mut fresh = TripleStore::new();
+        fresh.extend(export_prov(&snap.graph));
+        let store = Arc::new(fresh);
+        *cached = Some((snap.epoch, Arc::clone(&store)));
+        store
+    }
 }
 
 impl Platform {
@@ -173,6 +291,7 @@ impl Platform {
             mapper,
             fault: RwLock::new(FaultPolicy::default()),
             live: RwLock::new(HashMap::new()),
+            index_states: RwLock::new(HashMap::new()),
         }
     }
 
@@ -205,6 +324,21 @@ impl Platform {
         Ok(())
     }
 
+    /// The per-execution façade: every recording, materialisation and
+    /// query operation on one execution, in one place. The handle is
+    /// cheap — construct one per request.
+    pub fn execution(&self, exec_id: impl Into<String>) -> ExecutionHandle<'_> {
+        ExecutionHandle {
+            platform: self,
+            id: exec_id.into(),
+        }
+    }
+
+    /// Known execution ids, sorted — the serve daemon's `status` listing.
+    pub fn executions(&self) -> Vec<String> {
+        self.repository.execution_ids()
+    }
+
     /// Ingest an initial document as a new execution.
     pub fn ingest(&self, exec_id: &str, doc: Document) {
         self.repository.put(exec_id, doc);
@@ -235,18 +369,30 @@ impl Platform {
         let mut orch = Orchestrator::new().with_fault(fault);
         let live = self.live.read().expect("lock poisoned").get(exec_id).cloned();
         if let Some(maintainer) = &live {
+            let state = self.index_state(exec_id);
             {
                 // Fold in anything recorded before live mode was enabled (or
                 // sources present before any call), then open a fresh segment:
-                // the orchestration below reports its calls from index 0.
-                let mut lp = maintainer.lock().expect("lock poisoned");
-                let folded = lp.calls_folded();
-                lp.catch_up_from(&doc, &prior.unwrap_or_default(), folded);
-                lp.new_segment();
+                // the orchestration below reports its calls from index 0. The
+                // catch-up delta is published like any other — maintainer
+                // lock released before the master is touched.
+                let (delta, calls) = {
+                    let mut lp = maintainer.lock().expect("lock poisoned");
+                    let folded = lp.calls_folded();
+                    let delta = lp.catch_up_from(&doc, &prior.unwrap_or_default(), folded);
+                    lp.new_segment();
+                    (delta, lp.calls_folded())
+                };
+                state.apply_delta(&delta, calls);
             }
-            let hook = Arc::clone(maintainer);
+            let hook_lp = Arc::clone(maintainer);
             orch = orch.with_call_hook(Arc::new(move |doc, trace, idx| {
-                hook.lock().expect("lock poisoned").observe_call(doc, trace, idx);
+                let (delta, calls) = {
+                    let mut lp = hook_lp.lock().expect("lock poisoned");
+                    let delta = lp.observe_call(doc, trace, idx);
+                    (delta, lp.calls_folded())
+                };
+                state.apply_delta(&delta, calls);
             }));
         }
         let outcome = orch.execute_starting_at(&workflow, &mut doc, start)?;
@@ -285,14 +431,21 @@ impl Platform {
         Ok(wf)
     }
 
-    /// Materialise (or fetch) the provenance graph of an execution.
-    ///
-    /// Materialisation is **incremental**: a cached graph is extended with
-    /// the links of calls recorded since it was built, instead of
-    /// re-deriving everything. (The one operation this cannot absorb is a
-    /// later *promotion* of content predating cached calls; use
-    /// [`Platform::invalidate_provenance`] after such an ingest.)
-    pub fn provenance_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+    /// Get-or-create the index state of an execution.
+    fn index_state(&self, exec_id: &str) -> Arc<IndexState> {
+        if let Some(state) = self.index_states.read().expect("lock poisoned").get(exec_id) {
+            return Arc::clone(state);
+        }
+        Arc::clone(
+            self.index_states
+                .write()
+                .expect("lock poisoned")
+                .entry(exec_id.to_string())
+                .or_insert_with(|| Arc::new(IndexState::new())),
+        )
+    }
+
+    fn provenance_graph_impl(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
         let doc = self
             .repository
             .get(exec_id)
@@ -328,35 +481,24 @@ impl Platform {
         Ok(graph)
     }
 
-    /// Drop the cached graph of an execution, forcing full
-    /// re-materialisation on the next query.
-    pub fn invalidate_provenance(&self, exec_id: &str) {
+    fn invalidate_impl(&self, exec_id: &str) {
         self.materialized.write().expect("lock poisoned").remove(exec_id);
+        self.index_states.write().expect("lock poisoned").remove(exec_id);
     }
 
-    /// Answer a SPARQL provenance query for an execution — the Request
-    /// Manager: materialise on first use, then query the Provenance triple
-    /// store.
-    pub fn provenance_query(
+    fn provenance_query_impl(
         &self,
         exec_id: &str,
         sparql: &str,
     ) -> Result<Vec<Solution>, PlatformError> {
-        if !self.is_materialized(exec_id) {
-            self.provenance_graph(exec_id)?;
+        if !self.is_materialized_impl(exec_id) {
+            self.provenance_graph_impl(exec_id)?;
         }
         let query = parse_select(sparql)?;
         Ok(select(&self.provenance.read().expect("lock poisoned"), &query))
     }
 
-    /// Switch an execution to *live provenance maintenance*: every
-    /// subsequent committed service call is folded into a materialised link
-    /// store as it happens, so [`Platform::dependencies_of`] /
-    /// [`Platform::dependents_of`] answer without re-running inference —
-    /// even mid-execution, from the call-completion hook's point of view.
-    /// Calls recorded before live mode was enabled are caught up on the
-    /// next [`Platform::execute_spec`] or [`Platform::live_graph`] request.
-    pub fn enable_live(&self, exec_id: &str) {
+    fn enable_live_impl(&self, exec_id: &str) {
         let rules = self.catalog.read().expect("lock poisoned").rule_set();
         let opts = match &self.mapper.strategy {
             MapperStrategy::Native(opts) => *opts,
@@ -368,23 +510,17 @@ impl Platform {
         );
     }
 
-    /// Whether live maintenance is enabled for an execution.
-    pub fn live_enabled(&self, exec_id: &str) -> bool {
+    fn live_enabled_impl(&self, exec_id: &str) -> bool {
         self.live.read().expect("lock poisoned").contains_key(exec_id)
     }
 
-    /// The live maintainer for an execution, shared with any in-flight
-    /// orchestration's hook — lock it to query mid-execution state.
-    pub fn live_provenance(&self, exec_id: &str) -> Option<Arc<Mutex<LiveProvenance>>> {
+    fn live_provenance_impl(&self, exec_id: &str) -> Option<Arc<Mutex<LiveProvenance>>> {
         self.live.read().expect("lock poisoned").get(exec_id).cloned()
     }
 
-    /// The live maintainer's view as a batch-style [`ProvenanceGraph`],
-    /// catching up on any calls recorded outside live mode first. Errors if
-    /// the execution is unknown or live mode was never enabled.
-    pub fn live_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+    fn live_graph_impl(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
         let maintainer = self
-            .live_provenance(exec_id)
+            .live_provenance_impl(exec_id)
             .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
         let doc = self
             .repository
@@ -397,40 +533,7 @@ impl Platform {
         Ok(lp.to_provenance_graph())
     }
 
-    /// Direct dependencies of a resource: answered from the live link
-    /// store when live mode is enabled for the execution (O(lookup), no
-    /// inference), else from the materialised batch graph.
-    pub fn dependencies_of(
-        &self,
-        exec_id: &str,
-        uri: &str,
-    ) -> Result<Vec<String>, PlatformError> {
-        if self.live_enabled(exec_id) {
-            let g = self.live_graph(exec_id)?;
-            return Ok(g.dependencies_of(uri).into_iter().map(String::from).collect());
-        }
-        let g = self.provenance_graph(exec_id)?;
-        Ok(g.dependencies_of(uri).into_iter().map(String::from).collect())
-    }
-
-    /// Direct dependents of a resource — live-store-backed like
-    /// [`Platform::dependencies_of`].
-    pub fn dependents_of(
-        &self,
-        exec_id: &str,
-        uri: &str,
-    ) -> Result<Vec<String>, PlatformError> {
-        if self.live_enabled(exec_id) {
-            let g = self.live_graph(exec_id)?;
-            return Ok(g.dependents_of(uri).into_iter().map(String::from).collect());
-        }
-        let g = self.provenance_graph(exec_id)?;
-        Ok(g.dependents_of(uri).into_iter().map(String::from).collect())
-    }
-
-    /// Whether the execution's graph is materialised and current (exposed
-    /// for tests and the cache-behaviour benchmark).
-    pub fn is_materialized(&self, exec_id: &str) -> bool {
+    fn is_materialized_impl(&self, exec_id: &str) -> bool {
         let trace_len = self.traces.get(exec_id).map(|t| t.len()).unwrap_or(0);
         self.materialized
             .read().expect("lock poisoned")
@@ -438,10 +541,281 @@ impl Platform {
             .map(|e| e.calls == trace_len)
             .unwrap_or(false)
     }
+
+    /// A current [`EpochSnapshot`] of the execution: the published one if
+    /// it already covers every recorded call, else a refresh. A snapshot
+    /// published mid-execution by the live hook runs *ahead* of the trace
+    /// store (calls reach it only after orchestration), which is why
+    /// freshness is `snapshot.calls >= trace len`, not equality.
+    fn snapshot_impl(&self, exec_id: &str) -> Result<Arc<EpochSnapshot>, PlatformError> {
+        if self.repository.with(exec_id, |_| ()).is_none() {
+            return Err(PlatformError::UnknownExecution(exec_id.to_string()));
+        }
+        let state = self.index_state(exec_id);
+        let trace_len = self.traces.get(exec_id).map(|t| t.len()).unwrap_or(0);
+        let snap = state.published();
+        if snap.epoch > 0 && snap.calls >= trace_len {
+            return Ok(snap);
+        }
+        // Refresh. Graphs are computed (taking the maintainer lock if live)
+        // before publish_full takes the master lock — see IndexState's lock
+        // ordering note.
+        let (graph, calls) = if self.live_enabled_impl(exec_id) {
+            let graph = self.live_graph_impl(exec_id)?;
+            let folded = self
+                .live_provenance_impl(exec_id)
+                .map(|m| m.lock().expect("lock poisoned").calls_folded())
+                .unwrap_or(trace_len);
+            (graph, folded)
+        } else if trace_len > 0 {
+            (self.provenance_graph_impl(exec_id)?, trace_len)
+        } else {
+            // Ingested but never executed: sources only, no links yet.
+            let doc = self
+                .repository
+                .get(exec_id)
+                .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+            (ProvenanceGraph::from_view(&doc.view()), 0)
+        };
+        Ok(state.publish_full(graph, calls))
+    }
+
+    /// Materialise (or fetch) the provenance graph of an execution.
+    #[deprecated(note = "use Platform::execution(id).graph()")]
+    pub fn provenance_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        self.provenance_graph_impl(exec_id)
+    }
+
+    /// Drop the cached graph (and reachability index) of an execution,
+    /// forcing full re-materialisation on the next query.
+    #[deprecated(note = "use Platform::execution(id).invalidate()")]
+    pub fn invalidate_provenance(&self, exec_id: &str) {
+        self.invalidate_impl(exec_id);
+    }
+
+    /// Answer a SPARQL provenance query against the *shared* provenance
+    /// triple store, materialising on first use.
+    #[deprecated(note = "use Platform::execution(id).sparql() for per-execution scope")]
+    pub fn provenance_query(
+        &self,
+        exec_id: &str,
+        sparql: &str,
+    ) -> Result<Vec<Solution>, PlatformError> {
+        self.provenance_query_impl(exec_id, sparql)
+    }
+
+    /// Switch an execution to live provenance maintenance.
+    #[deprecated(note = "use Platform::execution(id).enable_live()")]
+    pub fn enable_live(&self, exec_id: &str) {
+        self.enable_live_impl(exec_id);
+    }
+
+    /// Whether live maintenance is enabled for an execution.
+    #[deprecated(note = "use Platform::execution(id).live_enabled()")]
+    pub fn live_enabled(&self, exec_id: &str) -> bool {
+        self.live_enabled_impl(exec_id)
+    }
+
+    /// The live maintainer for an execution, shared with any in-flight
+    /// orchestration's hook.
+    #[deprecated(note = "use Platform::execution(id).live()")]
+    pub fn live_provenance(&self, exec_id: &str) -> Option<Arc<Mutex<LiveProvenance>>> {
+        self.live_provenance_impl(exec_id)
+    }
+
+    /// The live maintainer's view as a batch-style [`ProvenanceGraph`].
+    #[deprecated(note = "use Platform::execution(id).live_graph()")]
+    pub fn live_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        self.live_graph_impl(exec_id)
+    }
+
+    /// Direct dependencies of a resource, by edge-list scan of the live or
+    /// batch graph.
+    #[deprecated(note = "use Platform::execution(id).deps(), which answers from the index")]
+    pub fn dependencies_of(
+        &self,
+        exec_id: &str,
+        uri: &str,
+    ) -> Result<Vec<String>, PlatformError> {
+        if self.live_enabled_impl(exec_id) {
+            let g = self.live_graph_impl(exec_id)?;
+            return Ok(g.dependencies_of(uri).into_iter().map(String::from).collect());
+        }
+        let g = self.provenance_graph_impl(exec_id)?;
+        Ok(g.dependencies_of(uri).into_iter().map(String::from).collect())
+    }
+
+    /// Direct dependents of a resource, by edge-list scan of the live or
+    /// batch graph.
+    #[deprecated(note = "use Platform::execution(id).rdeps(), which answers from the index")]
+    pub fn dependents_of(
+        &self,
+        exec_id: &str,
+        uri: &str,
+    ) -> Result<Vec<String>, PlatformError> {
+        if self.live_enabled_impl(exec_id) {
+            let g = self.live_graph_impl(exec_id)?;
+            return Ok(g.dependents_of(uri).into_iter().map(String::from).collect());
+        }
+        let g = self.provenance_graph_impl(exec_id)?;
+        Ok(g.dependents_of(uri).into_iter().map(String::from).collect())
+    }
+
+    /// Whether the execution's graph is materialised and current.
+    #[deprecated(note = "use Platform::execution(id).is_materialized()")]
+    pub fn is_materialized(&self, exec_id: &str) -> bool {
+        self.is_materialized_impl(exec_id)
+    }
+}
+
+/// The per-execution façade over [`Platform`]: ingestion, execution, live
+/// maintenance and — via published [`EpochSnapshot`]s — index-backed
+/// provenance queries. This is the only surface the `weblab serve` query
+/// service touches.
+///
+/// ```
+/// use std::sync::Arc;
+/// use weblab_platform::{Mapper, Platform};
+/// use weblab_workflow::generator::generate_corpus;
+/// use weblab_workflow::services::Normaliser;
+///
+/// let p = Platform::new(Mapper::native());
+/// p.register_service(
+///     Arc::new(Normaliser),
+///     &["//NativeContent[$x := @id] => //TextMediaUnit[@origin = $x]"],
+/// ).unwrap();
+/// let exec = p.execution("exec-1");
+/// exec.ingest(generate_corpus(1, 1, 20));
+/// exec.execute(&["Normaliser"]).unwrap();
+/// let snap = exec.snapshot().unwrap();
+/// assert!(snap.epoch >= 1 && !snap.graph.links.is_empty());
+/// ```
+pub struct ExecutionHandle<'p> {
+    platform: &'p Platform,
+    id: String,
+}
+
+impl ExecutionHandle<'_> {
+    /// The execution id this handle is scoped to.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Whether the execution has an ingested document.
+    pub fn exists(&self) -> bool {
+        self.platform.repository.with(&self.id, |_| ()).is_some()
+    }
+
+    /// Ingest an initial document for this execution.
+    pub fn ingest(&self, doc: Document) {
+        self.platform.ingest(&self.id, doc);
+    }
+
+    /// Execute a sequence of registered service names.
+    pub fn execute(&self, steps: &[&str]) -> Result<(), PlatformError> {
+        self.platform.execute(&self.id, steps)
+    }
+
+    /// Execute a [`WorkflowSpec`], possibly with parallel blocks.
+    pub fn execute_spec(&self, spec: &WorkflowSpec) -> Result<(), PlatformError> {
+        self.platform.execute_spec(&self.id, spec)
+    }
+
+    /// Switch this execution to live provenance maintenance: every
+    /// committed call is folded into the link store *and* the reachability
+    /// index as it happens, publishing a new [`EpochSnapshot`] per delta.
+    pub fn enable_live(&self) {
+        self.platform.enable_live_impl(&self.id);
+    }
+
+    /// Whether live maintenance is enabled.
+    pub fn live_enabled(&self) -> bool {
+        self.platform.live_enabled_impl(&self.id)
+    }
+
+    /// The live maintainer, shared with any in-flight orchestration's hook
+    /// — lock it to inspect mid-execution state.
+    pub fn live(&self) -> Option<Arc<Mutex<LiveProvenance>>> {
+        self.platform.live_provenance_impl(&self.id)
+    }
+
+    /// The batch-materialised provenance graph (incremental Mapper path).
+    pub fn graph(&self) -> Result<ProvenanceGraph, PlatformError> {
+        self.platform.provenance_graph_impl(&self.id)
+    }
+
+    /// The live maintainer's view as a batch-style graph, catching up on
+    /// calls recorded outside live mode first.
+    pub fn live_graph(&self) -> Result<ProvenanceGraph, PlatformError> {
+        self.platform.live_graph_impl(&self.id)
+    }
+
+    /// A current epoch snapshot — immutable graph + reachability index.
+    /// Queries answered on one snapshot are mutually consistent even while
+    /// ingestion publishes newer epochs concurrently.
+    pub fn snapshot(&self) -> Result<Arc<EpochSnapshot>, PlatformError> {
+        self.platform.snapshot_impl(&self.id)
+    }
+
+    /// Direct dependencies of a resource, answered from the reachability
+    /// index (no edge-list traversal — counted under `prov.index.hits`).
+    pub fn deps(&self, uri: &str) -> Result<Vec<String>, PlatformError> {
+        let snap = self.snapshot()?;
+        Ok(snap.index.dependencies_of(uri).into_iter().map(String::from).collect())
+    }
+
+    /// Direct dependents of a resource, index-answered like
+    /// [`ExecutionHandle::deps`].
+    pub fn rdeps(&self, uri: &str) -> Result<Vec<String>, PlatformError> {
+        let snap = self.snapshot()?;
+        Ok(snap.index.dependents_of(uri).into_iter().map(String::from).collect())
+    }
+
+    /// Answer a structured provenance query on a current snapshot.
+    pub fn query(&self, q: &ProvQuery) -> Result<QueryAnswer, PlatformError> {
+        self.query_at(q).map(|(_, answer)| answer)
+    }
+
+    /// Like [`ExecutionHandle::query`], also reporting the epoch the
+    /// answer was computed at — what the serve protocol echoes back.
+    pub fn query_at(&self, q: &ProvQuery) -> Result<(u64, QueryAnswer), PlatformError> {
+        let snap = self.snapshot()?;
+        let answer = match q {
+            ProvQuery::Sparql { .. } => {
+                let state = self.platform.index_state(&self.id);
+                let store = state.store_for(&snap);
+                q.answer_on_snapshot(&snap, Some(&store))?
+            }
+            _ => q.answer_on_snapshot(&snap, None)?,
+        };
+        Ok((snap.epoch, answer))
+    }
+
+    /// A SPARQL SELECT over this execution's PROV-O export (per-execution
+    /// scope, unlike the deprecated shared-store `provenance_query`).
+    pub fn sparql(&self, text: &str) -> Result<Vec<Solution>, PlatformError> {
+        match self.query(&ProvQuery::Sparql { query: text.to_string() })? {
+            QueryAnswer::Solutions(sols) => Ok(sols),
+            _ => unreachable!("Sparql queries answer with Solutions"),
+        }
+    }
+
+    /// Whether the batch graph cache is materialised and current.
+    pub fn is_materialized(&self) -> bool {
+        self.platform.is_materialized_impl(&self.id)
+    }
+
+    /// Drop the cached batch graph and the reachability index, forcing a
+    /// rebuild on the next query.
+    pub fn invalidate(&self) {
+        self.platform.invalidate_impl(&self.id);
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use weblab_rdf::vocab::PROV_NS;
     use weblab_workflow::generator::generate_corpus;
@@ -718,5 +1092,127 @@ mod tests {
         assert!(!ga.links.is_empty());
         assert!(!gb.links.is_empty());
         assert!(p.is_materialized("a") && p.is_materialized("b"));
+        assert_eq!(p.executions(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn handle_facade_answers_match_the_deprecated_surface() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 2, 25));
+        exec.execute(&["Normaliser", "LanguageExtractor", "Translator"]).unwrap();
+        assert!(exec.exists());
+        assert_eq!(exec.id(), "e");
+        let graph = exec.graph().unwrap();
+        assert_eq!(graph.links, p.provenance_graph("e").unwrap().links);
+        for l in &graph.links {
+            assert_eq!(
+                exec.deps(&l.from_uri).unwrap(),
+                p.dependencies_of("e", &l.from_uri).unwrap()
+            );
+            assert_eq!(
+                exec.rdeps(&l.to_uri).unwrap(),
+                p.dependents_of("e", &l.to_uri).unwrap()
+            );
+        }
+        assert!(exec.is_materialized());
+        assert!(!p.execution("missing").exists());
+        assert!(matches!(
+            p.execution("missing").snapshot(),
+            Err(PlatformError::UnknownExecution(_))
+        ));
+    }
+
+    #[test]
+    fn live_snapshots_advance_per_delta_and_track_the_live_graph() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 1, 20));
+        exec.enable_live();
+        assert!(exec.live_enabled());
+        exec.execute(&["Normaliser", "LanguageExtractor"]).unwrap();
+        let snap = exec.snapshot().unwrap();
+        // at least one epoch per committed call (plus the catch-up publish)
+        assert!(snap.epoch >= 2, "epoch {} after two live calls", snap.epoch);
+        assert_eq!(snap.calls, 2);
+        // the published snapshot IS the live graph — no batch materialisation
+        assert_eq!(snap.graph.links, exec.live_graph().unwrap().links);
+        assert!(!exec.is_materialized());
+        // freshness: querying again serves the same snapshot
+        let again = exec.snapshot().unwrap();
+        assert_eq!(again.epoch, snap.epoch);
+        // a further call publishes a newer epoch
+        exec.execute(&["Translator"]).unwrap();
+        let after = exec.snapshot().unwrap();
+        assert!(after.epoch > snap.epoch);
+        assert_eq!(after.calls, 3);
+        assert!(after.graph.links.len() >= snap.graph.links.len());
+    }
+
+    #[test]
+    fn handle_queries_answer_like_batch_on_the_snapshot_graph() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 2, 25));
+        exec.execute(&["Normaliser", "LanguageExtractor", "Translator"]).unwrap();
+        let snap = exec.snapshot().unwrap();
+        let sparql = format!(
+            "PREFIX prov: <{PROV_NS}> SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}"
+        );
+        let mut queries = vec![ProvQuery::Sparql { query: sparql.clone() }];
+        for l in &snap.graph.links {
+            queries.push(ProvQuery::Why { uri: l.from_uri.clone() });
+            queries.push(ProvQuery::Lineage { uri: l.from_uri.clone(), depth: 2 });
+            queries.push(ProvQuery::ImpactedBy { uri: l.to_uri.clone() });
+            queries.push(ProvQuery::CommonOrigins {
+                a: l.from_uri.clone(),
+                b: l.to_uri.clone(),
+            });
+        }
+        for q in &queries {
+            let (epoch, answer) = exec.query_at(q).unwrap();
+            assert_eq!(epoch, snap.epoch);
+            assert_eq!(answer, q.answer_on_graph(&snap.graph).unwrap(), "op {}", q.op());
+        }
+        // the sparql convenience wrapper unwraps the same solutions
+        let sols = exec.sparql(&sparql).unwrap();
+        assert_eq!(sols.len(), snap.graph.links.len());
+    }
+
+    #[test]
+    fn invalidate_resets_the_snapshot_epoch() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(2, 1, 15));
+        exec.execute(&["Normaliser"]).unwrap();
+        let before = exec.snapshot().unwrap();
+        assert!(before.epoch >= 1);
+        exec.invalidate();
+        assert!(!exec.is_materialized());
+        let after = exec.snapshot().unwrap();
+        // a fresh index state starts its epochs over, with the same graph
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.graph.links, before.graph.links);
+    }
+
+    #[test]
+    fn unexecuted_executions_serve_source_only_snapshots() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(2, 1, 15));
+        let snap = exec.snapshot().unwrap();
+        assert_eq!(snap.calls, 0);
+        assert!(snap.epoch >= 1);
+        assert!(snap.graph.links.is_empty());
+        // acquisition resources are already queryable: each is its own why
+        for s in &snap.graph.sources {
+            match exec.query(&ProvQuery::Why { uri: s.uri.clone() }).unwrap() {
+                QueryAnswer::Why(w) => {
+                    assert!(w.links.is_empty());
+                    assert!(w.resources.contains(&s.uri));
+                }
+                other => panic!("unexpected answer {other:?}"),
+            }
+        }
     }
 }

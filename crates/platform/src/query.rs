@@ -1,0 +1,206 @@
+//! The shared provenance query dispatch — one enum for every asker.
+//!
+//! Before the query service existed, the CLI (`weblab why`, `weblab
+//! query`) and [`Platform::provenance_query`](crate::Platform) each kept
+//! their own string-to-behaviour matching. [`ProvQuery`] is the single
+//! source of truth both now parse into: the serve protocol's `op` strings,
+//! the CLI subcommands and the `ExecutionHandle` API all dispatch through
+//! it, and [`QueryAnswer`] is the common result shape they render.
+
+use weblab_prov::query::{self, WhyProvenance};
+use weblab_prov::{EpochSnapshot, ProvenanceGraph};
+use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
+
+/// A structured provenance question about one execution's graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvQuery {
+    /// Why-provenance: the justifying subgraph of a resource.
+    Why {
+        /// The queried resource URI.
+        uri: String,
+    },
+    /// Upstream lineage limited to a hop depth.
+    Lineage {
+        /// The queried resource URI.
+        uri: String,
+        /// Maximum hop distance (0 = just the root).
+        depth: usize,
+    },
+    /// Impact analysis: everything transitively depending on a resource.
+    ImpactedBy {
+        /// The queried resource URI.
+        uri: String,
+    },
+    /// Shared evidence of two resources.
+    CommonOrigins {
+        /// First resource URI.
+        a: String,
+        /// Second resource URI.
+        b: String,
+    },
+    /// A SPARQL SELECT over the execution's PROV-O export.
+    Sparql {
+        /// The SELECT query text.
+        query: String,
+    },
+}
+
+/// The answer to a [`ProvQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Answer to [`ProvQuery::Why`].
+    Why(WhyProvenance),
+    /// Answer to [`ProvQuery::Lineage`]: `(resource, hop distance)` pairs.
+    Lineage(Vec<(String, usize)>),
+    /// Answer to [`ProvQuery::ImpactedBy`], in breadth-first order.
+    ImpactedBy(Vec<String>),
+    /// Answer to [`ProvQuery::CommonOrigins`], sorted.
+    CommonOrigins(Vec<String>),
+    /// Answer to [`ProvQuery::Sparql`].
+    Solutions(Vec<Solution>),
+}
+
+impl ProvQuery {
+    /// The wire name of this query — the serve protocol's `op` string.
+    pub fn op(&self) -> &'static str {
+        match self {
+            ProvQuery::Why { .. } => "why",
+            ProvQuery::Lineage { .. } => "lineage",
+            ProvQuery::ImpactedBy { .. } => "impacted-by",
+            ProvQuery::CommonOrigins { .. } => "common-origins",
+            ProvQuery::Sparql { .. } => "sparql",
+        }
+    }
+
+    /// Answer against a materialised graph using the batch query functions
+    /// (edge-list traversals) — the one-shot CLI path.
+    pub fn answer_on_graph(&self, graph: &ProvenanceGraph) -> Result<QueryAnswer, SparqlError> {
+        Ok(match self {
+            ProvQuery::Why { uri } => QueryAnswer::Why(query::why(graph, uri)),
+            ProvQuery::Lineage { uri, depth } => {
+                QueryAnswer::Lineage(query::lineage_to_depth(graph, uri, *depth))
+            }
+            ProvQuery::ImpactedBy { uri } => {
+                QueryAnswer::ImpactedBy(query::impacted_by(graph, uri))
+            }
+            ProvQuery::CommonOrigins { a, b } => {
+                QueryAnswer::CommonOrigins(query::common_origins(graph, a, b))
+            }
+            ProvQuery::Sparql { query: text } => {
+                let mut store = TripleStore::new();
+                store.extend(export_prov(graph));
+                let q = parse_select(text)?;
+                QueryAnswer::Solutions(select(&store, &q))
+            }
+        })
+    }
+
+    /// Answer against an epoch snapshot using its reachability index (no
+    /// edge-list traversals) — the serving path. `store` is the PROV-O
+    /// export of the snapshot's graph; pass `None` to have one built here
+    /// (callers that serve many SPARQL queries per epoch should cache it).
+    pub fn answer_on_snapshot(
+        &self,
+        snap: &EpochSnapshot,
+        store: Option<&TripleStore>,
+    ) -> Result<QueryAnswer, SparqlError> {
+        Ok(match self {
+            ProvQuery::Why { uri } => QueryAnswer::Why(snap.index.why(uri)),
+            ProvQuery::Lineage { uri, depth } => {
+                QueryAnswer::Lineage(snap.index.lineage(uri, *depth))
+            }
+            ProvQuery::ImpactedBy { uri } => {
+                QueryAnswer::ImpactedBy(snap.index.impacted_by(uri))
+            }
+            ProvQuery::CommonOrigins { a, b } => {
+                QueryAnswer::CommonOrigins(snap.index.common_origins(a, b))
+            }
+            ProvQuery::Sparql { query: text } => {
+                let q = parse_select(text)?;
+                let solutions = match store {
+                    Some(store) => select(store, &q),
+                    None => {
+                        let mut fresh = TripleStore::new();
+                        fresh.extend(export_prov(&snap.graph));
+                        select(&fresh, &q)
+                    }
+                };
+                QueryAnswer::Solutions(solutions)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_prov::{
+        infer_provenance, paper_example, EngineOptions, InheritMode, ReachabilityIndex,
+    };
+
+    fn graph() -> ProvenanceGraph {
+        let (doc, trace, rules) = paper_example::build();
+        infer_provenance(
+            &doc,
+            &trace,
+            &rules,
+            &EngineOptions {
+                inherit: InheritMode::PatternRewrite,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn snapshot(graph: &ProvenanceGraph) -> EpochSnapshot {
+        EpochSnapshot {
+            epoch: 1,
+            calls: 3,
+            graph: graph.clone(),
+            index: ReachabilityIndex::from_graph(graph),
+        }
+    }
+
+    #[test]
+    fn snapshot_answers_equal_graph_answers_for_every_op() {
+        let g = graph();
+        let snap = snapshot(&g);
+        let queries = [
+            ProvQuery::Why { uri: "r8".into() },
+            ProvQuery::Lineage { uri: "r8".into(), depth: 2 },
+            ProvQuery::ImpactedBy { uri: "r3".into() },
+            ProvQuery::CommonOrigins { a: "r8".into(), b: "r6".into() },
+            ProvQuery::Sparql {
+                query: format!(
+                    "PREFIX prov: <{}> SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}",
+                    weblab_rdf::vocab::PROV_NS
+                ),
+            },
+        ];
+        for q in &queries {
+            assert_eq!(
+                q.answer_on_snapshot(&snap, None).unwrap(),
+                q.answer_on_graph(&g).unwrap(),
+                "op {}",
+                q.op()
+            );
+        }
+    }
+
+    #[test]
+    fn sparql_parse_errors_surface_from_both_paths() {
+        let g = graph();
+        let snap = snapshot(&g);
+        let q = ProvQuery::Sparql { query: "SELEKT nonsense".into() };
+        assert!(q.answer_on_graph(&g).is_err());
+        assert!(q.answer_on_snapshot(&snap, None).is_err());
+    }
+
+    #[test]
+    fn op_names_are_the_wire_protocol() {
+        assert_eq!(ProvQuery::Why { uri: String::new() }.op(), "why");
+        assert_eq!(
+            ProvQuery::CommonOrigins { a: String::new(), b: String::new() }.op(),
+            "common-origins"
+        );
+    }
+}

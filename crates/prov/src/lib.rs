@@ -18,6 +18,8 @@
 //! * [`skolem`] — the Section 5 aggregation mappings;
 //! * [`query`] — why-provenance, depth-limited lineage, impact analysis;
 //! * [`storage`] — compact (interned, grouped-adjacency) graph storage;
+//! * [`index`] — read-optimized reachability index (ancestor-set
+//!   encoding) and the epoch snapshots the query service serves from;
 //! * [`live`] — per-call incremental maintenance of that storage
 //!   ([`LiveProvenance`]), fed by the orchestrator's call-completion hook;
 //! * [`views`] — provenance views over composite service modules;
@@ -43,6 +45,7 @@ mod cache;
 mod engine;
 mod executor;
 mod graph;
+pub mod index;
 pub mod live;
 pub mod paper_example;
 pub mod query;
@@ -61,6 +64,7 @@ pub use engine::{
     service_call_provenance, EngineOptions, InheritMode, Strategy,
 };
 pub use executor::{run_units, Parallelism};
+pub use index::{EpochSnapshot, ReachabilityIndex};
 pub use live::{LiveDelta, LiveProvenance};
 pub use graph::{ProvenanceGraph, SourceEntry};
 pub use rule::{MappingRule, RuleError};

@@ -29,7 +29,13 @@ pub struct WhyProvenance {
 }
 
 /// Compute the why-provenance of `uri`.
+///
+/// This walks the raw edge list per hop (a full-graph traversal, counted
+/// under `prov.index.traversals`); long-lived services should build a
+/// [`crate::index::ReachabilityIndex`] and use its
+/// [`why`](crate::index::ReachabilityIndex::why) instead.
 pub fn why(graph: &ProvenanceGraph, uri: &str) -> WhyProvenance {
+    crate::index::record_traversal();
     let mut resources: BTreeSet<String> = BTreeSet::new();
     resources.insert(uri.to_string());
     let mut links = Vec::new();
@@ -69,6 +75,7 @@ pub fn lineage_to_depth(
     uri: &str,
     depth: usize,
 ) -> Vec<(String, usize)> {
+    crate::index::record_traversal();
     let mut out = vec![(uri.to_string(), 0)];
     let mut seen: HashSet<String> = HashSet::new();
     seen.insert(uri.to_string());
@@ -94,6 +101,7 @@ pub fn lineage_to_depth(
 /// Impact analysis: every resource that transitively depends on `uri`
 /// (the blast radius of a corrupted input), in breadth-first order.
 pub fn impacted_by(graph: &ProvenanceGraph, uri: &str) -> Vec<String> {
+    crate::index::record_traversal();
     let mut radj: HashMap<&str, Vec<&str>> = HashMap::new();
     for l in &graph.links {
         radj.entry(l.to_uri.as_str())
@@ -204,5 +212,72 @@ mod tests {
         assert_eq!(w.resources.len(), 1);
         assert!(w.links.is_empty());
         assert!(w.calls.is_empty());
+    }
+
+    #[test]
+    fn unknown_uris_are_empty_in_every_query() {
+        let g = graph();
+        assert_eq!(
+            lineage_to_depth(&g, "nope", 5),
+            vec![("nope".to_string(), 0)]
+        );
+        assert!(impacted_by(&g, "nope").is_empty());
+        // an unknown root still appears in its own why-provenance, so the
+        // self-join is the singleton
+        assert_eq!(common_origins(&g, "nope", "nope"), vec!["nope".to_string()]);
+        assert!(common_origins(&g, "nope", "r8").is_empty());
+    }
+
+    #[test]
+    fn common_origins_self_join_is_the_full_why_set() {
+        let g = graph();
+        let w = why(&g, "r8");
+        let self_join = common_origins(&g, "r8", "r8");
+        let expected: Vec<String> = w.resources.iter().cloned().collect();
+        assert_eq!(self_join, expected);
+    }
+
+    #[test]
+    fn queries_terminate_on_cyclic_edge_sets() {
+        // Definition 3 graphs are DAGs, but the query functions must stay
+        // total if handed a corrupted edge set: seen-set guards make every
+        // traversal visit each resource at most once.
+        use crate::algebra::ProvLink;
+        use weblab_xml::NodeId;
+        let mut g = ProvenanceGraph::default();
+        let link = |f: (usize, &str), t: (usize, &str)| ProvLink {
+            from: NodeId::from_index(f.0),
+            from_uri: f.1.into(),
+            to: NodeId::from_index(t.0),
+            to_uri: t.1.into(),
+        };
+        g.add_links([
+            link((1, "a"), (2, "b")),
+            link((2, "b"), (3, "c")),
+            link((3, "c"), (1, "a")),
+        ]);
+        let w = why(&g, "a");
+        assert_eq!(w.resources.len(), 3);
+        assert_eq!(w.links.len(), 3);
+        assert_eq!(impacted_by(&g, "a").len(), 2);
+        let lin = lineage_to_depth(&g, "a", 10);
+        assert_eq!(lin.len(), 3, "each resource reported once despite the cycle");
+        assert_eq!(
+            common_origins(&g, "a", "b"),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn depth_zero_lineage_never_traverses() {
+        let g = graph();
+        for s in &g.sources {
+            assert_eq!(
+                lineage_to_depth(&g, &s.uri, 0),
+                vec![(s.uri.clone(), 0)],
+                "depth 0 must return just the root for {}",
+                s.uri
+            );
+        }
     }
 }

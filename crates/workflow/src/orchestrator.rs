@@ -198,8 +198,10 @@ pub struct Orchestrator {
     /// Fault-tolerance configuration (default: abort on first failure,
     /// after rolling the failed call back).
     pub fault: FaultPolicy,
-    /// Call-completion observer (e.g. a live provenance maintainer).
-    pub call_hook: Option<CallHook>,
+    /// Call-completion observers (e.g. a live provenance maintainer plus a
+    /// serving layer's index updater), fired in subscription order after
+    /// every committed call.
+    pub call_hooks: Vec<CallHook>,
 }
 
 impl fmt::Debug for Orchestrator {
@@ -207,7 +209,7 @@ impl fmt::Debug for Orchestrator {
         f.debug_struct("Orchestrator")
             .field("eager_rules", &self.eager_rules)
             .field("fault", &self.fault)
-            .field("call_hook", &self.call_hook.as_ref().map(|_| "…"))
+            .field("call_hooks", &self.call_hooks.len())
             .finish()
     }
 }
@@ -234,10 +236,18 @@ impl Orchestrator {
     }
 
     /// Subscribe a call-completion observer (builder style). See
-    /// [`CallHook`] for the commit semantics.
+    /// [`CallHook`] for the commit semantics. Hooks *fan in*: subscribing
+    /// several observers is supported, and each committed call notifies all
+    /// of them in subscription order.
     pub fn with_call_hook(mut self, hook: CallHook) -> Self {
-        self.call_hook = Some(hook);
+        self.call_hooks.push(hook);
         self
+    }
+
+    /// Subscribe a call-completion observer on an existing orchestrator
+    /// (the non-builder form of [`Orchestrator::with_call_hook`]).
+    pub fn add_call_hook(&mut self, hook: CallHook) {
+        self.call_hooks.push(hook);
     }
 
     /// Execute `workflow` over `doc`, starting call instants after any
@@ -345,8 +355,8 @@ impl Orchestrator {
                         let merged_from = outcome.trace.calls.len();
                         merge_branch(doc, &fork, fork_mark, branch_outcome, outcome)?;
                         if notify {
-                            if let Some(hook) = &self.call_hook {
-                                for idx in merged_from..outcome.trace.calls.len() {
+                            for idx in merged_from..outcome.trace.calls.len() {
+                                for hook in &self.call_hooks {
                                     hook(doc, &outcome.trace, idx);
                                 }
                             }
@@ -406,7 +416,7 @@ impl Orchestrator {
                     // for fork-local records, which are only durable once
                     // merged)
                     if notify {
-                        if let Some(hook) = &self.call_hook {
+                        for hook in &self.call_hooks {
                             hook(doc, &outcome.trace, outcome.trace.calls.len() - 1);
                         }
                     }
@@ -864,6 +874,30 @@ mod tests {
 
     fn serialize_both(doc: &Document) -> String {
         weblab_xml::to_xml_string(&doc.view())
+    }
+
+    #[test]
+    fn call_hooks_fan_in_to_every_subscriber_in_order() {
+        let events: Arc<std::sync::Mutex<Vec<(u8, usize)>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let first = Arc::clone(&events);
+        let second = Arc::clone(&events);
+        let wf = Workflow::new().then(AppendOne).then(AppendOne);
+        let mut doc = Document::new("Resource");
+        let orch = Orchestrator::new()
+            .with_call_hook(Arc::new(move |_, _, idx| {
+                first.lock().unwrap().push((1, idx));
+            }))
+            .with_call_hook(Arc::new(move |_, _, idx| {
+                second.lock().unwrap().push((2, idx));
+            }));
+        let outcome = orch.execute(&wf, &mut doc).unwrap();
+        assert_eq!(outcome.trace.len(), 2);
+        // both subscribers saw both commits, in subscription order per call
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec![(1, 0), (2, 0), (1, 1), (2, 1)]
+        );
     }
 
     #[test]

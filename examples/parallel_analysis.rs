@@ -57,7 +57,7 @@ fn main() {
         .then("Indexer");
     platform.execute_spec("exec-par", &spec).unwrap();
 
-    let graph = platform.provenance_graph("exec-par").unwrap();
+    let graph = platform.execution("exec-par").graph().unwrap();
     println!(
         "provenance: {} labelled resources, {} links (DAG: {})",
         graph.sources.len(),

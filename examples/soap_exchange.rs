@@ -71,7 +71,7 @@ fn main() {
         .unwrap();
 
     // --- provenance over the merged canonical document ----------------
-    let graph = platform.provenance_graph("soap-1").unwrap();
+    let graph = platform.execution("soap-1").graph().unwrap();
     println!("\n{graph}");
     assert!(!graph.links.is_empty());
 

@@ -15,7 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> weblab --metrics smoke run (paper example pipeline)"
 metrics_dir="$(mktemp -d)"
-trap 'rm -rf "$metrics_dir"' EXIT
+trap 'rm -rf "$metrics_dir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 ./target/release/weblab run data/sample_corpus.xml \
     Normaliser,LanguageExtractor,Translator -o "$metrics_dir/stamped.xml"
 ./target/release/weblab --metrics --metrics-out "$metrics_dir/metrics.json" \
@@ -101,6 +101,81 @@ assert lines[-1] == f"# end links={n_links}", \
 assert n_links == counters["live.links"], \
     "persisted link count disagrees with the live.links counter"
 print(f"ci: live provenance ok (deltas={counters['live.deltas']}, links={n_links})")
+PY
+
+echo "==> serve smoke (line-delimited JSON protocol on an ephemeral port)"
+./target/release/weblab --metrics-out "$metrics_dir/serve.json" \
+    serve --port 0 --workers 2 \
+    > "$metrics_dir/serve.out" 2> "$metrics_dir/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$metrics_dir/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$metrics_dir/serve.out")"
+[ -n "$addr" ] || { echo "ci: serve never printed its address" >&2; exit 1; }
+python3 - "$addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+def rpc(req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+xml = ('<Resource wl:id="weblab://doc/ci">'
+       '<NativeContent wl:id="weblab://src/0" wl:s="Source" wl:t="0">'
+       'the text is in the language for peace</NativeContent></Resource>')
+r = rpc({"op": "ingest", "exec": "ci", "xml": xml, "live": True,
+         "pipeline": ["Normaliser", "LanguageExtractor"]})
+assert r.get("ok"), r
+assert r["result"]["calls"] == 2, r
+assert r["result"]["links"] >= 1, r
+
+r = rpc({"op": "why", "exec": "ci", "uri": "weblab://src/0"})
+assert r.get("ok") and r.get("epoch", 0) >= 1, r
+assert "weblab://src/0" in r["result"]["resources"], r
+
+r = rpc({"op": "sparql", "exec": "ci",
+         "query": "PREFIX prov: <http://www.w3.org/ns/prov#> "
+                  "SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"})
+assert r.get("ok") and len(r["result"]) >= 1, r
+
+r = rpc({"op": "status"})
+assert r.get("ok"), r
+assert any(e["id"] == "ci" and e["live"] for e in r["result"]["executions"]), r
+
+r = rpc({"op": "nonsense"})
+assert r.get("ok") is False and r.get("code") == "protocol", r
+
+r = rpc({"op": "shutdown"})
+assert r.get("ok") and r["result"]["stopping"], r
+sock.close()
+print("ci: serve protocol round-trip ok")
+PY
+wait "$serve_pid" || { echo "ci: serve did not shut down cleanly" >&2; exit 1; }
+serve_pid=""
+python3 - "$metrics_dir/serve.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+counters = report["counters"]
+
+# one request per protocol line above, exactly one of them a probe error
+assert counters.get("serve.requests", 0) >= 6, counters.get("serve.requests")
+assert counters.get("serve.errors", 0) == 1, counters.get("serve.errors")
+assert "serve.request_ns" in report["histograms"], "request latency not recorded"
+# the reachability index was built (incrementally, from live deltas) and
+# every served query answered from it: zero edge-list traversals
+assert counters.get("prov.index.builds", 0) >= 1, "index never built"
+assert counters.get("prov.index.traversals", 0) == 0, \
+    "served queries must not re-walk the provenance edge list"
+print("ci: serve metrics ok "
+      f"(requests={counters['serve.requests']}, builds={counters['prov.index.builds']})")
 PY
 
 echo "ci: all gates passed"

@@ -45,20 +45,38 @@
 //!
 //! weblab services
 //!     List the built-in services and their default mapping rules.
+//!
+//! weblab serve [--port N] [--workers N] [catalog.txt]
+//!     Start the long-running provenance query service: a TCP daemon
+//!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
+//!     `common-origins`, `sparql`, `ingest`, `status`, `shutdown` — see
+//!     DESIGN.md §10). Queries answer from a published reachability-index
+//!     snapshot, concurrently with live ingestion. `--port 0` (the
+//!     default) binds an ephemeral port; the bound address is printed as
+//!     `listening on …` on stdout. `--workers N` sizes the connection
+//!     thread pool (default 4).
 //! ```
 //!
 //! Catalog files use the Service Catalog text format (see
 //! `weblab_platform::ServiceCatalog`): `[service] name | endpoint | sig`
 //! headers followed by `rule: <mapping>` lines.
+//!
+//! Failures print as `error[{code}]: {message}` where the code is the
+//! stable [`WebLabError::code`] string shared with the serve protocol.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use weblab::platform::{persist, ServiceCatalog};
-use weblab::prov::{
-    infer_provenance, query as provq, EngineOptions, ExecutionTrace, InheritMode, Parallelism,
-    ProvenanceGraph, RuleSet,
+use weblab::error::WebLabError;
+use weblab::platform::{
+    persist, Mapper, Platform, PlatformError, ProvQuery, QueryAnswer, ServiceCatalog,
 };
-use weblab::rdf::{export_prov, parse_select, select, to_turtle, TripleStore};
+use weblab::prov::{
+    infer_provenance, EngineOptions, ExecutionTrace, InheritMode, Parallelism, ProvenanceGraph,
+    RuleSet,
+};
+use weblab::rdf::{export_prov, to_turtle};
+use weblab::serve::Server;
 use weblab::workflow::services::{
     self, EntityExtractor, Flaky, Indexer, KeywordExtractor, LanguageExtractor, Normaliser,
     OcrExtractor, SentimentAnalyser, SpeechTranscriber, Summariser, Tokeniser, Translator,
@@ -73,7 +91,7 @@ fn main() -> ExitCode {
     let metrics = match extract_metrics_flags(&mut args) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error[{}]: {e}", e.code());
             return ExitCode::from(2);
         }
     };
@@ -85,9 +103,10 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("why") => cmd_why(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("services") => cmd_services(),
         _ => {
-            eprintln!("usage: weblab <run|infer|query|why|services> …  (see --help in the binary's doc comment)");
+            eprintln!("usage: weblab <run|infer|query|why|serve|services> …  (see --help in the binary's doc comment)");
             return ExitCode::from(2);
         }
     };
@@ -95,7 +114,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error[{}]: {e}", e.code());
             ExitCode::FAILURE
         }
     }
@@ -108,7 +127,7 @@ struct MetricsFlags {
     out: Option<String>,
 }
 
-fn extract_metrics_flags(args: &mut Vec<String>) -> Result<MetricsFlags, String> {
+fn extract_metrics_flags(args: &mut Vec<String>) -> Result<MetricsFlags, WebLabError> {
     let mut flags = MetricsFlags {
         enabled: false,
         out: None,
@@ -140,12 +159,12 @@ fn report_metrics(flags: &MetricsFlags) -> CliResult {
     eprintln!("--- metrics ---\n{}", snap.to_table());
     if let Some(path) = &flags.out {
         std::fs::write(path, snap.to_json())
-            .map_err(|e| format!("writing metrics report {path}: {e}"))?;
+            .map_err(|e| WebLabError::io(format!("writing metrics report {path}"), e))?;
     }
     Ok(())
 }
 
-type CliResult = Result<(), String>;
+type CliResult = Result<(), WebLabError>;
 
 /// Print to stdout, treating a broken pipe (e.g. `weblab … | head`) as a
 /// successful early exit rather than a panic.
@@ -157,13 +176,13 @@ fn emit(text: &str) -> CliResult {
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
             std::process::exit(0);
         }
-        Err(e) => Err(format!("writing to stdout: {e}")),
+        Err(e) => Err(WebLabError::io("writing to stdout", e)),
     }
 }
 
-fn read_doc(path: &str) -> Result<Document, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_document(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn read_doc(path: &str) -> Result<Document, WebLabError> {
+    let text = std::fs::read_to_string(path).map_err(|e| WebLabError::io(format!("reading {path}"), e))?;
+    Ok(parse_document(&text)?)
 }
 
 fn service_by_name(name: &str) -> Option<Box<dyn Service>> {
@@ -193,33 +212,32 @@ fn service_by_name(name: &str) -> Option<Box<dyn Service>> {
     })
 }
 
-fn rules_from(path: Option<&str>) -> Result<RuleSet, String> {
+fn rules_from(path: Option<&str>) -> Result<RuleSet, WebLabError> {
     match path {
         None => Ok(services::default_rules()),
         Some(p) => {
-            let text =
-                std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
-            let catalog =
-                ServiceCatalog::from_text(&text).map_err(|e| format!("catalog {p}: {e}"))?;
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| WebLabError::io(format!("reading {p}"), e))?;
+            let catalog = ServiceCatalog::from_text(&text).map_err(PlatformError::from)?;
             Ok(catalog.rule_set())
         }
     }
 }
 
 /// Parse a `--jobs` value: a worker-thread count, or `auto` for all cores.
-fn parse_jobs(v: &str) -> Result<Parallelism, String> {
+fn parse_jobs(v: &str) -> Result<Parallelism, WebLabError> {
     if v.eq_ignore_ascii_case("auto") {
         Ok(Parallelism::Auto)
     } else {
         v.parse::<usize>()
             .map(Parallelism::Threads)
-            .map_err(|_| format!("--jobs expects a thread count or \"auto\", got {v:?}"))
+            .map_err(|_| format!("--jobs expects a thread count or \"auto\", got {v:?}").into())
     }
 }
 
 /// Split positional arguments from a trailing/interspersed `--jobs` flag
 /// (commands whose other arguments are purely positional).
-fn split_jobs(args: &[String]) -> Result<(Vec<String>, Parallelism), String> {
+fn split_jobs(args: &[String]) -> Result<(Vec<String>, Parallelism), WebLabError> {
     let mut pos = Vec::new();
     let mut jobs = Parallelism::Sequential;
     let mut it = args.iter();
@@ -293,7 +311,7 @@ fn cmd_run(args: &[String]) -> CliResult {
             "--resume" => resume = true,
             other if input.is_none() => input = Some(other.to_string()),
             other if pipeline.is_none() => pipeline = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}").into()),
         }
     }
     let input = input.ok_or(
@@ -336,7 +354,7 @@ fn cmd_run(args: &[String]) -> CliResult {
 
     let (mut doc, mut completed, mut start, prior_calls) = if resume {
         let dir = ckpt_dir.expect("checked above");
-        match persist::load_checkpoint(dir, &exec_id).map_err(|e| e.to_string())? {
+        match persist::load_checkpoint(dir, &exec_id)? {
             Some(ckpt) => {
                 if ckpt.step_names != step_names {
                     return Err(format!(
@@ -345,10 +363,10 @@ fn cmd_run(args: &[String]) -> CliResult {
                         dir.display(),
                         ckpt.step_names,
                         step_names
-                    ));
+                    )
+                    .into());
                 }
-                let (doc, trace) =
-                    persist::load_execution(dir, &exec_id).map_err(|e| e.to_string())?;
+                let (doc, trace) = persist::load_execution(dir, &exec_id)?;
                 eprintln!(
                     "resuming after {} completed step(s) at t={}",
                     ckpt.completed_steps, ckpt.next_time
@@ -395,7 +413,7 @@ fn cmd_run(args: &[String]) -> CliResult {
 
     // after every completed top-level step, persist document + trace + a
     // checkpoint (atomically); a crash resumes from the last completed step
-    let ckpt_error = std::cell::RefCell::new(None::<String>);
+    let ckpt_error = std::cell::RefCell::new(None::<persist::PersistError>);
     let outcome_result = orch.execute_resumable(
         &wf,
         &mut doc,
@@ -420,17 +438,17 @@ fn cmd_run(args: &[String]) -> CliResult {
                         )
                     });
                 if let Err(e) = r {
-                    ckpt_error.borrow_mut().get_or_insert(e.to_string());
+                    ckpt_error.borrow_mut().get_or_insert(e);
                 }
             }
         },
     );
-    let outcome = outcome_result.map_err(|e| e.to_string())?;
+    let outcome = outcome_result?;
     if let Some(e) = ckpt_error.into_inner() {
-        return Err(format!("writing checkpoint: {e}"));
+        return Err(e.into());
     }
     if let Some(dir) = ckpt_dir {
-        persist::clear_checkpoint(dir, &exec_id).map_err(|e| e.to_string())?;
+        persist::clear_checkpoint(dir, &exec_id)?;
     }
 
     let (mut rolled_back, mut skipped) = (0usize, 0usize);
@@ -471,16 +489,14 @@ fn cmd_run(args: &[String]) -> CliResult {
             lp.sources().len()
         );
         if let Some(path) = &link_store {
-            persist::save_link_store(std::path::Path::new(path), &lp.links())
-                .map_err(|e| format!("writing link store {path}: {e}"))?;
+            persist::save_link_store(std::path::Path::new(path), &lp.links())?;
             eprintln!("link store written to {path}");
         }
     }
     let xml = to_xml_string_pretty(&doc.view());
     match out {
-        Some(path) => {
-            std::fs::write(&path, xml).map_err(|e| format!("writing {path}: {e}"))?
-        }
+        Some(path) => std::fs::write(&path, xml)
+            .map_err(|e| WebLabError::io(format!("writing {path}"), e))?,
         None => emit(&format!("{xml}\n"))?,
     }
     Ok(())
@@ -502,7 +518,7 @@ fn cmd_infer(args: &[String]) -> CliResult {
             }
             other if input.is_none() => input = Some(other.to_string()),
             other if catalog.is_none() => catalog = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}").into()),
         }
     }
     let input = input.ok_or("usage: weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]")?;
@@ -517,7 +533,7 @@ fn cmd_infer(args: &[String]) -> CliResult {
             to_xml_string_pretty(&weblab::rdf::export_prov_xml(&graph).view())
         ))?,
         "dot" => emit(&graph.to_dot())?,
-        other => return Err(format!("unknown format {other:?}")),
+        other => return Err(format!("unknown format {other:?}").into()),
     }
     Ok(())
 }
@@ -531,10 +547,14 @@ fn cmd_query(args: &[String]) -> CliResult {
     let doc = read_doc(input)?;
     let rules = rules_from(pos.get(2).map(String::as_str))?;
     let graph = build_graph(&doc, &rules, false, jobs);
-    let mut store = TripleStore::new();
-    store.extend(export_prov(&graph));
-    let q = parse_select(sparql).map_err(|e| e.to_string())?;
-    let solutions = select(&store, &q);
+    // same dispatch enum the serve protocol uses — one query path, two
+    // front-ends
+    let query = ProvQuery::Sparql {
+        query: sparql.clone(),
+    };
+    let QueryAnswer::Solutions(solutions) = query.answer_on_graph(&graph)? else {
+        unreachable!("sparql queries answer with solutions");
+    };
     let mut rendered = String::new();
     for sol in &solutions {
         let row: Vec<String> = sol.iter().map(|(k, v)| format!("?{k} = {v}")).collect();
@@ -555,7 +575,12 @@ fn cmd_why(args: &[String]) -> CliResult {
     let doc = read_doc(input)?;
     let rules = rules_from(pos.get(2).map(String::as_str))?;
     let graph = build_graph(&doc, &rules, true, jobs);
-    let w = provq::why(&graph, uri);
+    let query = ProvQuery::Why {
+        uri: uri.to_string(),
+    };
+    let QueryAnswer::Why(w) = query.answer_on_graph(&graph)? else {
+        unreachable!("why queries answer with a why-provenance subgraph");
+    };
     let mut out = format!("why-provenance of {uri}:\n");
     out.push_str(&format!("  resources ({}):\n", w.resources.len()));
     for r in &w.resources {
@@ -570,6 +595,66 @@ fn cmd_why(args: &[String]) -> CliResult {
         out.push_str(&format!("    {c}\n"));
     }
     emit(&out)
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut port: u16 = 0;
+    let mut workers: usize = 4;
+    let mut catalog = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let v = it.next().ok_or("missing value for --port")?;
+                port = v
+                    .parse()
+                    .map_err(|_| format!("--port expects a port number, got {v:?}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("missing value for --workers")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers expects a thread count, got {v:?}"))?;
+            }
+            other if catalog.is_none() => catalog = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let rules = rules_from(catalog.as_deref())?;
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Translator::default()),
+        Box::new(Tokeniser),
+        Box::new(EntityExtractor),
+        Box::new(SentimentAnalyser),
+        Box::new(KeywordExtractor),
+        Box::new(Summariser),
+        Box::new(Indexer),
+        Box::new(OcrExtractor),
+        Box::new(SpeechTranscriber),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs)?;
+    }
+    let server = Server::bind(Arc::new(platform), &format!("127.0.0.1:{port}"))
+        .map_err(|e| WebLabError::io(format!("binding 127.0.0.1:{port}"), e))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| WebLabError::io("reading the bound address", e))?;
+    // stdout so scripts (and ci.sh) can scrape the ephemeral port
+    emit(&format!("listening on {addr}\n"))?;
+    eprintln!("weblab serve: {workers} worker(s); send {{\"op\":\"shutdown\"}} to stop");
+    server
+        .run(workers)
+        .map_err(|e| WebLabError::io("serving", e))
 }
 
 fn cmd_services() -> CliResult {

@@ -1,0 +1,184 @@
+//! The unified top-level error of the `weblab` façade.
+//!
+//! Every subsystem error funnels into [`WebLabError`] through `From`
+//! impls, and each variant carries a **stable machine-readable code**
+//! ([`WebLabError::code`]) — the `code` field of the serve protocol's
+//! error responses and the `error[{code}]:` prefix the CLI prints. Codes
+//! are part of the wire contract: clients match on them, so they never
+//! change even when the human-readable messages do.
+
+use std::fmt;
+
+use weblab_platform::persist::PersistError;
+use weblab_platform::PlatformError;
+use weblab_rdf::SparqlError;
+
+/// Top-level failure of any `weblab` entry point (CLI command or serve
+/// request).
+#[derive(Debug)]
+pub enum WebLabError {
+    /// A platform operation failed (execution, materialisation, catalog…).
+    Platform(PlatformError),
+    /// Persistence (checkpoint/link-store/trace files) failed.
+    Persist(PersistError),
+    /// An XML document failed to parse.
+    Xml(weblab_xml::Error),
+    /// A SPARQL query failed to parse.
+    Sparql(SparqlError),
+    /// A filesystem operation failed; `context` names what was attempted.
+    Io {
+        /// What was being done, e.g. `reading corpus.xml`.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A serve request was malformed (bad JSON, missing field, unknown op).
+    Protocol(String),
+    /// The command line was malformed.
+    Usage(String),
+}
+
+impl WebLabError {
+    /// Attach a context string to an I/O error.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        WebLabError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// The stable machine-readable code of this error — what the serve
+    /// protocol puts in the `code` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WebLabError::Platform(PlatformError::UnknownExecution(_)) => "unknown-execution",
+            WebLabError::Platform(PlatformError::UnknownService(_)) => "unknown-service",
+            WebLabError::Platform(PlatformError::Catalog(_)) => "catalog",
+            WebLabError::Platform(PlatformError::Workflow(_)) => "workflow",
+            WebLabError::Platform(PlatformError::Recorder(_)) => "recorder",
+            WebLabError::Platform(PlatformError::Mapper(_)) => "mapper",
+            WebLabError::Platform(PlatformError::Sparql(_)) | WebLabError::Sparql(_) => "sparql",
+            WebLabError::Persist(_) => "persist",
+            WebLabError::Xml(_) => "xml",
+            WebLabError::Io { .. } => "io",
+            WebLabError::Protocol(_) => "protocol",
+            WebLabError::Usage(_) => "usage",
+        }
+    }
+}
+
+impl fmt::Display for WebLabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebLabError::Platform(e) => write!(f, "{e}"),
+            WebLabError::Persist(e) => write!(f, "{e}"),
+            WebLabError::Xml(e) => write!(f, "{e}"),
+            WebLabError::Sparql(e) => write!(f, "{e}"),
+            WebLabError::Io { context, source } => write!(f, "{context}: {source}"),
+            WebLabError::Protocol(m) => write!(f, "{m}"),
+            WebLabError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WebLabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WebLabError::Platform(e) => Some(e),
+            WebLabError::Persist(e) => Some(e),
+            WebLabError::Xml(e) => Some(e),
+            WebLabError::Sparql(e) => Some(e),
+            WebLabError::Io { source, .. } => Some(source),
+            WebLabError::Protocol(_) | WebLabError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<PlatformError> for WebLabError {
+    fn from(e: PlatformError) -> Self {
+        WebLabError::Platform(e)
+    }
+}
+
+impl From<PersistError> for WebLabError {
+    fn from(e: PersistError) -> Self {
+        WebLabError::Persist(e)
+    }
+}
+
+impl From<weblab_xml::Error> for WebLabError {
+    fn from(e: weblab_xml::Error) -> Self {
+        WebLabError::Xml(e)
+    }
+}
+
+impl From<SparqlError> for WebLabError {
+    fn from(e: SparqlError) -> Self {
+        WebLabError::Sparql(e)
+    }
+}
+
+impl From<weblab_workflow::WorkflowError> for WebLabError {
+    fn from(e: weblab_workflow::WorkflowError) -> Self {
+        WebLabError::Platform(PlatformError::Workflow(e))
+    }
+}
+
+/// `&str` usage messages (`"missing value for -o"`) become [`WebLabError::Usage`].
+impl From<&str> for WebLabError {
+    fn from(m: &str) -> Self {
+        WebLabError::Usage(m.to_string())
+    }
+}
+
+/// `format!`-built usage messages become [`WebLabError::Usage`].
+impl From<String> for WebLabError {
+    fn from(m: String) -> Self {
+        WebLabError::Usage(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_per_variant() {
+        assert_eq!(
+            WebLabError::from(PlatformError::UnknownExecution("e".into())).code(),
+            "unknown-execution"
+        );
+        assert_eq!(
+            WebLabError::from(PlatformError::UnknownService("s".into())).code(),
+            "unknown-service"
+        );
+        assert_eq!(WebLabError::Protocol("bad".into()).code(), "protocol");
+        assert_eq!(WebLabError::from("usage").code(), "usage");
+        assert_eq!(
+            WebLabError::io("reading x", std::io::Error::other("boom")).code(),
+            "io"
+        );
+    }
+
+    #[test]
+    fn sparql_code_is_shared_between_direct_and_platform_wrapped() {
+        let direct = match weblab_rdf::parse_select("SELEKT") {
+            Err(e) => WebLabError::from(e),
+            Ok(_) => panic!("expected parse failure"),
+        };
+        let wrapped = match weblab_rdf::parse_select("SELEKT") {
+            Err(e) => WebLabError::from(PlatformError::from(e)),
+            Ok(_) => panic!("expected parse failure"),
+        };
+        assert_eq!(direct.code(), "sparql");
+        assert_eq!(wrapped.code(), "sparql");
+    }
+
+    #[test]
+    fn display_preserves_the_underlying_message() {
+        let e = WebLabError::io("reading f.xml", std::io::Error::other("no such file"));
+        let msg = e.to_string();
+        assert!(msg.contains("reading f.xml"));
+        assert!(msg.contains("no such file"));
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal JSON value type for the serve protocol — no dependencies.
+//!
+//! The serve daemon speaks line-delimited JSON, and the workspace is
+//! offline (no serde), so this module carries the few pieces the protocol
+//! needs: a parser for client request lines and a **deterministic**
+//! serialiser for responses. Objects preserve insertion order, so a given
+//! [`Json`] value always serialises to the same bytes — the property the
+//! serve differential tests pin ("served answer is byte-identical to the
+//! batch answer rendered the same way").
+//!
+//! Intentional limits (requests are single lines of modest size): numbers
+//! are `f64` (integers up to 2^53 round-trip exactly), and no
+//! streaming/incremental parsing.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved and serialised verbatim.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Member of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9007199254740992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a complete JSON value (surrounding whitespace allowed;
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+/// A JSON parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(JsonError::at(*pos, format!("unexpected byte {:?}", *c as char))),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected {word:?}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::at(start, "non-UTF-8 number"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::at(start, format!("malformed number {text:?}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        // surrogate pair: a second \uXXXX must follow
+                        if (0xD800..0xDC00).contains(&hi) {
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                let c = 0x10000
+                                    + ((hi as u32 - 0xD800) << 10)
+                                    + (lo as u32 - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| JsonError::at(*pos, "bad surrogate pair"))?,
+                                );
+                            } else {
+                                return Err(JsonError::at(*pos, "lone high surrogate"));
+                            }
+                        } else {
+                            out.push(
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| JsonError::at(*pos, "bad \\u escape"))?,
+                            );
+                        }
+                    }
+                    _ => return Err(JsonError::at(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // consume one UTF-8 scalar
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "non-UTF-8 string content"))?;
+                let c = rest.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, JsonError> {
+    // *pos is at the 'u'; consume its 4 hex digits, leaving *pos at the last
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+    let text = std::str::from_utf8(hex).map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+    let v = u16::from_str_radix(text, 16).map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError::at(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError::at(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    /// Compact, deterministic serialisation (no added whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9007199254740992.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_protocol_shaped_values() {
+        let line = r#"{"op":"why","exec":"e-1","uri":"r8","depth":3,"live":true,"tags":["a","b"],"none":null}"#;
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("why"));
+        assert_eq!(v.get("depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("live").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("tags").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("none"), Some(&Json::Null));
+        // serialisation is byte-identical to the (compact, ordered) input
+        assert_eq!(v.to_string(), line);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::str("a\"b\\c\nd\te\u{1}f — ünïcøde 🎉");
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // surrogate-pair escapes decode too
+        assert_eq!(
+            Json::parse(r#""🎉 é""#).unwrap(),
+            Json::str("🎉 é")
+        );
+    }
+
+    #[test]
+    fn numbers_serialise_as_integers_when_integral() {
+        assert_eq!(Json::num(0).to_string(), "0");
+        assert_eq!(Json::num(42).to_string(), "42");
+        assert_eq!(Json::Num(-3.0).to_string(), "-3");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::parse("1e3").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_offsets() {
+        for bad in [
+            "", "{", "[1,", r#"{"a"}"#, r#"{"a":}"#, "tru", "\"unterminated",
+            r#"{"a":1} extra"#, "[1 2]", r#""\q""#, r#""\ud800""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = Json::parse(r#"{"result":{"links":[{"from":"a","to":"b"}],"n":2}}"#).unwrap();
+        let links = v
+            .get("result")
+            .and_then(|r| r.get("links"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(links[0].get("from").and_then(Json::as_str), Some("a"));
+    }
+}

@@ -17,10 +17,25 @@
 //! * [`obs`] — in-tree observability: engine counters, span timers and
 //!   snapshot reports (`weblab --metrics`).
 //!
+//! The façade also hosts the daemon layer built on top of the subsystems:
+//!
+//! * [`error`] — the unified [`error::WebLabError`] with stable
+//!   machine-readable codes shared by the CLI and the serve protocol.
+//! * [`json`] — the dependency-free, deterministic JSON used by the
+//!   line-delimited serve protocol.
+//! * [`serve`] — the `weblab serve` provenance query service: a TCP
+//!   daemon answering `why`/`lineage`/`sparql`/… requests from published
+//!   reachability-index snapshots, concurrently with live ingestion.
+//!
 //! See the `examples/` directory for end-to-end walkthroughs, starting with
 //! `quickstart.rs`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod serve;
 
 pub use weblab_obs as obs;
 pub use weblab_platform as platform;

@@ -1,0 +1,385 @@
+//! `weblab serve` — the long-running provenance query service.
+//!
+//! A [`Server`] owns a `TcpListener` and a fixed pool of worker threads
+//! (std only — no async runtime) speaking a **line-delimited JSON**
+//! protocol: one request object per line in, one response object per line
+//! out, many requests per connection. The entire dispatch is written
+//! against [`ExecutionHandle`] — the serve layer never touches `Platform`
+//! internals.
+//!
+//! Requests (`op` selects the operation; see DESIGN.md §10):
+//!
+//! ```text
+//! {"op":"why","exec":"e","uri":"r8"}
+//! {"op":"lineage","exec":"e","uri":"r8","depth":3}
+//! {"op":"impacted-by","exec":"e","uri":"r3"}
+//! {"op":"common-origins","exec":"e","a":"r8","b":"r6"}
+//! {"op":"sparql","exec":"e","query":"PREFIX prov: <…> SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"}
+//! {"op":"ingest","exec":"e","xml":"<Resource>…</Resource>","live":true,"pipeline":["Normaliser"]}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses: `{"ok":true,"epoch":N,"result":…}` on success (`epoch` is
+//! the reachability-index epoch the answer was computed at — present for
+//! query ops), `{"ok":false,"code":"…","error":"…"}` on failure with the
+//! stable [`WebLabError::code`] strings.
+//!
+//! Queries answer from the execution's published [`EpochSnapshot`]
+//! (immutable graph + index behind an `Arc` swap), so they run lock-free
+//! and concurrently with live ingestion: a response is consistent with the
+//! graph *as of its epoch* even while later calls keep publishing newer
+//! epochs. The serve counters (`serve.requests`, `serve.errors`,
+//! `serve.request_ns`) land in the same observability registry as the
+//! engine's, so `--metrics-out` reports cover the daemon too.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use weblab_obs::{Counter, Histogram, Span};
+use weblab_platform::{ExecutionHandle, Platform, ProvQuery, QueryAnswer};
+use weblab_prov::EpochSnapshot;
+use weblab_xml::parse_document;
+
+use crate::error::WebLabError;
+use crate::json::Json;
+
+/// Requests handled (including failed ones).
+static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Requests answered with `ok:false`.
+static SERVE_ERRORS: Counter = Counter::new("serve.errors");
+/// Wall time of one request (parse + dispatch + render), in nanoseconds.
+static SERVE_REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
+
+/// The provenance query daemon.
+pub struct Server {
+    platform: Arc<Platform>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port). The
+    /// platform is shared: executions started outside the server are
+    /// queryable, and `ingest` requests are visible to the embedding
+    /// process.
+    pub fn bind(platform: Arc<Platform>, addr: &str) -> std::io::Result<Server> {
+        Ok(Server {
+            platform,
+            listener: TcpListener::bind(addr)?,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address — what clients connect to (and what the CLI
+    /// prints as `listening on …` for port scraping).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request arrives, dispatching connections
+    /// to a pool of `workers` threads. Blocks the calling thread.
+    pub fn run(self, workers: usize) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::new();
+        for _ in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let platform = Arc::clone(&self.platform);
+            let shutdown = Arc::clone(&self.shutdown);
+            pool.push(thread::spawn(move || loop {
+                let next = rx.lock().expect("worker queue lock poisoned").recv();
+                let Ok(stream) = next else { break };
+                if serve_connection(&platform, stream, &shutdown) {
+                    // shutdown was requested on this connection: the
+                    // acceptor may be blocked in accept(2) — nudge it with
+                    // a throwaway self-connection so it re-checks the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                let _ = tx.send(stream);
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection to completion; returns whether this connection
+/// requested shutdown.
+fn serve_connection(platform: &Platform, stream: TcpStream, shutdown: &AtomicBool) -> bool {
+    let Ok(mut writer) = stream.try_clone() else {
+        return false;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = handle_line(platform, &line);
+        let written = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if written.is_err() {
+            break;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            return true;
+        }
+    }
+    false
+}
+
+/// Handle one protocol line: returns the serialised response and whether
+/// the request asked the server to shut down. Public so tests (and
+/// embedders) can drive the protocol in-process, bypassing TCP framing.
+pub fn handle_line(platform: &Platform, line: &str) -> (String, bool) {
+    SERVE_REQUESTS.inc();
+    let span = Span::start(&SERVE_REQUEST_NS);
+    let outcome = dispatch(platform, line);
+    drop(span);
+    match outcome {
+        Ok(Dispatched {
+            epoch,
+            result,
+            shutdown,
+        }) => {
+            let mut pairs = vec![("ok", Json::Bool(true))];
+            if let Some(e) = epoch {
+                pairs.push(("epoch", Json::num(e)));
+            }
+            pairs.push(("result", result));
+            (Json::obj(pairs).to_string(), shutdown)
+        }
+        Err(e) => {
+            SERVE_ERRORS.inc();
+            let body = Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("code", Json::str(e.code())),
+                ("error", Json::str(e.to_string())),
+            ]);
+            (body.to_string(), false)
+        }
+    }
+}
+
+struct Dispatched {
+    epoch: Option<u64>,
+    result: Json,
+    shutdown: bool,
+}
+
+fn dispatch(platform: &Platform, line: &str) -> Result<Dispatched, WebLabError> {
+    let request = Json::parse(line).map_err(|e| WebLabError::Protocol(e.to_string()))?;
+    let op = str_field(&request, "op")?;
+    match op {
+        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" => {
+            let exec = platform.execution(str_field(&request, "exec")?);
+            let query = parse_query(op, &request)?;
+            let (epoch, answer) = exec.query_at(&query)?;
+            Ok(Dispatched {
+                epoch: Some(epoch),
+                result: render_answer(&answer),
+                shutdown: false,
+            })
+        }
+        "ingest" => {
+            let exec = platform.execution(str_field(&request, "exec")?);
+            let doc = parse_document(str_field(&request, "xml")?)?;
+            exec.ingest(doc);
+            if request.get("live").and_then(Json::as_bool).unwrap_or(false) {
+                exec.enable_live();
+            }
+            if let Some(pipeline) = request.get("pipeline") {
+                let steps = string_array(pipeline, "pipeline")?;
+                let refs: Vec<&str> = steps.iter().map(String::as_str).collect();
+                exec.execute(&refs)?;
+            }
+            let snap = exec.snapshot()?;
+            Ok(Dispatched {
+                epoch: Some(snap.epoch),
+                result: Json::obj(vec![
+                    ("execution", Json::str(exec.id())),
+                    ("calls", Json::num(snap.calls as u64)),
+                    ("links", Json::num(snap.graph.links.len() as u64)),
+                    ("resources", Json::num(snap.graph.sources.len() as u64)),
+                ]),
+                shutdown: false,
+            })
+        }
+        "status" => {
+            let executions: Vec<Json> = platform
+                .executions()
+                .into_iter()
+                .map(|id| {
+                    let handle = platform.execution(id);
+                    Json::obj(vec![
+                        ("id", Json::str(handle.id())),
+                        ("live", Json::Bool(handle.live_enabled())),
+                    ])
+                })
+                .collect();
+            Ok(Dispatched {
+                epoch: None,
+                result: Json::obj(vec![("executions", Json::Arr(executions))]),
+                shutdown: false,
+            })
+        }
+        "shutdown" => Ok(Dispatched {
+            epoch: None,
+            result: Json::obj(vec![("stopping", Json::Bool(true))]),
+            shutdown: true,
+        }),
+        other => Err(WebLabError::Protocol(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Build the [`ProvQuery`] for a query op from its request fields.
+fn parse_query(op: &str, request: &Json) -> Result<ProvQuery, WebLabError> {
+    Ok(match op {
+        "why" => ProvQuery::Why {
+            uri: str_field(request, "uri")?.to_string(),
+        },
+        "lineage" => ProvQuery::Lineage {
+            uri: str_field(request, "uri")?.to_string(),
+            depth: match request.get("depth") {
+                None => 1,
+                Some(d) => d.as_u64().ok_or_else(|| {
+                    WebLabError::Protocol("field \"depth\" must be a non-negative integer".into())
+                })? as usize,
+            },
+        },
+        "impacted-by" => ProvQuery::ImpactedBy {
+            uri: str_field(request, "uri")?.to_string(),
+        },
+        "common-origins" => ProvQuery::CommonOrigins {
+            a: str_field(request, "a")?.to_string(),
+            b: str_field(request, "b")?.to_string(),
+        },
+        "sparql" => ProvQuery::Sparql {
+            query: str_field(request, "query")?.to_string(),
+        },
+        other => return Err(WebLabError::Protocol(format!("unknown op {other:?}"))),
+    })
+}
+
+/// Render a [`QueryAnswer`] as protocol JSON. Deterministic: the same
+/// answer always renders to the same bytes — what the serve differential
+/// test compares against batch answers rendered through this same
+/// function.
+pub fn render_answer(answer: &QueryAnswer) -> Json {
+    match answer {
+        QueryAnswer::Why(w) => Json::obj(vec![
+            ("root", Json::str(w.root.as_str())),
+            (
+                "resources",
+                Json::Arr(w.resources.iter().map(|r| Json::str(r.as_str())).collect()),
+            ),
+            (
+                "links",
+                Json::Arr(
+                    w.links
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("from", Json::str(l.from_uri.as_str())),
+                                ("to", Json::str(l.to_uri.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "calls",
+                Json::Arr(w.calls.iter().map(|c| Json::str(c.to_string())).collect()),
+            ),
+        ]),
+        QueryAnswer::Lineage(rows) => Json::Arr(
+            rows.iter()
+                .map(|(uri, depth)| {
+                    Json::Arr(vec![Json::str(uri.as_str()), Json::num(*depth as u64)])
+                })
+                .collect(),
+        ),
+        QueryAnswer::ImpactedBy(uris) | QueryAnswer::CommonOrigins(uris) => {
+            Json::Arr(uris.iter().map(|u| Json::str(u.as_str())).collect())
+        }
+        QueryAnswer::Solutions(solutions) => Json::Arr(
+            solutions
+                .iter()
+                .map(|sol| {
+                    Json::Obj(
+                        sol.iter()
+                            .map(|(var, term)| (var.clone(), Json::str(term.to_string())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Render the full success response for an answer at an epoch — exactly
+/// the bytes [`handle_line`] writes, exposed so differential tests can
+/// compare a served response to a locally computed one byte-for-byte.
+pub fn render_response(epoch: u64, answer: &QueryAnswer) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::num(epoch)),
+        ("result", render_answer(answer)),
+    ])
+    .to_string()
+}
+
+/// The batch reference answer for a query on a snapshot's graph, rendered
+/// as a response line. Differential tests call this with a snapshot whose
+/// epoch matches a served response and assert byte equality.
+pub fn reference_response(snap: &EpochSnapshot, query: &ProvQuery) -> Result<String, WebLabError> {
+    let answer = query
+        .answer_on_graph(&snap.graph)
+        .map_err(weblab_platform::PlatformError::from)?;
+    Ok(render_response(snap.epoch, &answer))
+}
+
+fn str_field<'j>(request: &'j Json, key: &str) -> Result<&'j str, WebLabError> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| WebLabError::Protocol(format!("missing string field {key:?}")))
+}
+
+fn string_array(value: &Json, key: &str) -> Result<Vec<String>, WebLabError> {
+    value
+        .as_array()
+        .ok_or_else(|| WebLabError::Protocol(format!("field {key:?} must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(String::from)
+                .ok_or_else(|| WebLabError::Protocol(format!("field {key:?} must hold strings")))
+        })
+        .collect()
+}
+
+// Keep the doc link alive: ExecutionHandle is the only platform surface
+// this module dispatches through.
+#[allow(unused)]
+fn _assert_handle_only(h: &ExecutionHandle<'_>) {
+    let _ = h;
+}

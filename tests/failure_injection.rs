@@ -1,5 +1,10 @@
 //! Failure injection: misbehaving services, malformed inputs, and broken
 //! rule sets must surface as errors without corrupting stored state.
+//!
+//! Uses the pre-`ExecutionHandle` query surface in places; kept as-is to
+//! pin the deprecated shims' behaviour.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 

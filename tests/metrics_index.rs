@@ -1,0 +1,158 @@
+//! Perf guard for the reachability index behind `ExecutionHandle`,
+//! verified through the deterministic `weblab_obs` counters (own test
+//! binary: the metrics registry is process-global, so these tests must not
+//! share a process with other engine work; within the binary they
+//! serialise on a mutex).
+//!
+//! The property under guard: `ExecutionHandle::deps`/`rdeps` (and the
+//! structured queries behind `weblab serve`) answer from the published
+//! reachability index — **zero** full edge-list traversals — while the
+//! deprecated `Platform::dependencies_of`/`dependents_of` surface keeps
+//! its original scan-per-call cost, one traversal per query.
+
+#![allow(deprecated)]
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use weblab::obs;
+use weblab::platform::{Mapper, Platform, ProvQuery};
+use weblab::workflow::generator::generate_corpus;
+use weblab::workflow::services::{self, LanguageExtractor, Normaliser, Tokeniser};
+use weblab::workflow::Service;
+
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+const BUILDS: &str = "prov.index.builds";
+const HITS: &str = "prov.index.hits";
+const TRAVERSALS: &str = "prov.index.traversals";
+
+fn platform_with_pipeline() -> Platform {
+    let rules = services::default_rules();
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Tokeniser),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs).unwrap();
+    }
+    platform
+}
+
+#[test]
+fn indexed_queries_perform_zero_graph_traversals() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let platform = platform_with_pipeline();
+    let exec = platform.execution("indexed");
+    exec.ingest(generate_corpus(7, 3, 10));
+    exec.execute(&["Normaliser", "LanguageExtractor", "Tokeniser"])
+        .unwrap();
+    let uris: Vec<String> = {
+        let snap = exec.snapshot().unwrap();
+        snap.graph.sources.iter().map(|s| s.uri.clone()).collect()
+    };
+    assert!(uris.len() >= 4, "workload produced too few resources");
+
+    obs::reset();
+    obs::enable();
+    let mut lookups = 0u64;
+    for uri in &uris {
+        let _ = exec.deps(uri).unwrap();
+        let _ = exec.rdeps(uri).unwrap();
+        lookups += 2;
+        let _ = exec.query(&ProvQuery::Why { uri: uri.clone() }).unwrap();
+        let _ = exec
+            .query(&ProvQuery::Lineage {
+                uri: uri.clone(),
+                depth: 3,
+            })
+            .unwrap();
+        let _ = exec
+            .query(&ProvQuery::ImpactedBy { uri: uri.clone() })
+            .unwrap();
+    }
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // every deps/rdeps answered straight from the index adjacency (the
+    // structured queries tick hits on top)…
+    assert!(snap.counter(HITS) >= lookups, "every lookup must hit the index");
+    // …and neither they nor the structured queries walked the edge list
+    assert_eq!(
+        snap.counter(TRAVERSALS),
+        0,
+        "indexed queries must not re-walk the provenance edge list"
+    );
+    // the index was already built and published before the query storm:
+    // answering costs no builds at all
+    assert_eq!(snap.counter(BUILDS), 0, "queries must reuse the published index");
+}
+
+#[test]
+fn deprecated_batch_surface_still_pays_one_traversal_per_query() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let platform = platform_with_pipeline();
+    platform.ingest("legacy", generate_corpus(7, 3, 10));
+    platform
+        .execute("legacy", &["Normaliser", "LanguageExtractor", "Tokeniser"])
+        .unwrap();
+    let graph = platform.provenance_graph("legacy").unwrap();
+    let uris: Vec<String> = graph.sources.iter().map(|s| s.uri.clone()).collect();
+    assert!(uris.len() >= 4);
+
+    obs::reset();
+    obs::enable();
+    let mut scans = 0u64;
+    for uri in &uris {
+        let _ = platform.dependencies_of("legacy", uri).unwrap();
+        let _ = platform.dependents_of("legacy", uri).unwrap();
+        scans += 2;
+    }
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // the shims keep their original edge-list-scan semantics: one full
+    // traversal per call, and no index involvement
+    assert_eq!(snap.counter(TRAVERSALS), scans);
+    assert_eq!(snap.counter(HITS), 0);
+}
+
+#[test]
+fn live_ingestion_maintains_the_index_incrementally() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let platform = platform_with_pipeline();
+
+    obs::reset();
+    obs::enable();
+    let exec = platform.execution("incremental");
+    exec.ingest(generate_corpus(11, 2, 10));
+    exec.enable_live();
+    exec.execute(&["Normaliser", "LanguageExtractor"]).unwrap();
+    exec.execute(&["Tokeniser"]).unwrap();
+    let builds_after_runs = obs::snapshot().counter(BUILDS);
+    let epoch_after_runs = exec.snapshot().unwrap().epoch;
+    let _ = exec.deps(&exec.snapshot().unwrap().graph.sources[0].uri).unwrap();
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // one build when the execution's index state is created; every call
+    // delta after that is folded in incrementally (no from_graph rebuilds)
+    assert_eq!(
+        builds_after_runs, 1,
+        "live deltas must extend the index, not rebuild it"
+    );
+    // each committed call published a new epoch
+    assert!(
+        epoch_after_runs >= 3,
+        "expected one published epoch per live call, got {epoch_after_runs}"
+    );
+    assert_eq!(snap.counter(TRAVERSALS), 0);
+    assert!(snap.counter(HITS) >= 1);
+}

@@ -1,0 +1,355 @@
+//! End-to-end tests of the `weblab serve` protocol layer.
+//!
+//! The centrepiece is the **differential test**: while a background thread
+//! keeps executing pipeline steps on a live execution (each committed call
+//! publishing a new index epoch), TCP clients issue provenance queries and
+//! every served answer must be byte-identical to the batch answer computed
+//! on the graph *as of the epoch the response declares* — at 2 and at 4
+//! worker threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+
+use weblab::json::Json;
+use weblab::platform::{Mapper, Platform, ProvQuery};
+use weblab::serve::{handle_line, reference_response, Server};
+use weblab::workflow::generator::generate_corpus;
+use weblab::workflow::services::{
+    self, EntityExtractor, KeywordExtractor, LanguageExtractor, Normaliser, Summariser, Tokeniser,
+};
+use weblab::workflow::Service;
+
+const PIPELINE: [&str; 6] = [
+    "Normaliser",
+    "LanguageExtractor",
+    "Tokeniser",
+    "EntityExtractor",
+    "KeywordExtractor",
+    "Summariser",
+];
+
+/// A platform with the test pipeline's services registered under their
+/// default mapping rules — the same registration path `weblab serve` uses.
+fn serve_platform() -> Arc<Platform> {
+    let rules = services::default_rules();
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Tokeniser),
+        Box::new(EntityExtractor),
+        Box::new(KeywordExtractor),
+        Box::new(Summariser),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs).unwrap();
+    }
+    Arc::new(platform)
+}
+
+fn request(pairs: Vec<(&str, Json)>) -> String {
+    Json::obj(pairs).to_string()
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.ends_with('\n'), "response not newline-terminated");
+    response.trim_end().to_string()
+}
+
+fn connect(addr: &std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// The wire request for a [`ProvQuery`] against `exec`.
+fn query_request(exec: &str, q: &ProvQuery) -> String {
+    let mut pairs = vec![("op", Json::str(q.op())), ("exec", Json::str(exec))];
+    match q {
+        ProvQuery::Why { uri } | ProvQuery::ImpactedBy { uri } => {
+            pairs.push(("uri", Json::str(uri.as_str())));
+        }
+        ProvQuery::Lineage { uri, depth } => {
+            pairs.push(("uri", Json::str(uri.as_str())));
+            pairs.push(("depth", Json::num(*depth as u64)));
+        }
+        ProvQuery::CommonOrigins { a, b } => {
+            pairs.push(("a", Json::str(a.as_str())));
+            pairs.push(("b", Json::str(b.as_str())));
+        }
+        ProvQuery::Sparql { query } => {
+            pairs.push(("query", Json::str(query.as_str())));
+        }
+    }
+    request(pairs)
+}
+
+/// Queries covering every op, targeting URIs that exist in the graph.
+fn query_mix(uris: &[String]) -> Vec<ProvQuery> {
+    let mut queries = Vec::new();
+    for uri in uris {
+        queries.push(ProvQuery::Why { uri: uri.clone() });
+        queries.push(ProvQuery::Lineage {
+            uri: uri.clone(),
+            depth: 2,
+        });
+        queries.push(ProvQuery::ImpactedBy { uri: uri.clone() });
+    }
+    if uris.len() >= 2 {
+        queries.push(ProvQuery::CommonOrigins {
+            a: uris[0].clone(),
+            b: uris[1].clone(),
+        });
+    }
+    queries.push(ProvQuery::Sparql {
+        query: "PREFIX prov: <http://www.w3.org/ns/prov#> \
+                SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"
+            .to_string(),
+    });
+    queries
+}
+
+#[test]
+fn served_answers_match_batch_at_the_same_epoch_while_ingesting() {
+    for workers in [2usize, 4] {
+        let platform = serve_platform();
+        let exec_id = "live-exec";
+        {
+            let exec = platform.execution(exec_id);
+            exec.ingest(generate_corpus(42, 3, 8));
+            exec.enable_live();
+            // warm-up step so the graph has resources to query
+            exec.execute(&["Normaliser"]).unwrap();
+        }
+        let uris: Vec<String> = {
+            let snap = platform.execution(exec_id).snapshot().unwrap();
+            snap.graph
+                .sources
+                .iter()
+                .map(|s| s.uri.clone())
+                .take(4)
+                .collect()
+        };
+        assert!(uris.len() >= 2, "corpus produced too few resources");
+        let queries = query_mix(&uris);
+
+        let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let server_thread = thread::spawn(move || server.run(workers));
+
+        // live ingestion: each committed call publishes a new epoch while
+        // clients are mid-query. The ingester keeps going until the client
+        // has bracketed at least one served answer mid-run, so the overlap
+        // is guaranteed rather than a race against scheduler timing.
+        let live_matches = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let ingest_platform = Arc::clone(&platform);
+        let ingester = thread::spawn({
+            let live_matches = Arc::clone(&live_matches);
+            move || {
+                let exec = ingest_platform.execution(exec_id);
+                for round in 0..100 {
+                    exec.execute(&PIPELINE).unwrap();
+                    if round >= 2 && live_matches.load(std::sync::atomic::Ordering::Relaxed) > 0
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+
+        let (mut stream, mut reader) = connect(&addr);
+        while !ingester.is_finished() {
+            for q in &queries {
+                let exec = platform.execution(exec_id);
+                let before = exec.snapshot().unwrap();
+                let response = roundtrip(&mut stream, &mut reader, &query_request(exec_id, q));
+                let after = exec.snapshot().unwrap();
+                let parsed = Json::parse(&response).unwrap();
+                assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+                let epoch = parsed.get("epoch").and_then(Json::as_u64).unwrap();
+                // epoch-bracketing: if the response's epoch matches a
+                // snapshot we hold, the bytes must match the batch answer
+                // computed on that snapshot's graph
+                let snap = if epoch == before.epoch {
+                    Some(before)
+                } else if epoch == after.epoch {
+                    Some(after)
+                } else {
+                    None
+                };
+                if let Some(snap) = snap {
+                    assert_eq!(
+                        response,
+                        reference_response(&snap, q).unwrap(),
+                        "served {op} answer diverged from batch at epoch {epoch} \
+                         ({workers} workers)",
+                        op = q.op(),
+                    );
+                    live_matches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+        ingester.join().unwrap();
+
+        // quiescent: no publisher is running, so every answer must sit at
+        // the current epoch and compare exactly
+        let settled = platform.execution(exec_id).snapshot().unwrap();
+        for q in &queries {
+            let response = roundtrip(&mut stream, &mut reader, &query_request(exec_id, q));
+            assert_eq!(
+                response,
+                reference_response(&settled, q).unwrap(),
+                "quiescent {} answer diverged ({workers} workers)",
+                q.op(),
+            );
+        }
+        assert!(
+            live_matches.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "expected at least one live-bracketed comparison mid-ingestion"
+        );
+
+        let bye = roundtrip(&mut stream, &mut reader, &request(vec![("op", Json::str("shutdown"))]));
+        assert!(bye.contains("\"stopping\":true"));
+        drop(stream);
+        server_thread.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn tcp_ingest_round_trip_executes_the_pipeline() {
+    let platform = serve_platform();
+    let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = thread::spawn(move || server.run(2));
+
+    let (mut stream, mut reader) = connect(&addr);
+    let xml = "<Resource wl:id=\"weblab://doc/t\">\
+               <NativeContent wl:id=\"weblab://src/0\" wl:s=\"Source\" wl:t=\"0\" mime=\"text/plain\">\
+               hello serve world and the language of peace</NativeContent></Resource>";
+    let ingest = request(vec![
+        ("op", Json::str("ingest")),
+        ("exec", Json::str("tcp-exec")),
+        ("xml", Json::str(xml)),
+        ("live", Json::Bool(true)),
+        (
+            "pipeline",
+            Json::Arr(vec![Json::str("Normaliser"), Json::str("Tokeniser")]),
+        ),
+    ]);
+    let response = Json::parse(&roundtrip(&mut stream, &mut reader, &ingest)).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let result = response.get("result").unwrap();
+    assert_eq!(result.get("calls").and_then(Json::as_u64), Some(2));
+    assert!(result.get("links").and_then(Json::as_u64).unwrap() > 0);
+
+    // status shows the execution as live
+    let status = Json::parse(&roundtrip(
+        &mut stream,
+        &mut reader,
+        &request(vec![("op", Json::str("status"))]),
+    ))
+    .unwrap();
+    let executions = status
+        .get("result")
+        .and_then(|r| r.get("executions"))
+        .and_then(Json::as_array)
+        .unwrap();
+    assert!(executions.iter().any(|e| {
+        e.get("id").and_then(Json::as_str) == Some("tcp-exec")
+            && e.get("live").and_then(Json::as_bool) == Some(true)
+    }));
+
+    // a why query over the just-ingested execution answers at some epoch
+    let snap = platform.execution("tcp-exec").snapshot().unwrap();
+    let uri = snap.graph.sources.first().map(|s| s.uri.clone()).unwrap();
+    let why = ProvQuery::Why { uri };
+    let served = roundtrip(&mut stream, &mut reader, &query_request("tcp-exec", &why));
+    assert_eq!(served, reference_response(&snap, &why).unwrap());
+
+    let bye = roundtrip(&mut stream, &mut reader, &request(vec![("op", Json::str("shutdown"))]));
+    assert!(bye.contains("\"stopping\":true"));
+    drop((stream, reader));
+    server_thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn protocol_errors_carry_the_stable_codes() {
+    let platform = serve_platform();
+    let cases = [
+        ("this is not json", "protocol"),
+        ("{\"op\":\"transmogrify\"}", "protocol"),
+        ("{\"op\":\"why\",\"exec\":\"e\"}", "protocol"), // missing uri
+        ("{\"op\":\"why\",\"exec\":\"nope\",\"uri\":\"r\"}", "unknown-execution"),
+        ("{\"op\":\"ingest\",\"exec\":\"e\",\"xml\":\"<broken\"}", "xml"),
+        (
+            "{\"op\":\"ingest\",\"exec\":\"e2\",\"xml\":\"<R><NativeContent id=\\\"n\\\">x</NativeContent></R>\",\"pipeline\":[\"NoSuchService\"]}",
+            "unknown-service",
+        ),
+    ];
+    for (line, code) in cases {
+        let (response, stop) = handle_line(&platform, line);
+        assert!(!stop);
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line} should fail"
+        );
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some(code),
+            "wrong code for {line}: {response}"
+        );
+    }
+    // sparql parse failures surface the shared "sparql" code
+    let (_, _) = handle_line(
+        &platform,
+        "{\"op\":\"ingest\",\"exec\":\"s\",\"xml\":\"<R><NativeContent id=\\\"n\\\">x</NativeContent></R>\"}",
+    );
+    let (response, _) = handle_line(
+        &platform,
+        "{\"op\":\"sparql\",\"exec\":\"s\",\"query\":\"SELEKT nonsense\"}",
+    );
+    let parsed = Json::parse(&response).unwrap();
+    assert_eq!(parsed.get("code").and_then(Json::as_str), Some("sparql"));
+}
+
+#[test]
+fn shutdown_is_flagged_and_sources_only_snapshots_serve() {
+    let platform = serve_platform();
+    let (_, stop) = handle_line(&platform, "{\"op\":\"shutdown\"}");
+    assert!(stop, "shutdown must flag the server loop to stop");
+
+    // ingested but never executed: queries answer on a sources-only graph
+    let (response, _) = handle_line(
+        &platform,
+        "{\"op\":\"ingest\",\"exec\":\"fresh\",\"xml\":\"<R wl:id=\\\"weblab://doc/f\\\"><NativeContent wl:id=\\\"weblab://src/9\\\" wl:s=\\\"Source\\\" wl:t=\\\"0\\\">plain</NativeContent></R>\"}",
+    );
+    let parsed = Json::parse(&response).unwrap();
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        parsed
+            .get("result")
+            .and_then(|r| r.get("calls"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+    let snap = platform.execution("fresh").snapshot().unwrap();
+    let uri = snap.graph.sources.first().map(|s| s.uri.clone()).unwrap();
+    let why = ProvQuery::Why { uri };
+    let (served, _) = handle_line(&platform, &query_request("fresh", &why));
+    assert_eq!(served, reference_response(&snap, &why).unwrap());
+}
