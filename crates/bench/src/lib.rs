@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seedeval;
+
 use weblab_prov::{ExecutionTrace, RuleSet};
 use weblab_workflow::generator::{generate_corpus, synthetic_workload};
 use weblab_workflow::services::{

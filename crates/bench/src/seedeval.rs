@@ -1,0 +1,182 @@
+//! The seed SPARQL evaluator, retained verbatim as a differential oracle.
+//!
+//! This is the evaluation strategy `weblab_rdf::select` shipped with
+//! before the columnar engine landed: greedy most-bound-first pattern
+//! ordering by a syntactic boundness score, one `TripleStore::matching`
+//! materialisation per pattern per partial solution, term-space
+//! `BTreeMap` solutions cloned at every extension, filters applied at the
+//! end, then project → sort → dedup → `ORDER BY` → `LIMIT`.
+//!
+//! It exists for two jobs:
+//!
+//! * the **differential test suite** (`tests/sparql_differential.rs`)
+//!   asserts the planner-driven engine returns byte-identical solutions
+//!   on randomized stores and queries;
+//! * the **X13 benchmark** (`benches/rdf_sparql.rs`) uses it as the
+//!   baseline the columnar engine's speedup is measured against.
+//!
+//! Keep its behaviour frozen: bugs-for-bugs compatibility is the point.
+//! (The one necessary deviation: it reads triples through the public
+//! [`TripleStore::matching`] façade, which reproduces the seed
+//! `BTreeSet` result ordering on top of the columnar indexes.)
+
+use std::collections::BTreeMap;
+
+use weblab_rdf::{PatTerm, SelectQuery, Solution, Term, TripleStore, TriplePattern};
+
+/// Evaluate `query` with the seed strategy. The output contract is the
+/// seed's: projected, deduplicated, term-sorted solutions, then
+/// `ORDER BY` keys (stable) and `LIMIT`.
+pub fn seed_select(store: &TripleStore, query: &SelectQuery) -> Vec<Solution> {
+    let mut solutions = vec![Solution::new()];
+    // Greedy join order: repeatedly pick the pattern with the most
+    // components bound under the current prefix (approximated by counting
+    // constants + already-seen variables).
+    let mut remaining: Vec<&TriplePattern> = query.patterns.iter().collect();
+    let mut seen_vars: Vec<String> = Vec::new();
+    let mut ordered: Vec<&TriplePattern> = Vec::new();
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, pat)| boundness(pat, &seen_vars))
+            .expect("non-empty");
+        let pat = remaining.remove(idx);
+        for v in pattern_vars(pat) {
+            if !seen_vars.contains(&v) {
+                seen_vars.push(v);
+            }
+        }
+        ordered.push(pat);
+    }
+
+    for pat in ordered {
+        let mut next = Vec::new();
+        for sol in &solutions {
+            let sp = resolve(&pat.s, sol);
+            let pp = resolve(&pat.p, sol);
+            let op = resolve(&pat.o, sol);
+            for t in store.matching(&sp, &pp, &op) {
+                let mut ext = sol.clone();
+                if bind(&pat.s, &t.s, &mut ext)
+                    && bind(&pat.p, &t.p, &mut ext)
+                    && bind(&pat.o, &t.o, &mut ext)
+                {
+                    next.push(ext);
+                }
+            }
+        }
+        solutions = next;
+        if solutions.is_empty() {
+            break;
+        }
+    }
+
+    solutions.retain(|sol| {
+        query.filters.iter().all(|f| {
+            let l = resolve(&f.left, sol);
+            let r = resolve(&f.right, sol);
+            match (l, r) {
+                (Some(l), Some(r)) => (l == r) == f.equal,
+                _ => false,
+            }
+        })
+    });
+
+    // project
+    let mut out: Vec<Solution> = solutions
+        .into_iter()
+        .map(|sol| {
+            if query.vars.is_empty() {
+                sol
+            } else {
+                sol.into_iter()
+                    .filter(|(k, _)| query.vars.contains(k))
+                    .collect()
+            }
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    if !query.order_by.is_empty() {
+        out.sort_by(|a, b| {
+            for v in &query.order_by {
+                let ord = a.get(v).cmp(&b.get(v));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(b)
+        });
+    }
+    if let Some(limit) = query.limit {
+        out.truncate(limit);
+    }
+    out
+}
+
+fn boundness(pat: &TriplePattern, seen: &[String]) -> usize {
+    [&pat.s, &pat.p, &pat.o]
+        .iter()
+        .map(|t| match t {
+            PatTerm::Const(_) => 2,
+            PatTerm::Var(v) if seen.contains(v) => 2,
+            PatTerm::Var(_) => 0,
+        })
+        .sum()
+}
+
+fn pattern_vars(pat: &TriplePattern) -> Vec<String> {
+    [&pat.s, &pat.p, &pat.o]
+        .iter()
+        .filter_map(|t| match t {
+            PatTerm::Var(v) => Some(v.clone()),
+            PatTerm::Const(_) => None,
+        })
+        .collect()
+}
+
+fn resolve(p: &PatTerm, sol: &Solution) -> Option<Term> {
+    match p {
+        PatTerm::Const(t) => Some(t.clone()),
+        PatTerm::Var(v) => sol.get(v).cloned(),
+    }
+}
+
+fn bind(p: &PatTerm, t: &Term, sol: &mut BTreeMap<String, Term>) -> bool {
+    match p {
+        PatTerm::Const(c) => c == t,
+        PatTerm::Var(v) => match sol.get(v) {
+            Some(existing) => existing == t,
+            None => {
+                sol.insert(v.clone(), t.clone());
+                true
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weblab_rdf::{parse_select, select, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn oracle_agrees_with_engine_on_a_join() {
+        let mut store = TripleStore::new();
+        store.extend([
+            t("a", "p", "b"),
+            t("b", "p", "c"),
+            t("c", "p", "d"),
+            t("a", "q", "c"),
+        ]);
+        let q = parse_select("SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z . }").unwrap();
+        let seed = seed_select(&store, &q);
+        assert_eq!(seed.len(), 2);
+        assert_eq!(seed, select(&store, &q));
+    }
+}

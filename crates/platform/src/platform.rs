@@ -22,7 +22,7 @@ use std::sync::{Mutex, RwLock};
 use weblab_prov::{
     EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph, ReachabilityIndex,
 };
-use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
+use weblab_rdf::{export_prov, export_prov_into, parse_select, select, QueryEngine, Solution, SparqlError, TripleStore};
 use weblab_workflow::{next_time, FaultPolicy, Orchestrator, Service, Workflow, WorkflowError};
 use weblab_xml::Document;
 
@@ -185,9 +185,10 @@ struct MasterIndex {
 struct IndexState {
     master: Mutex<MasterIndex>,
     published: RwLock<Arc<EpochSnapshot>>,
-    /// Epoch-keyed PROV-O export of the published graph, built lazily on
-    /// the first SPARQL query of an epoch and shared by the rest.
-    store: Mutex<Option<(u64, Arc<TripleStore>)>>,
+    /// Epoch-keyed query engine over the published graph's PROV-O export,
+    /// built lazily on the first SPARQL query of an epoch and shared by
+    /// the rest — carrying the epoch's plan cache with it.
+    engine: Mutex<Option<(u64, Arc<QueryEngine>)>>,
 }
 
 impl IndexState {
@@ -202,7 +203,7 @@ impl IndexState {
                 index: ReachabilityIndex::new(),
             }),
             published: RwLock::new(Arc::new(EpochSnapshot::empty())),
-            store: Mutex::new(None),
+            engine: Mutex::new(None),
         }
     }
 
@@ -256,19 +257,20 @@ impl IndexState {
         self.publish_locked(&m)
     }
 
-    /// The PROV-O triple store of a snapshot, cached per epoch.
-    fn store_for(&self, snap: &EpochSnapshot) -> Arc<TripleStore> {
-        let mut cached = self.store.lock().expect("lock poisoned");
-        if let Some((epoch, store)) = cached.as_ref() {
+    /// The query engine over a snapshot's PROV-O export, cached per epoch
+    /// (a new epoch gets a fresh store, dictionary and plan cache).
+    fn engine_for(&self, snap: &EpochSnapshot) -> Arc<QueryEngine> {
+        let mut cached = self.engine.lock().expect("lock poisoned");
+        if let Some((epoch, engine)) = cached.as_ref() {
             if *epoch == snap.epoch {
-                return Arc::clone(store);
+                return Arc::clone(engine);
             }
         }
         let mut fresh = TripleStore::new();
-        fresh.extend(export_prov(&snap.graph));
-        let store = Arc::new(fresh);
-        *cached = Some((snap.epoch, Arc::clone(&store)));
-        store
+        export_prov_into(&snap.graph, &mut fresh);
+        let engine = Arc::new(QueryEngine::new(Arc::new(fresh)));
+        *cached = Some((snap.epoch, Arc::clone(&engine)));
+        engine
     }
 }
 
@@ -783,8 +785,8 @@ impl ExecutionHandle<'_> {
         let answer = match q {
             ProvQuery::Sparql { .. } => {
                 let state = self.platform.index_state(&self.id);
-                let store = state.store_for(&snap);
-                q.answer_on_snapshot(&snap, Some(&store))?
+                let engine = state.engine_for(&snap);
+                q.answer_on_engine(&snap, &engine)?
             }
             _ => q.answer_on_snapshot(&snap, None)?,
         };

@@ -9,7 +9,7 @@
 
 use weblab_prov::query::{self, WhyProvenance};
 use weblab_prov::{EpochSnapshot, ProvenanceGraph};
-use weblab_rdf::{export_prov, parse_select, select, Solution, SparqlError, TripleStore};
+use weblab_rdf::{export_prov, parse_select, select, QueryEngine, Solution, SparqlError, TripleStore};
 
 /// A structured provenance question about one execution's graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +128,23 @@ impl ProvQuery {
                 QueryAnswer::Solutions(solutions)
             }
         })
+    }
+
+    /// Answer against an epoch snapshot with a [`QueryEngine`] over that
+    /// epoch's PROV-O export — the serving path. SPARQL queries go through
+    /// the engine's plan cache (each repeated query text is parsed and
+    /// planned once per epoch); everything else answers from the
+    /// snapshot's reachability index exactly like
+    /// [`ProvQuery::answer_on_snapshot`].
+    pub fn answer_on_engine(
+        &self,
+        snap: &EpochSnapshot,
+        engine: &QueryEngine,
+    ) -> Result<QueryAnswer, SparqlError> {
+        match self {
+            ProvQuery::Sparql { query: text } => Ok(QueryAnswer::Solutions(engine.select(text)?)),
+            _ => self.answer_on_snapshot(snap, None),
+        }
     }
 }
 

@@ -1,0 +1,96 @@
+//! Term dictionary: dense `u32` ids for RDF terms.
+//!
+//! Every [`TripleStore`](crate::TripleStore) owns one dictionary. Terms
+//! are interned once on first insertion (the only place a [`Term`] is
+//! cloned); everywhere else — the columnar indexes, the join pipeline,
+//! filters, DISTINCT — works on dense `u32` ids, which compare in one
+//! instruction and pack three-to-a-row into the store's `Vec<[u32; 3]>`
+//! permutation indexes. This mirrors the URI interner of
+//! `weblab_prov::ReachabilityIndex`, generalised to all term kinds.
+//!
+//! Ids are assigned in first-seen order, so **id order is not term
+//! order**: anything that must present term-sorted output (store
+//! iteration, final SPARQL solutions) decodes first and sorts in term
+//! space, keeping results byte-identical to the seed engine's
+//! `BTreeSet<(Term, Term, Term)>` behaviour.
+
+use std::collections::HashMap;
+
+use weblab_obs::Counter;
+
+use crate::term::Term;
+
+/// Distinct terms interned across all dictionaries (monotone).
+static DICT_TERMS: Counter = Counter::new("rdf.dict.terms");
+/// Intern calls resolved to an already-assigned id (no clone, no insert).
+static DICT_HITS: Counter = Counter::new("rdf.dict.hits");
+
+/// An append-only `Term` ↔ `u32` interner.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Dictionary {
+    /// id → term, in assignment order.
+    terms: Vec<Term>,
+    /// term → id.
+    ids: HashMap<Term, u32>,
+}
+
+impl Dictionary {
+    /// The id of `t`, assigning the next dense id (and cloning the term,
+    /// exactly once) if it has never been seen.
+    pub(crate) fn intern(&mut self, t: &Term) -> u32 {
+        if let Some(&id) = self.ids.get(t) {
+            DICT_HITS.inc();
+            return id;
+        }
+        let id = u32::try_from(self.terms.len()).expect("dictionary overflow");
+        self.terms.push(t.clone());
+        self.ids.insert(t.clone(), id);
+        DICT_TERMS.inc();
+        id
+    }
+
+    /// The id of `t` if it is already interned. Query constants use this:
+    /// a constant absent from the dictionary cannot match any stored
+    /// triple, so the planner marks the whole pattern empty without ever
+    /// mutating the store.
+    pub(crate) fn lookup(&self, t: &Term) -> Option<u32> {
+        self.ids.get(t).copied()
+    }
+
+    /// Decode an id. Ids are handed out densely by [`Dictionary::intern`],
+    /// so any id that escaped this dictionary is in range.
+    pub(crate) fn term(&self, id: u32) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms interned.
+    pub(crate) fn len(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::default();
+        let a = d.intern(&Term::iri("a"));
+        let b = d.intern(&Term::lit("a"));
+        assert_ne!(a, b, "IRI and literal with equal text are distinct terms");
+        assert_eq!(d.intern(&Term::iri("a")), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.term(a), &Term::iri("a"));
+    }
+
+    #[test]
+    fn lookup_never_assigns() {
+        let mut d = Dictionary::default();
+        assert_eq!(d.lookup(&Term::iri("x")), None);
+        assert_eq!(d.len(), 0);
+        let id = d.intern(&Term::iri("x"));
+        assert_eq!(d.lookup(&Term::iri("x")), Some(id));
+    }
+}

@@ -81,11 +81,91 @@ pub fn export_prov(graph: &ProvenanceGraph) -> Vec<Triple> {
     out
 }
 
-/// Export directly into a [`TripleStore`], returning the triple count.
+/// The PROV-O vocabulary interned into one store's dictionary, so the
+/// row-building hot loops below resolve each constant exactly once per
+/// export instead of re-cloning `Term`s per triple.
+pub(crate) struct VocabIds {
+    ty: u32,
+    entity_cls: u32,
+    activity_cls: u32,
+    agent_cls: u32,
+    was_generated_by: u32,
+    was_associated_with: u32,
+    started_at_time: u32,
+    was_derived_from: u32,
+    used: u32,
+}
+
+impl VocabIds {
+    pub(crate) fn intern(store: &mut TripleStore) -> Self {
+        VocabIds {
+            ty: store.intern_term(&Term::iri(RDF_TYPE)),
+            entity_cls: store.intern_term(&Term::iri(PROV_ENTITY)),
+            activity_cls: store.intern_term(&Term::iri(PROV_ACTIVITY)),
+            agent_cls: store.intern_term(&Term::iri(PROV_AGENT)),
+            was_generated_by: store.intern_term(&Term::iri(PROV_WAS_GENERATED_BY)),
+            was_associated_with: store.intern_term(&Term::iri(PROV_WAS_ASSOCIATED_WITH)),
+            started_at_time: store.intern_term(&Term::iri(PROV_STARTED_AT_TIME)),
+            was_derived_from: store.intern_term(&Term::iri(PROV_WAS_DERIVED_FROM)),
+            used: store.intern_term(&Term::iri(PROV_USED)),
+        }
+    }
+}
+
+/// Id-space twin of [`source_triples`]: appends the same six triples as
+/// dictionary rows. Shared by the batch exporter and the live store.
+pub(crate) fn source_rows(
+    store: &mut TripleStore,
+    v: &VocabIds,
+    s: &SourceEntry,
+    rows: &mut Vec<[u32; 3]>,
+) {
+    let entity = store.intern_term(&Term::iri(&s.uri));
+    let activity = store.intern_term(&Term::iri(activity_iri(&s.label.service, s.label.time)));
+    let agent = store.intern_term(&Term::iri(agent_iri(&s.label.service)));
+    let time = store.intern_term(&Term::int(s.label.time as i64));
+    rows.extend([
+        [entity, v.ty, v.entity_cls],
+        [activity, v.ty, v.activity_cls],
+        [agent, v.ty, v.agent_cls],
+        [entity, v.was_generated_by, activity],
+        [activity, v.was_associated_with, agent],
+        [activity, v.started_at_time, time],
+    ]);
+}
+
+/// Id-space twin of [`link_triples`].
+pub(crate) fn link_rows(
+    store: &mut TripleStore,
+    v: &VocabIds,
+    l: &ProvLink,
+    label: Option<&CallLabel>,
+    rows: &mut Vec<[u32; 3]>,
+) {
+    let from = store.intern_term(&Term::iri(&l.from_uri));
+    let to = store.intern_term(&Term::iri(&l.to_uri));
+    rows.push([from, v.was_derived_from, to]);
+    if let Some(label) = label {
+        let act = store.intern_term(&Term::iri(activity_iri(&label.service, label.time)));
+        rows.push([act, v.used, to]);
+    }
+}
+
+/// Export directly into a [`TripleStore`], returning the triple count
+/// (duplicates included, like the `Vec` exporter's length). Builds id
+/// rows straight against the store's dictionary and merges them in one
+/// batch — no intermediate `Vec<Triple>`, no per-triple `Term` clones.
 pub fn export_prov_into(graph: &ProvenanceGraph, store: &mut TripleStore) -> usize {
-    let triples = export_prov(graph);
-    let n = triples.len();
-    store.extend(triples);
+    let v = VocabIds::intern(store);
+    let mut rows = Vec::with_capacity(graph.sources.len() * 6 + graph.links.len() * 2);
+    for s in &graph.sources {
+        source_rows(store, &v, s, &mut rows);
+    }
+    for l in &graph.links {
+        link_rows(store, &v, l, graph.label_of(&l.from_uri), &mut rows);
+    }
+    let n = rows.len();
+    store.insert_rows(rows);
     n
 }
 
@@ -126,6 +206,22 @@ mod tests {
             &Some(Term::iri(PROV_ENTITY)),
         );
         assert_eq!(entities.len(), graph.sources.len());
+    }
+
+    #[test]
+    fn row_exporter_matches_triple_exporter() {
+        let (doc, trace, rules) = paper_example::build();
+        let graph = infer_provenance(&doc, &trace, &rules, &EngineOptions::default());
+        let mut via_rows = TripleStore::new();
+        let n = export_prov_into(&graph, &mut via_rows);
+        let triples = export_prov(&graph);
+        assert_eq!(n, triples.len(), "returned count is the generated count");
+        let mut via_triples = TripleStore::new();
+        via_triples.extend(triples);
+        assert_eq!(
+            via_rows.iter().collect::<Vec<_>>(),
+            via_triples.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -5,13 +5,20 @@
 //! graphs live in Sesame RDF repositories queried through SPARQL. This
 //! crate provides the equivalent building blocks:
 //!
-//! * [`TripleStore`] — an in-memory store with SPO/POS/OSP indexes;
+//! * [`TripleStore`] — a dictionary-encoded columnar store: terms are
+//!   interned to dense `u32` ids and triples live in sorted
+//!   `Vec<[u32; 3]>` SPO/POS/OSP permutation indexes with binary-search
+//!   range lookups;
 //! * [`export_prov`] / [`export_prov_into`] — provenance graph → PROV-O
 //!   (entities, activities, agents, `wasDerivedFrom`/`used`/
 //!   `wasGeneratedBy` edges);
 //! * [`to_turtle`] / [`parse_turtle`] — Turtle serialisation;
 //! * [`parse_select`] / [`select`] — a SPARQL SELECT subset (BGP +
-//!   FILTER) with greedy index-aware join ordering.
+//!   FILTER + DISTINCT) evaluated in two stages: a cardinality-driven
+//!   join planner, then streaming id-space joins that decode only the
+//!   final projected solutions;
+//! * [`QueryEngine`] — a shared store plus a query-text → plan cache for
+//!   long-lived callers (one engine per published epoch).
 //!
 //! ```
 //! use weblab_prov::{infer_provenance, EngineOptions, paper_example};
@@ -33,8 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dict;
 mod export;
 mod live;
+mod plan;
 mod provxml;
 mod sparql;
 mod store;
@@ -44,6 +53,7 @@ pub mod vocab;
 
 pub use export::{export_prov, export_prov_into, link_triples, source_triples};
 pub use live::LiveProvStore;
+pub use plan::QueryEngine;
 pub use provxml::{derivations_from_prov_xml, export_prov_xml};
 pub use sparql::{parse_select, select, Filter, PatTerm, SelectQuery, Solution, SparqlError, TriplePattern};
 pub use store::{TermPattern, TripleStore};

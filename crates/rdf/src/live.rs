@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use weblab_prov::LiveDelta;
 use weblab_xml::CallLabel;
 
-use crate::export::{link_triples, source_triples};
+use crate::export::{link_rows, source_rows, VocabIds};
 use crate::store::TripleStore;
 
 /// An append-only PROV-O mirror of a live provenance graph.
@@ -39,19 +39,17 @@ impl LiveProvStore {
     /// same call that registered its dependent resource finds the label.
     /// Idempotent: re-applying a delta inserts nothing.
     pub fn apply(&mut self, delta: &LiveDelta) -> usize {
-        let mut added = 0;
+        let v = VocabIds::intern(&mut self.store);
+        let mut rows = Vec::with_capacity(delta.sources.len() * 6 + delta.links.len() * 2);
         for s in &delta.sources {
             self.labels.insert(s.uri.clone(), s.label.clone());
-            for t in source_triples(s) {
-                added += usize::from(self.store.insert(t));
-            }
+            source_rows(&mut self.store, &v, s, &mut rows);
         }
         for l in &delta.links {
-            for t in link_triples(l, self.labels.get(&l.from_uri)) {
-                added += usize::from(self.store.insert(t));
-            }
+            let label = self.labels.get(&l.from_uri);
+            link_rows(&mut self.store, &v, l, label, &mut rows);
         }
-        added
+        self.store.insert_rows(rows)
     }
 
     /// The accumulated triple store.

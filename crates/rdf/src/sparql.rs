@@ -2,14 +2,20 @@
 //!
 //! Covers what the paper's Request Manager needs from its "SPARQL
 //! endpoints for querying generated provenance graphs": `PREFIX`
-//! declarations, `SELECT` with a projection list or `*`, a basic graph
-//! pattern with variables in any position, `a` for `rdf:type`, and
-//! equality/inequality `FILTER`s. Evaluation reorders the pattern
-//! greedily (most-bound-first) so each step is an indexed lookup.
+//! declarations, `SELECT` (optionally `DISTINCT`) with a projection list
+//! or `*`, a basic graph pattern with variables in any position, `a` for
+//! `rdf:type`, equality/inequality `FILTER`s, `ORDER BY` and `LIMIT`.
+//!
+//! This module owns the surface syntax: the AST ([`SelectQuery`] and
+//! friends) and the parser. Evaluation lives in [`crate::plan`] as a
+//! two-stage pipeline — a cardinality-driven join planner over the
+//! store's columnar indexes, then streaming id-space join execution —
+//! and the [`select`] function here is the stable façade over it.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::plan;
 use crate::store::TripleStore;
 use crate::term::Term;
 use crate::vocab::RDF_TYPE;
@@ -53,6 +59,9 @@ pub struct Filter {
 pub struct SelectQuery {
     /// Projected variables; empty = `SELECT *`.
     pub vars: Vec<String>,
+    /// `SELECT DISTINCT`: deduplicate projected solutions (performed in
+    /// id space before any term is decoded).
+    pub distinct: bool,
     /// Basic graph pattern.
     pub patterns: Vec<TriplePattern>,
     /// Filters.
@@ -93,137 +102,13 @@ pub fn parse_select(input: &str) -> Result<SelectQuery, SparqlError> {
 /// Run a SELECT query over a store. Solutions are restricted to the
 /// projected variables (all bound variables for `SELECT *`), deduplicated
 /// and sorted for deterministic output.
+///
+/// Plans on every call; long-lived callers that repeat query texts
+/// against one store should use [`crate::QueryEngine`], which caches
+/// compiled plans.
 pub fn select(store: &TripleStore, query: &SelectQuery) -> Vec<Solution> {
-    let mut solutions = vec![Solution::new()];
-    // Greedy join order: repeatedly pick the pattern with the most
-    // components bound under the current prefix (approximated by counting
-    // constants + already-seen variables).
-    let mut remaining: Vec<&TriplePattern> = query.patterns.iter().collect();
-    let mut seen_vars: Vec<String> = Vec::new();
-    let mut ordered: Vec<&TriplePattern> = Vec::new();
-    while !remaining.is_empty() {
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, pat)| boundness(pat, &seen_vars))
-            .expect("non-empty");
-        let pat = remaining.remove(idx);
-        for v in pattern_vars(pat) {
-            if !seen_vars.contains(&v) {
-                seen_vars.push(v);
-            }
-        }
-        ordered.push(pat);
-    }
-
-    for pat in ordered {
-        let mut next = Vec::new();
-        for sol in &solutions {
-            let sp = resolve(&pat.s, sol);
-            let pp = resolve(&pat.p, sol);
-            let op = resolve(&pat.o, sol);
-            for t in store.matching(&sp, &pp, &op) {
-                let mut ext = sol.clone();
-                if bind(&pat.s, &t.s, &mut ext)
-                    && bind(&pat.p, &t.p, &mut ext)
-                    && bind(&pat.o, &t.o, &mut ext)
-                {
-                    next.push(ext);
-                }
-            }
-        }
-        solutions = next;
-        if solutions.is_empty() {
-            break;
-        }
-    }
-
-    solutions.retain(|sol| {
-        query.filters.iter().all(|f| {
-            let l = pat_value(&f.left, sol);
-            let r = pat_value(&f.right, sol);
-            match (l, r) {
-                (Some(l), Some(r)) => (l == r) == f.equal,
-                _ => false,
-            }
-        })
-    });
-
-    // project
-    let mut out: Vec<Solution> = solutions
-        .into_iter()
-        .map(|sol| {
-            if query.vars.is_empty() {
-                sol
-            } else {
-                sol.into_iter()
-                    .filter(|(k, _)| query.vars.contains(k))
-                    .collect()
-            }
-        })
-        .collect();
-    out.sort();
-    out.dedup();
-    if !query.order_by.is_empty() {
-        out.sort_by(|a, b| {
-            for v in &query.order_by {
-                let ord = a.get(v).cmp(&b.get(v));
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            a.cmp(b)
-        });
-    }
-    if let Some(limit) = query.limit {
-        out.truncate(limit);
-    }
-    out
-}
-
-fn boundness(pat: &TriplePattern, seen: &[String]) -> usize {
-    [&pat.s, &pat.p, &pat.o]
-        .iter()
-        .map(|t| match t {
-            PatTerm::Const(_) => 2,
-            PatTerm::Var(v) if seen.contains(v) => 2,
-            PatTerm::Var(_) => 0,
-        })
-        .sum()
-}
-
-fn pattern_vars(pat: &TriplePattern) -> Vec<String> {
-    [&pat.s, &pat.p, &pat.o]
-        .iter()
-        .filter_map(|t| match t {
-            PatTerm::Var(v) => Some(v.clone()),
-            PatTerm::Const(_) => None,
-        })
-        .collect()
-}
-
-fn resolve(p: &PatTerm, sol: &Solution) -> Option<Term> {
-    match p {
-        PatTerm::Const(t) => Some(t.clone()),
-        PatTerm::Var(v) => sol.get(v).cloned(),
-    }
-}
-
-fn bind(p: &PatTerm, t: &Term, sol: &mut Solution) -> bool {
-    match p {
-        PatTerm::Const(c) => c == t,
-        PatTerm::Var(v) => match sol.get(v) {
-            Some(existing) => existing == t,
-            None => {
-                sol.insert(v.clone(), t.clone());
-                true
-            }
-        },
-    }
-}
-
-fn pat_value(p: &PatTerm, sol: &Solution) -> Option<Term> {
-    resolve(p, sol)
+    let plan = plan::compile(store, query);
+    plan::execute(store, &plan)
 }
 
 struct SP<'a> {
@@ -304,6 +189,10 @@ impl<'a> SP<'a> {
             return Err(self.err("expected SELECT"));
         }
         self.ws();
+        let distinct = self.eat_ci("DISTINCT");
+        if distinct {
+            self.ws();
+        }
         let mut vars = Vec::new();
         if self.eat("*") {
             self.ws();
@@ -400,6 +289,7 @@ impl<'a> SP<'a> {
         }
         Ok(SelectQuery {
             vars,
+            distinct,
             patterns,
             filters,
             order_by,
@@ -578,6 +468,7 @@ mod tests {
         assert!(parse_select("SELEKT ?a WHERE { }").is_err());
         assert!(parse_select("SELECT WHERE { }").is_err());
         assert!(parse_select("SELECT ?a WHERE { zz:a zz:b zz:c . }").is_err());
+        assert!(parse_select("SELECT DISTINCT WHERE { }").is_err());
     }
 
     #[test]
@@ -590,5 +481,34 @@ mod tests {
         .unwrap();
         let sols = select(&store, &q);
         assert!(sols.iter().all(|s| s.len() == 1 && s.contains_key("g")));
+    }
+
+    #[test]
+    fn distinct_parses_and_dedups() {
+        let q = parse_select("SELECT DISTINCT ?g WHERE { ?e <g> ?g . }").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.vars, vec!["g".to_string()]);
+        let q_star = parse_select("SELECT DISTINCT * WHERE { ?e <g> ?g . }").unwrap();
+        assert!(q_star.distinct && q_star.vars.is_empty());
+        // case-insensitive like the other keywords
+        assert!(parse_select("select distinct ?g where { ?e <g> ?g . }")
+            .unwrap()
+            .distinct);
+        // a variable named "DISTINCTish" is not the keyword
+        let q_var = parse_select("SELECT ?DISTINCTvar WHERE { ?DISTINCTvar <g> ?g . }");
+        assert!(q_var.is_ok());
+
+        let mut store = TripleStore::new();
+        for (s, o) in [("a", "x"), ("b", "x"), ("c", "y")] {
+            store.insert(crate::term::Triple::new(
+                Term::iri(s),
+                Term::iri("g"),
+                Term::iri(o),
+            ));
+        }
+        let sols = select(&store, &q);
+        assert_eq!(sols.len(), 2, "DISTINCT collapses equal projections");
+        assert_eq!(sols[0]["g"], Term::iri("x"));
+        assert_eq!(sols[1]["g"], Term::iri("y"));
     }
 }

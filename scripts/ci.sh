@@ -105,7 +105,7 @@ PY
 
 echo "==> serve smoke (line-delimited JSON protocol on an ephemeral port)"
 ./target/release/weblab --metrics-out "$metrics_dir/serve.json" \
-    serve --port 0 --workers 2 \
+    serve --port 0 --workers 2 --max-rows 5 \
     > "$metrics_dir/serve.out" 2> "$metrics_dir/serve.err" &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -139,10 +139,18 @@ r = rpc({"op": "why", "exec": "ci", "uri": "weblab://src/0"})
 assert r.get("ok") and r.get("epoch", 0) >= 1, r
 assert "weblab://src/0" in r["result"]["resources"], r
 
-r = rpc({"op": "sparql", "exec": "ci",
-         "query": "PREFIX prov: <http://www.w3.org/ns/prov#> "
-                  "SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"})
+derived = ("PREFIX prov: <http://www.w3.org/ns/prov#> "
+           "SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . } LIMIT 5")
+r = rpc({"op": "sparql", "exec": "ci", "query": derived})
 assert r.get("ok") and len(r["result"]) >= 1, r
+# the identical text again: answered from the per-epoch plan cache
+r = rpc({"op": "sparql", "exec": "ci", "query": derived})
+assert r.get("ok") and len(r["result"]) >= 1, r
+
+# a full scan blows the --max-rows 5 cap with the stable result-limit code
+r = rpc({"op": "sparql", "exec": "ci",
+         "query": "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }"})
+assert r.get("ok") is False and r.get("code") == "result-limit", r
 
 r = rpc({"op": "status"})
 assert r.get("ok"), r
@@ -165,17 +173,39 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 counters = report["counters"]
 
-# one request per protocol line above, exactly one of them a probe error
-assert counters.get("serve.requests", 0) >= 6, counters.get("serve.requests")
-assert counters.get("serve.errors", 0) == 1, counters.get("serve.errors")
+# one request per protocol line above, exactly two of them probe errors
+# (the unknown op and the over-cap sparql scan)
+assert counters.get("serve.requests", 0) >= 8, counters.get("serve.requests")
+assert counters.get("serve.errors", 0) == 2, counters.get("serve.errors")
 assert "serve.request_ns" in report["histograms"], "request latency not recorded"
 # the reachability index was built (incrementally, from live deltas) and
 # every served query answered from it: zero edge-list traversals
 assert counters.get("prov.index.builds", 0) >= 1, "index never built"
 assert counters.get("prov.index.traversals", 0) == 0, \
     "served queries must not re-walk the provenance edge list"
+# the repeated sparql text was answered from the per-epoch plan cache
+assert counters.get("rdf.plan.cache.hits", 0) >= 1, \
+    f"plan cache never hit: {counters.get('rdf.plan.cache.hits')}"
+assert counters.get("rdf.plan.builds", 0) >= 1, "no sparql plan was ever built"
 print("ci: serve metrics ok "
-      f"(requests={counters['serve.requests']}, builds={counters['prov.index.builds']})")
+      f"(requests={counters['serve.requests']}, builds={counters['prov.index.builds']}, "
+      f"plan_cache_hits={counters['rdf.plan.cache.hits']})")
+PY
+
+echo "==> X13 snapshot validation (BENCH_X13_sparql.json)"
+python3 - BENCH_X13_sparql.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+assert snap["experiment"] == "X13", snap
+assert snap["triples"] >= 1_000_000, f"X13 corpus too small: {snap['triples']}"
+assert snap["solutions"] > 0, "X13 query produced no solutions"
+assert snap["byte_identical"] is True, "planner diverged from the seed evaluator"
+assert snap["speedup"] >= 10, f"planner speedup under 10x: {snap['speedup']}"
+print(f"ci: X13 snapshot ok ({snap['triples']} triples, "
+      f"{snap['speedup']}x over the seed evaluator)")
 PY
 
 echo "ci: all gates passed"

@@ -46,7 +46,7 @@
 //! weblab services
 //!     List the built-in services and their default mapping rules.
 //!
-//! weblab serve [--port N] [--workers N] [catalog.txt]
+//! weblab serve [--port N] [--workers N] [--max-rows N] [catalog.txt]
 //!     Start the long-running provenance query service: a TCP daemon
 //!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
 //!     `common-origins`, `sparql`, `ingest`, `status`, `shutdown` — see
@@ -54,7 +54,8 @@
 //!     snapshot, concurrently with live ingestion. `--port 0` (the
 //!     default) binds an ephemeral port; the bound address is printed as
 //!     `listening on …` on stdout. `--workers N` sizes the connection
-//!     thread pool (default 4).
+//!     thread pool (default 4). `--max-rows N` caps `sparql` result rows
+//!     (default 10000; over-cap queries fail with code `result-limit`).
 //! ```
 //!
 //! Catalog files use the Service Catalog text format (see
@@ -600,6 +601,7 @@ fn cmd_why(args: &[String]) -> CliResult {
 fn cmd_serve(args: &[String]) -> CliResult {
     let mut port: u16 = 0;
     let mut workers: usize = 4;
+    let mut max_rows: usize = weblab::serve::DEFAULT_MAX_ROWS;
     let mut catalog = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -615,6 +617,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 workers = v
                     .parse()
                     .map_err(|_| format!("--workers expects a thread count, got {v:?}"))?;
+            }
+            "--max-rows" => {
+                let v = it.next().ok_or("missing value for --max-rows")?;
+                max_rows = v
+                    .parse()
+                    .map_err(|_| format!("--max-rows expects a row count, got {v:?}"))?;
             }
             other if catalog.is_none() => catalog = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}").into()),
@@ -645,7 +653,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         platform.register_service(Arc::from(svc), &refs)?;
     }
     let server = Server::bind(Arc::new(platform), &format!("127.0.0.1:{port}"))
-        .map_err(|e| WebLabError::io(format!("binding 127.0.0.1:{port}"), e))?;
+        .map_err(|e| WebLabError::io(format!("binding 127.0.0.1:{port}"), e))?
+        .max_rows(max_rows);
     let addr = server
         .local_addr()
         .map_err(|e| WebLabError::io("reading the bound address", e))?;

@@ -32,6 +32,13 @@ pub enum WebLabError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// A SPARQL result exceeded the daemon's configured row cap.
+    ResultLimit {
+        /// Rows the query produced.
+        rows: usize,
+        /// The configured cap (`--max-rows`).
+        max: usize,
+    },
     /// A serve request was malformed (bad JSON, missing field, unknown op).
     Protocol(String),
     /// The command line was malformed.
@@ -61,6 +68,7 @@ impl WebLabError {
             WebLabError::Persist(_) => "persist",
             WebLabError::Xml(_) => "xml",
             WebLabError::Io { .. } => "io",
+            WebLabError::ResultLimit { .. } => "result-limit",
             WebLabError::Protocol(_) => "protocol",
             WebLabError::Usage(_) => "usage",
         }
@@ -75,6 +83,11 @@ impl fmt::Display for WebLabError {
             WebLabError::Xml(e) => write!(f, "{e}"),
             WebLabError::Sparql(e) => write!(f, "{e}"),
             WebLabError::Io { context, source } => write!(f, "{context}: {source}"),
+            WebLabError::ResultLimit { rows, max } => write!(
+                f,
+                "sparql result has {rows} rows, over the {max}-row cap; \
+                 add a LIMIT or raise --max-rows"
+            ),
             WebLabError::Protocol(m) => write!(f, "{m}"),
             WebLabError::Usage(m) => write!(f, "{m}"),
         }
@@ -89,7 +102,9 @@ impl std::error::Error for WebLabError {
             WebLabError::Xml(e) => Some(e),
             WebLabError::Sparql(e) => Some(e),
             WebLabError::Io { source, .. } => Some(source),
-            WebLabError::Protocol(_) | WebLabError::Usage(_) => None,
+            WebLabError::ResultLimit { .. } | WebLabError::Protocol(_) | WebLabError::Usage(_) => {
+                None
+            }
         }
     }
 }
@@ -153,6 +168,10 @@ mod tests {
             "unknown-service"
         );
         assert_eq!(WebLabError::Protocol("bad".into()).code(), "protocol");
+        assert_eq!(
+            WebLabError::ResultLimit { rows: 11, max: 10 }.code(),
+            "result-limit"
+        );
         assert_eq!(WebLabError::from("usage").code(), "usage");
         assert_eq!(
             WebLabError::io("reading x", std::io::Error::other("boom")).code(),

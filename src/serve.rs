@@ -23,7 +23,10 @@
 //! Responses: `{"ok":true,"epoch":N,"result":…}` on success (`epoch` is
 //! the reachability-index epoch the answer was computed at — present for
 //! query ops), `{"ok":false,"code":"…","error":"…"}` on failure with the
-//! stable [`WebLabError::code`] strings.
+//! stable [`WebLabError::code`] strings. `sparql` responses are capped at
+//! [`Server::max_rows`] solution rows (default [`DEFAULT_MAX_ROWS`],
+//! `--max-rows` on the CLI); a query over the cap fails with the stable
+//! code `result-limit` instead of serialising an unbounded response.
 //!
 //! Queries answer from the execution's published [`EpochSnapshot`]
 //! (immutable graph + index behind an `Arc` swap), so they run lock-free
@@ -54,11 +57,15 @@ static SERVE_ERRORS: Counter = Counter::new("serve.errors");
 /// Wall time of one request (parse + dispatch + render), in nanoseconds.
 static SERVE_REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
 
+/// Default cap on `sparql` result rows ([`Server::max_rows`]).
+pub const DEFAULT_MAX_ROWS: usize = 10_000;
+
 /// The provenance query daemon.
 pub struct Server {
     platform: Arc<Platform>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
+    max_rows: usize,
 }
 
 impl Server {
@@ -71,7 +78,17 @@ impl Server {
             platform,
             listener: TcpListener::bind(addr)?,
             shutdown: Arc::new(AtomicBool::new(false)),
+            max_rows: DEFAULT_MAX_ROWS,
         })
+    }
+
+    /// Cap `sparql` responses at `max_rows` solution rows (`--max-rows`;
+    /// default [`DEFAULT_MAX_ROWS`]). A query producing more answers
+    /// `ok:false` with the stable code `result-limit` instead of
+    /// serialising an unbounded response.
+    pub fn max_rows(mut self, max_rows: usize) -> Server {
+        self.max_rows = max_rows;
+        self
     }
 
     /// The bound address — what clients connect to (and what the CLI
@@ -91,10 +108,11 @@ impl Server {
             let rx = Arc::clone(&rx);
             let platform = Arc::clone(&self.platform);
             let shutdown = Arc::clone(&self.shutdown);
+            let max_rows = self.max_rows;
             pool.push(thread::spawn(move || loop {
                 let next = rx.lock().expect("worker queue lock poisoned").recv();
                 let Ok(stream) = next else { break };
-                if serve_connection(&platform, stream, &shutdown) {
+                if serve_connection(&platform, stream, &shutdown, max_rows) {
                     // shutdown was requested on this connection: the
                     // acceptor may be blocked in accept(2) — nudge it with
                     // a throwaway self-connection so it re-checks the flag.
@@ -120,7 +138,12 @@ impl Server {
 
 /// Serve one connection to completion; returns whether this connection
 /// requested shutdown.
-fn serve_connection(platform: &Platform, stream: TcpStream, shutdown: &AtomicBool) -> bool {
+fn serve_connection(
+    platform: &Platform,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    max_rows: usize,
+) -> bool {
     let Ok(mut writer) = stream.try_clone() else {
         return false;
     };
@@ -130,7 +153,7 @@ fn serve_connection(platform: &Platform, stream: TcpStream, shutdown: &AtomicBoo
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = handle_line(platform, &line);
+        let (response, stop) = handle_line_with(platform, &line, max_rows);
         let written = writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -146,13 +169,19 @@ fn serve_connection(platform: &Platform, stream: TcpStream, shutdown: &AtomicBoo
     false
 }
 
-/// Handle one protocol line: returns the serialised response and whether
-/// the request asked the server to shut down. Public so tests (and
-/// embedders) can drive the protocol in-process, bypassing TCP framing.
+/// Handle one protocol line with the default `sparql` row cap
+/// ([`DEFAULT_MAX_ROWS`]). Public so tests (and embedders) can drive the
+/// protocol in-process, bypassing TCP framing.
 pub fn handle_line(platform: &Platform, line: &str) -> (String, bool) {
+    handle_line_with(platform, line, DEFAULT_MAX_ROWS)
+}
+
+/// [`handle_line`] with an explicit `sparql` row cap — what the worker
+/// threads of a [`Server`] configured via [`Server::max_rows`] call.
+pub fn handle_line_with(platform: &Platform, line: &str, max_rows: usize) -> (String, bool) {
     SERVE_REQUESTS.inc();
     let span = Span::start(&SERVE_REQUEST_NS);
-    let outcome = dispatch(platform, line);
+    let outcome = dispatch(platform, line, max_rows);
     drop(span);
     match outcome {
         Ok(Dispatched {
@@ -185,7 +214,7 @@ struct Dispatched {
     shutdown: bool,
 }
 
-fn dispatch(platform: &Platform, line: &str) -> Result<Dispatched, WebLabError> {
+fn dispatch(platform: &Platform, line: &str, max_rows: usize) -> Result<Dispatched, WebLabError> {
     let request = Json::parse(line).map_err(|e| WebLabError::Protocol(e.to_string()))?;
     let op = str_field(&request, "op")?;
     match op {
@@ -193,6 +222,14 @@ fn dispatch(platform: &Platform, line: &str) -> Result<Dispatched, WebLabError> 
             let exec = platform.execution(str_field(&request, "exec")?);
             let query = parse_query(op, &request)?;
             let (epoch, answer) = exec.query_at(&query)?;
+            if let QueryAnswer::Solutions(solutions) = &answer {
+                if solutions.len() > max_rows {
+                    return Err(WebLabError::ResultLimit {
+                        rows: solutions.len(),
+                        max: max_rows,
+                    });
+                }
+            }
             Ok(Dispatched {
                 epoch: Some(epoch),
                 result: render_answer(&answer),

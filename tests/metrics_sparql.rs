@@ -1,0 +1,188 @@
+//! Golden counter tests for the SPARQL planner behind `weblab serve`
+//! (own test binary: the metrics registry is process-global, so these
+//! tests must not share a process with other engine work; within the
+//! binary they serialise on a mutex).
+//!
+//! The property under guard: the `rdf.plan.*` counters are **golden** —
+//! a fixed query sequence produces exactly the same plan builds, cache
+//! hits, cache misses and dead plans regardless of how many worker
+//! threads the server runs, because the per-epoch [`QueryEngine`] holds
+//! its plan-cache lock across parse + compile.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::thread;
+
+use weblab::json::Json;
+use weblab::obs;
+use weblab::platform::{Mapper, Platform};
+use weblab::serve::{handle_line_with, Server, DEFAULT_MAX_ROWS};
+use weblab::workflow::generator::generate_corpus;
+use weblab::workflow::services::{self, LanguageExtractor, Normaliser, Tokeniser};
+use weblab::workflow::Service;
+
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+const PLAN_BUILDS: &str = "rdf.plan.builds";
+const PLAN_DEAD: &str = "rdf.plan.dead";
+const CACHE_HITS: &str = "rdf.plan.cache.hits";
+const CACHE_MISSES: &str = "rdf.plan.cache.misses";
+const JOIN_PROBES: &str = "rdf.join.probes";
+
+const PROV: &str = "PREFIX prov: <http://www.w3.org/ns/prov#> ";
+
+fn serve_platform() -> Arc<Platform> {
+    let rules = services::default_rules();
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Tokeniser),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs).unwrap();
+    }
+    Arc::new(platform)
+}
+
+/// Ingest and execute the fixed pipeline so `exec` has a published epoch.
+fn prepare(platform: &Platform, exec_id: &str) {
+    let exec = platform.execution(exec_id);
+    exec.ingest(generate_corpus(7, 3, 10));
+    exec.execute(&["Normaliser", "LanguageExtractor", "Tokeniser"])
+        .unwrap();
+}
+
+/// The fixed query sequence. Repeats exercise the plan cache; the last
+/// query names a constant absent from any export, compiling to a dead
+/// plan. Expected counter deltas (same at any worker count):
+/// 4 distinct texts → 4 misses + 4 builds, 3 repeats → 3 hits, 1 dead.
+fn query_sequence() -> Vec<String> {
+    let derived = format!("{PROV}SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}");
+    let join = format!(
+        "{PROV}SELECT ?e ?a WHERE {{ ?e prov:wasGeneratedBy ?a . ?e prov:wasDerivedFrom ?s . }}"
+    );
+    let typed = format!(
+        "{PROV}SELECT DISTINCT ?e WHERE {{ ?e <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> prov:Entity . }}"
+    );
+    let dead = format!("{PROV}SELECT ?x WHERE {{ ?x <urn:no-such-predicate> ?y . }}");
+    vec![
+        derived.clone(),
+        join.clone(),
+        derived, // cache hit
+        typed,
+        join, // cache hit
+        dead.clone(),
+        dead, // cache hit (dead plans are cached too)
+    ]
+}
+
+fn sparql_request(exec: &str, query: &str) -> String {
+    Json::obj(vec![
+        ("op", Json::str("sparql")),
+        ("exec", Json::str(exec)),
+        ("query", Json::str(query)),
+    ])
+    .to_string()
+}
+
+/// Run the fixed sequence against a server with `workers` threads over
+/// one serial connection and return the plan-counter quadruple.
+fn run_sequence_at(workers: usize) -> (u64, u64, u64, u64) {
+    let platform = serve_platform();
+    prepare(&platform, "golden");
+    let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = thread::spawn(move || server.run(workers));
+
+    obs::reset();
+    obs::enable();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for query in query_sequence() {
+        let line = sparql_request("golden", &query);
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(
+            response.contains("\"ok\":true"),
+            "query failed at {workers} workers: {response}"
+        );
+    }
+    let snap = obs::snapshot();
+    obs::disable();
+
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .and_then(|()| stream.flush())
+        .unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    server_thread.join().unwrap().unwrap();
+
+    assert!(
+        snap.counter(JOIN_PROBES) > 0,
+        "the non-dead queries must probe the columnar indexes"
+    );
+    (
+        snap.counter(PLAN_BUILDS),
+        snap.counter(CACHE_HITS),
+        snap.counter(CACHE_MISSES),
+        snap.counter(PLAN_DEAD),
+    )
+}
+
+#[test]
+fn plan_counters_are_identical_at_1_2_and_4_workers() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let golden = run_sequence_at(1);
+    // 4 distinct query texts compile once each; 3 repeats hit the cache;
+    // exactly one text names an absent constant and goes dead.
+    assert_eq!(
+        golden,
+        (4, 3, 4, 1),
+        "(builds, cache hits, cache misses, dead) at 1 worker"
+    );
+    for workers in [2usize, 4] {
+        let counters = run_sequence_at(workers);
+        assert_eq!(
+            counters, golden,
+            "rdf.plan.* counters diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn sparql_responses_over_the_row_cap_fail_with_result_limit() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let platform = serve_platform();
+    prepare(&platform, "capped");
+    let all = sparql_request("capped", "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }");
+
+    // Under the default cap the full scan fits and succeeds.
+    let (response, stop) = handle_line_with(&platform, &all, DEFAULT_MAX_ROWS);
+    assert!(!stop);
+    assert!(response.contains("\"ok\":true"), "uncapped: {response}");
+
+    // With a one-row cap it fails with the stable code, not a truncation.
+    let (response, stop) = handle_line_with(&platform, &all, 1);
+    assert!(!stop);
+    assert!(
+        response.contains("\"ok\":false") && response.contains("\"code\":\"result-limit\""),
+        "capped: {response}"
+    );
+
+    // An explicit LIMIT inside the query brings it back under the cap.
+    let limited = sparql_request("capped", "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT 1");
+    let (response, _) = handle_line_with(&platform, &limited, 1);
+    assert!(response.contains("\"ok\":true"), "limited: {response}");
+}

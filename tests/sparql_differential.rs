@@ -1,0 +1,301 @@
+//! Differential tests: the cardinality-driven planner vs the seed evaluator.
+//!
+//! `weblab_bench::seedeval::seed_select` is a frozen copy of the SPARQL-lite
+//! evaluation strategy that shipped before the columnar engine. Both paths
+//! promise the same output contract — projected, deduplicated, term-sorted
+//! solutions, then `ORDER BY` (with a total-order fallback) and `LIMIT` — so
+//! on any store and any query the two must return byte-identical results.
+//!
+//! Randomized stores draw from small term pools so joins, repeated
+//! variables, and filters actually connect; queries mix constants and
+//! variables per component and optionally add filters, DISTINCT, ORDER BY
+//! and LIMIT. Deterministic edge cases cover the corners random generation
+//! is unlikely to hit every run.
+
+use proptest::prelude::*;
+
+use weblab::rdf::{
+    parse_select, select, Filter, PatTerm, SelectQuery, Term, Triple, TripleStore,
+};
+use weblab_bench::seedeval::seed_select;
+
+// ---------------------------------------------------------------------
+// Pools and builders
+// ---------------------------------------------------------------------
+
+const N_SUBJECTS: u8 = 6;
+const N_PREDS: u8 = 4;
+const N_OBJECTS: u8 = 5;
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+fn subject(i: u8) -> Term {
+    Term::iri(format!("s{}", i % N_SUBJECTS))
+}
+
+fn predicate(i: u8) -> Term {
+    Term::iri(format!("p{}", i % N_PREDS))
+}
+
+/// Objects overlap the subject pool (so chains join), plus literals and
+/// integers so every term kind flows through the dictionary.
+fn object(i: u8) -> Term {
+    match i % 10 {
+        0..=4 => subject(i),
+        5 | 6 => Term::lit(format!("o{}", i % N_OBJECTS)),
+        7 => Term::int((i % 3) as i64),
+        // Terms absent from any generated triple: exercises dead-plan
+        // handling when they appear as query constants.
+        _ => Term::iri(format!("missing{}", i % 2)),
+    }
+}
+
+fn build_store(triples: &[(u8, u8, u8)]) -> TripleStore {
+    let mut store = TripleStore::new();
+    store.extend(
+        triples
+            .iter()
+            .map(|&(s, p, o)| Triple::new(subject(s), predicate(p), object(o))),
+    );
+    store
+}
+
+/// One component of a pattern: low choices are variables, the rest
+/// constants from the matching pool.
+fn pat_term(choice: u8, idx: u8, pool: fn(u8) -> Term) -> PatTerm {
+    if choice % 7 < 3 {
+        PatTerm::Var(VARS[(choice % 4) as usize].to_string())
+    } else {
+        PatTerm::Const(pool(idx))
+    }
+}
+
+type PatSpec = (u8, u8, u8, u8, u8, u8);
+type FilterSpec = (u8, u8, u8, bool);
+
+fn build_query(
+    pats: &[PatSpec],
+    filters: &[FilterSpec],
+    distinct: bool,
+    project: u8,
+    order: u8,
+    limit: u8,
+) -> SelectQuery {
+    let patterns = pats
+        .iter()
+        .map(|&(sc, si, pc, pi, oc, oi)| weblab::rdf::TriplePattern {
+            s: pat_term(sc, si, subject),
+            p: pat_term(pc, pi, predicate),
+            o: pat_term(oc, oi, object),
+        })
+        .collect();
+    // Filters compare a variable (possibly one not bound by any pattern)
+    // against either another variable or a constant from the object pool.
+    let filters = filters
+        .iter()
+        .map(|&(l, r, ri, equal)| Filter {
+            left: PatTerm::Var(VARS[(l % 4) as usize].to_string()),
+            right: if r % 3 == 0 {
+                PatTerm::Var(VARS[(r % 4) as usize].to_string())
+            } else {
+                PatTerm::Const(object(ri))
+            },
+            equal,
+        })
+        .collect();
+    // Projection: a (possibly empty → SELECT *) subset of the var pool.
+    let vars: Vec<String> = VARS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| project & (1 << i) != 0)
+        .map(|(_, v)| v.to_string())
+        .collect();
+    let order_by: Vec<String> = VARS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| order & (1 << i) != 0)
+        .map(|(_, v)| v.to_string())
+        .collect();
+    let limit = if limit.is_multiple_of(4) {
+        None
+    } else {
+        Some((limit % 7) as usize)
+    };
+    SelectQuery {
+        vars,
+        distinct,
+        patterns,
+        filters,
+        order_by,
+        limit,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential checks
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any BGP (1–4 patterns) over a random store: both evaluators agree.
+    #[test]
+    fn planner_matches_seed_on_random_bgps(
+        triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+        pats in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1..4,
+        ),
+        project in any::<u8>(),
+    ) {
+        let store = build_store(&triples);
+        let q = build_query(&pats, &[], false, project, 0, 0);
+        prop_assert_eq!(select(&store, &q), seed_select(&store, &q));
+    }
+
+    /// Full query surface: filters, DISTINCT, ORDER BY, LIMIT.
+    #[test]
+    fn planner_matches_seed_with_modifiers(
+        triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+        pats in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1..4,
+        ),
+        filters in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 0..3),
+        distinct in any::<bool>(),
+        project in any::<u8>(),
+        order in any::<u8>(),
+        limit in any::<u8>(),
+    ) {
+        let store = build_store(&triples);
+        let q = build_query(&pats, &filters, distinct, project, order, limit);
+        // DISTINCT is new in this engine; the oracle predates it. The
+        // shared output contract already dedups projected rows, so DISTINCT
+        // must be a no-op relative to the oracle and the comparison holds
+        // for both values of the flag.
+        prop_assert_eq!(select(&store, &q), seed_select(&store, &q));
+    }
+
+    /// Chain joins with repeated variables across patterns — the shape the
+    /// planner reorders most aggressively.
+    #[test]
+    fn planner_matches_seed_on_chains(
+        triples in prop::collection::vec((any::<u8>(), 0u8..2, any::<u8>()), 10..80),
+        p1 in 0u8..4,
+        p2 in 0u8..4,
+        anchor in any::<u8>(),
+    ) {
+        let store = build_store(&triples);
+        let q = SelectQuery {
+            vars: vec!["x".into(), "z".into()],
+            distinct: false,
+            patterns: vec![
+                weblab::rdf::TriplePattern {
+                    s: PatTerm::Var("x".into()),
+                    p: PatTerm::Const(predicate(p1)),
+                    o: PatTerm::Var("y".into()),
+                },
+                weblab::rdf::TriplePattern {
+                    s: PatTerm::Var("y".into()),
+                    p: PatTerm::Const(predicate(p2)),
+                    o: PatTerm::Var("z".into()),
+                },
+                weblab::rdf::TriplePattern {
+                    s: PatTerm::Var("x".into()),
+                    p: PatTerm::Var("q".into()),
+                    o: PatTerm::Const(object(anchor)),
+                },
+            ],
+            filters: vec![],
+            order_by: vec!["z".into()],
+            limit: Some(5),
+        };
+        prop_assert_eq!(select(&store, &q), seed_select(&store, &q));
+    }
+
+    /// Repeated variable inside a single pattern means column equality.
+    #[test]
+    fn planner_matches_seed_on_self_loops(
+        triples in prop::collection::vec((any::<u8>(), any::<u8>(), 0u8..5), 0..60),
+        p in 0u8..4,
+    ) {
+        let store = build_store(&triples);
+        let q = SelectQuery {
+            vars: vec![],
+            distinct: false,
+            patterns: vec![weblab::rdf::TriplePattern {
+                s: PatTerm::Var("x".into()),
+                p: PatTerm::Const(predicate(p)),
+                o: PatTerm::Var("x".into()),
+            }],
+            filters: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        prop_assert_eq!(select(&store, &q), seed_select(&store, &q));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic edge cases
+// ---------------------------------------------------------------------
+
+fn tiny_store() -> TripleStore {
+    let mut store = TripleStore::new();
+    store.extend([
+        Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+        Triple::new(Term::iri("b"), Term::iri("p"), Term::iri("c")),
+        Triple::new(Term::iri("a"), Term::iri("q"), Term::int(7)),
+    ]);
+    store
+}
+
+#[test]
+fn empty_bgp_agrees() {
+    let store = tiny_store();
+    let q = parse_select("SELECT * WHERE { }").unwrap();
+    assert_eq!(select(&store, &q), seed_select(&store, &q));
+}
+
+#[test]
+fn missing_constant_agrees() {
+    let store = tiny_store();
+    let q = parse_select("SELECT ?x WHERE { ?x <nope> ?y . }").unwrap();
+    assert_eq!(select(&store, &q), seed_select(&store, &q));
+    assert!(select(&store, &q).is_empty());
+}
+
+#[test]
+fn filter_on_unbound_variable_agrees() {
+    let store = tiny_store();
+    // ?v never appears in the BGP: the seed drops every solution because
+    // resolve(?v) is None; the planner compiles the query to a dead plan.
+    let q = parse_select("SELECT ?x WHERE { ?x <p> ?y . FILTER(?v = ?x) }").unwrap();
+    assert_eq!(select(&store, &q), seed_select(&store, &q));
+    assert!(select(&store, &q).is_empty());
+}
+
+#[test]
+fn filter_against_absent_constant_agrees() {
+    let store = tiny_store();
+    let eq = parse_select("SELECT ?x WHERE { ?x <p> ?y . FILTER(?x = <ghost>) }").unwrap();
+    let ne = parse_select("SELECT ?x WHERE { ?x <p> ?y . FILTER(?x != <ghost>) }").unwrap();
+    assert_eq!(select(&store, &eq), seed_select(&store, &eq));
+    assert_eq!(select(&store, &ne), seed_select(&store, &ne));
+    assert!(select(&store, &eq).is_empty());
+    assert_eq!(select(&store, &ne).len(), 2);
+}
+
+#[test]
+fn query_on_empty_store_agrees() {
+    let store = TripleStore::new();
+    let q = parse_select("SELECT * WHERE { ?s ?p ?o . }").unwrap();
+    assert_eq!(select(&store, &q), seed_select(&store, &q));
+}
+
+#[test]
+fn order_by_with_limit_agrees() {
+    let store = tiny_store();
+    let q = parse_select("SELECT ?s ?o WHERE { ?s ?p ?o . } ORDER BY ?o LIMIT 2").unwrap();
+    assert_eq!(select(&store, &q), seed_select(&store, &q));
+    assert_eq!(select(&store, &q).len(), 2);
+}
