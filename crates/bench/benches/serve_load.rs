@@ -1,0 +1,374 @@
+//! X14 — serve-path load: pipelined batches vs serial requests under
+//! ~a thousand concurrent connections.
+//!
+//! Drives a real [`weblab::serve::Server`] (the non-blocking event loop +
+//! dispatch pool) over loopback TCP with a closed-loop wave harness:
+//! every connection sends one request per wave and the wave ends when all
+//! responses are back. Traffic is a mixed query workload (`why`,
+//! `lineage`, `impacted-by`, `sparql`) issued two ways over the **same**
+//! sub-requests:
+//!
+//! * **unbatched** — one sub-request per protocol line (one round-trip
+//!   each);
+//! * **batched** — `batch` lines carrying [`BATCH_SIZE`] sub-requests,
+//!   every batch answered at one pinned epoch.
+//!
+//! Per-request latencies land in `weblab-obs` histograms; p50/p99/p999
+//! come from [`HistogramSnapshot::quantile`]. The run asserts every
+//! response is `ok:true` with an epoch, that admission control shed
+//! nothing (`serve.shed` delta is 0), and — the X14 headline — that
+//! batching multiplies sub-request throughput by ≥2× at batch size ≥8.
+//! Results are written to `BENCH_X14_serve.json` at the repo root (the
+//! artifact `scripts/ci.sh` validates).
+//!
+//! Under `cargo test` (`--test`) the harness runs scaled down (32
+//! connections) as a correctness smoke and skips the timing assertions
+//! and the snapshot write. `X14_CONNS` / `X14_WAVES` / `X14_WORKERS`
+//! override the load shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use weblab::json::Json;
+use weblab::serve::Server;
+use weblab_obs as obs;
+use weblab_obs::Histogram;
+use weblab_platform::{Mapper, Platform};
+use weblab_workflow::generator::generate_corpus;
+use weblab_workflow::services::{
+    self, EntityExtractor, KeywordExtractor, LanguageExtractor, Normaliser, Summariser, Tokeniser,
+};
+use weblab_workflow::Service;
+
+/// Sub-requests per `batch` line in the batched phase.
+const BATCH_SIZE: usize = 8;
+
+/// Client-observed latency of one unbatched request, ns.
+static X14_SERIAL_NS: Histogram = Histogram::new("x14.serial_ns");
+/// Client-observed latency of one batch round-trip (8 subs), ns.
+static X14_BATCH_NS: Histogram = Histogram::new("x14.batch_ns");
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The served platform: the six-service test pipeline over a generated
+/// corpus, executed once so the graph has links worth querying.
+fn load_platform(exec_id: &str) -> (Arc<Platform>, Vec<String>) {
+    let rules = services::default_rules();
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Tokeniser),
+        Box::new(EntityExtractor),
+        Box::new(KeywordExtractor),
+        Box::new(Summariser),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs).unwrap();
+    }
+    let platform = Arc::new(platform);
+    let exec = platform.execution(exec_id);
+    exec.ingest(generate_corpus(14, 3, 12));
+    exec.execute(&[
+        "Normaliser",
+        "LanguageExtractor",
+        "Tokeniser",
+        "EntityExtractor",
+        "KeywordExtractor",
+        "Summariser",
+    ])
+    .unwrap();
+    let uris: Vec<String> = {
+        let snap = exec.snapshot().unwrap();
+        snap.graph.sources.iter().map(|s| s.uri.clone()).collect()
+    };
+    assert!(uris.len() >= 4, "corpus produced too few resources");
+    (platform, uris)
+}
+
+/// The `i`-th sub-request of the mixed workload, as a JSON object
+/// (without `exec`: batches inherit it, serial lines add it).
+fn sub_request(exec: Option<&str>, uris: &[String], i: usize) -> Json {
+    let uri = &uris[i % uris.len()];
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    match i % 4 {
+        0 => {
+            pairs.push(("op", Json::str("why")));
+            pairs.push(("uri", Json::str(uri)));
+        }
+        1 => {
+            pairs.push(("op", Json::str("lineage")));
+            pairs.push(("uri", Json::str(uri)));
+            pairs.push(("depth", Json::num(2)));
+        }
+        2 => {
+            pairs.push(("op", Json::str("impacted-by")));
+            pairs.push(("uri", Json::str(uri)));
+        }
+        _ => {
+            pairs.push(("op", Json::str("sparql")));
+            pairs.push((
+                "query",
+                Json::str(format!(
+                    "PREFIX prov: <http://www.w3.org/ns/prov#> \
+                     SELECT ?s WHERE {{ <{uri}> prov:wasDerivedFrom ?s . }}"
+                )),
+            ));
+        }
+    }
+    if let Some(exec) = exec {
+        pairs.insert(1, ("exec", Json::str(exec)));
+    }
+    Json::obj(pairs)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Global index of this connection (keys its slice of the workload).
+    index: usize,
+}
+
+fn connect_clients(addr: &SocketAddr, from: usize, to: usize) -> Vec<Client> {
+    (from..to)
+        .map(|index| {
+            let stream = TcpStream::connect(addr).expect("connect load client");
+            stream.set_nodelay(true).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client {
+                stream,
+                reader,
+                index,
+            }
+        })
+        .collect()
+}
+
+/// Read one response line and assert it answered (`ok:true` + epoch).
+fn read_ok(client: &mut Client) -> Json {
+    let mut line = String::new();
+    client.reader.read_line(&mut line).expect("read response");
+    assert!(line.ends_with('\n'), "torn response line");
+    let parsed = Json::parse(line.trim_end()).expect("response is JSON");
+    assert_eq!(
+        parsed.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "load response failed: {line}"
+    );
+    assert!(
+        parsed.get("epoch").and_then(Json::as_u64).is_some(),
+        "response missing its epoch: {line}"
+    );
+    parsed
+}
+
+/// Run `waves` closed-loop waves over every client; each wave sends one
+/// line per connection, waits for all responses, and records per-request
+/// latency. Returns the sub-requests answered.
+fn drive(
+    clients: &mut [Client],
+    exec_id: &str,
+    uris: &[String],
+    waves: usize,
+    batched: bool,
+) -> u64 {
+    let mut subs = 0u64;
+    for wave in 0..waves {
+        for client in clients.iter_mut() {
+            let seq = client.index * waves + wave;
+            let mut line = if batched {
+                let reqs: Vec<Json> = (0..BATCH_SIZE)
+                    .map(|k| sub_request(None, uris, seq * BATCH_SIZE + k))
+                    .collect();
+                Json::obj(vec![
+                    ("op", Json::str("batch")),
+                    ("exec", Json::str(exec_id)),
+                    ("requests", Json::Arr(reqs)),
+                ])
+                .to_string()
+            } else {
+                sub_request(Some(exec_id), uris, seq).to_string()
+            };
+            line.push('\n');
+            let t0 = Instant::now();
+            client.stream.write_all(line.as_bytes()).unwrap();
+            let parsed = read_ok(client);
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if batched {
+                X14_BATCH_NS.record(ns);
+                let answers = parsed.get("result").and_then(Json::as_array).unwrap();
+                assert_eq!(answers.len(), BATCH_SIZE);
+                let epoch = parsed.get("epoch").and_then(Json::as_u64);
+                for sub in answers {
+                    assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true));
+                    assert_eq!(sub.get("epoch").and_then(Json::as_u64), epoch);
+                }
+                subs += BATCH_SIZE as u64;
+            } else {
+                X14_SERIAL_NS.record(ns);
+                subs += 1;
+            }
+        }
+    }
+    subs
+}
+
+/// Connect the whole fleet, split across driver threads. Establishing
+/// ~a thousand connections is setup, not load: it happens once, outside
+/// both phases' timed windows, and both phases then drive the **same**
+/// sockets — a clean batched-vs-unbatched A/B.
+fn connect_fleet(addr: &SocketAddr, conns: usize, threads: usize) -> Vec<Vec<Client>> {
+    let per = conns.div_ceil(threads);
+    let handles: Vec<_> = (0..threads)
+        .filter_map(|t| {
+            let (from, to) = (t * per, ((t + 1) * per).min(conns));
+            (from < to).then(|| {
+                let addr = *addr;
+                thread::spawn(move || connect_clients(&addr, from, to))
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// One load phase across all driver threads; returns the fleet back plus
+/// (subs answered, wall ns).
+fn run_phase(
+    fleet: Vec<Vec<Client>>,
+    exec_id: &str,
+    uris: &[String],
+    waves: usize,
+    batched: bool,
+) -> (Vec<Vec<Client>>, u64, u64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = fleet
+        .into_iter()
+        .map(|mut clients| {
+            let exec_id = exec_id.to_string();
+            let uris = uris.to_vec();
+            thread::spawn(move || {
+                let subs = drive(&mut clients, &exec_id, &uris, waves, batched);
+                (clients, subs)
+            })
+        })
+        .collect();
+    let mut fleet = Vec::new();
+    let mut subs = 0u64;
+    for h in handles {
+        let (clients, n) = h.join().unwrap();
+        fleet.push(clients);
+        subs += n;
+    }
+    (
+        fleet,
+        subs,
+        t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+    )
+}
+
+fn quantiles(name: &str) -> (u64, u64, u64) {
+    let snap = obs::snapshot();
+    let h = snap.histogram(name).cloned().unwrap_or_default();
+    (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999))
+}
+
+fn bench_x14(_c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let conns = env_usize("X14_CONNS", if test_mode { 32 } else { 1024 });
+    let waves = env_usize("X14_WAVES", if test_mode { 2 } else { 8 });
+    let workers = env_usize("X14_WORKERS", 2);
+    let threads = if test_mode { 4 } else { 8 };
+
+    obs::enable();
+    let exec_id = "x14-exec";
+    let (platform, uris) = load_platform(exec_id);
+    let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0")
+        .unwrap()
+        .max_conns(conns + 8); // headroom for the shutdown connection
+    let addr = server.local_addr().unwrap();
+    let server_thread = thread::spawn(move || server.run(workers));
+
+    let fleet = connect_fleet(&addr, conns, threads);
+    let before = obs::snapshot();
+    let (fleet, serial_subs, serial_ns) =
+        run_phase(fleet, exec_id, &uris, waves * BATCH_SIZE, false);
+    let (serial_p50, serial_p99, serial_p999) = quantiles("x14.serial_ns");
+    let (fleet, batch_subs, batch_ns) = run_phase(fleet, exec_id, &uris, waves, true);
+    let (batch_p50, batch_p99, batch_p999) = quantiles("x14.batch_ns");
+    let after = obs::snapshot();
+    drop(fleet);
+
+    // shut the server down cleanly over the wire
+    {
+        let mut clients = connect_clients(&addr, 0, 1);
+        let c = &mut clients[0];
+        c.stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"stopping\":true"));
+    }
+    server_thread.join().unwrap().unwrap();
+
+    let delta = after.since(&before);
+    assert_eq!(
+        delta.counter("serve.shed"),
+        0,
+        "X14 must run below the admission-control shed point"
+    );
+    assert_eq!(
+        serial_subs, batch_subs,
+        "both phases must answer the same sub-request workload"
+    );
+    assert!(delta.counter("serve.batch.requests") >= (conns * waves) as u64);
+    assert!(delta.counter("serve.batch.subs") >= batch_subs);
+
+    let serial_rate = serial_subs as f64 / (serial_ns.max(1) as f64 / 1e9);
+    let batch_rate = batch_subs as f64 / (batch_ns.max(1) as f64 / 1e9);
+    let speedup = batch_rate / serial_rate;
+    println!("x14_serve/unbatched: {serial_subs} subs in {:.1} ms ({serial_rate:.0} subs/s)", serial_ns as f64 / 1e6);
+    println!("x14_serve/batched:   {batch_subs} subs in {:.1} ms ({batch_rate:.0} subs/s)", batch_ns as f64 / 1e6);
+    println!("x14_serve/speedup: {speedup:.1}x at batch size {BATCH_SIZE}");
+
+    if test_mode {
+        obs::disable();
+        return; // scaled-down smoke: skip timing assertions + snapshot
+    }
+    assert!(
+        speedup >= 2.0,
+        "X14: batching must at least double sub-request throughput, got {speedup:.2}x"
+    );
+
+    let snapshot = format!(
+        "{{\n  \"experiment\": \"X14\",\n  \"conns\": {conns},\n  \"workers\": {workers},\n  \
+           \"waves\": {waves},\n  \"batch_size\": {BATCH_SIZE},\n  \
+           \"unbatched\": {{\"subs\": {serial_subs}, \"wall_ns\": {serial_ns}, \
+           \"subs_per_sec\": {serial_rate:.0}, \"p50_ns\": {serial_p50}, \
+           \"p99_ns\": {serial_p99}, \"p999_ns\": {serial_p999}}},\n  \
+           \"batched\": {{\"subs\": {batch_subs}, \"wall_ns\": {batch_ns}, \
+           \"subs_per_sec\": {batch_rate:.0}, \"p50_ns\": {batch_p50}, \
+           \"p99_ns\": {batch_p99}, \"p999_ns\": {batch_p999}}},\n  \
+           \"sheds\": 0,\n  \"speedup\": {speedup:.1}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_X14_serve.json");
+    std::fs::write(path, snapshot).expect("write BENCH_X14_serve.json");
+    println!("x14_serve/snapshot written to {path}");
+    obs::disable();
+}
+
+criterion_group!(benches, bench_x14);
+criterion_main!(benches);

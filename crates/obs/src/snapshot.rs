@@ -24,6 +24,31 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// An upper-bound estimate of the `q`-quantile (`0.0..=1.0`) of the
+    /// recorded distribution, derived from the power-of-two buckets: the
+    /// smallest bucket whose cumulative count reaches `q · count`
+    /// contributes its upper edge (`2^(i+1) − 1`), clamped into
+    /// `[min, max]`. Good to within one octave — the resolution latency
+    /// reporting needs (p50/p99/p999 in the `BENCH_*` snapshots), without
+    /// storing raw samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// A name-sorted capture of every registered metric.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -250,5 +275,33 @@ mod tests {
     #[test]
     fn escaping_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn quantiles_are_octave_accurate_upper_bounds() {
+        let _g = test_lock::hold();
+        crate::enable();
+        SNAP_H.reset();
+        // 90 fast observations (~bucket 6: 64..127) and 10 slow outliers
+        // (~bucket 13: 8192..16383)
+        for _ in 0..90 {
+            SNAP_H.record(100);
+        }
+        for _ in 0..10 {
+            SNAP_H.record(9000);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("snapshot.test.h").unwrap().clone();
+        // p50 lands in the fast bucket, clamped below by min
+        let p50 = h.quantile(0.50);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        // p99 must see the outliers; clamped above by max
+        let p99 = h.quantile(0.99);
+        assert!((9000..=16383).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), h.quantile(0.999));
+        // empty histogram: zero, not a panic
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        SNAP_H.reset();
+        crate::disable();
     }
 }

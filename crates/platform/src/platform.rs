@@ -782,15 +782,29 @@ impl ExecutionHandle<'_> {
     /// answer was computed at — what the serve protocol echoes back.
     pub fn query_at(&self, q: &ProvQuery) -> Result<(u64, QueryAnswer), PlatformError> {
         let snap = self.snapshot()?;
-        let answer = match q {
+        let answer = self.query_on(&snap, q)?;
+        Ok((snap.epoch, answer))
+    }
+
+    /// Answer a structured provenance query on a **pinned** snapshot —
+    /// the building block of the serve protocol's `batch` op: every
+    /// sub-request of a batch is answered on the same snapshot, so the
+    /// whole batch shares one atomic epoch even while live ingestion keeps
+    /// publishing newer ones. SPARQL sub-queries still go through the
+    /// per-epoch [`QueryEngine`] plan cache.
+    pub fn query_on(
+        &self,
+        snap: &Arc<EpochSnapshot>,
+        q: &ProvQuery,
+    ) -> Result<QueryAnswer, PlatformError> {
+        Ok(match q {
             ProvQuery::Sparql { .. } => {
                 let state = self.platform.index_state(&self.id);
-                let engine = state.engine_for(&snap);
-                q.answer_on_engine(&snap, &engine)?
+                let engine = state.engine_for(snap);
+                q.answer_on_engine(snap, &engine)?
             }
-            _ => q.answer_on_snapshot(&snap, None)?,
-        };
-        Ok((snap.epoch, answer))
+            _ => q.answer_on_snapshot(snap, None)?,
+        })
     }
 
     /// A SPARQL SELECT over this execution's PROV-O export (per-execution

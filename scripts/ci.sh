@@ -105,7 +105,8 @@ PY
 
 echo "==> serve smoke (line-delimited JSON protocol on an ephemeral port)"
 ./target/release/weblab --metrics-out "$metrics_dir/serve.json" \
-    serve --port 0 --workers 2 --max-rows 5 \
+    serve --port 0 --workers 2 --max-rows 5 --max-batch 16 \
+    --max-conns 64 --idle-timeout 60000 \
     > "$metrics_dir/serve.out" 2> "$metrics_dir/serve.err" &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -156,6 +157,21 @@ r = rpc({"op": "status"})
 assert r.get("ok"), r
 assert any(e["id"] == "ci" and e["live"] for e in r["result"]["executions"]), r
 
+# batch: three sub-requests answered at one pinned epoch, responses
+# byte-equivalent to serial answers
+r = rpc({"op": "batch", "exec": "ci", "requests": [
+    {"op": "why", "uri": "weblab://src/0"},
+    {"op": "impacted-by", "uri": "weblab://src/0"},
+    {"op": "sparql", "query": derived}]})
+assert r.get("ok") and len(r["result"]) == 3, r
+assert all(s["ok"] and s["epoch"] == r["epoch"] for s in r["result"]), \
+    "torn batch: sub-responses span epochs"
+
+# 17 sub-requests blow the --max-batch 16 cap with the stable code
+r = rpc({"op": "batch", "exec": "ci",
+         "requests": [{"op": "why", "uri": "weblab://src/0"}] * 17})
+assert r.get("ok") is False and r.get("code") == "batch-limit", r
+
 r = rpc({"op": "nonsense"})
 assert r.get("ok") is False and r.get("code") == "protocol", r
 
@@ -173,11 +189,17 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 counters = report["counters"]
 
-# one request per protocol line above, exactly two of them probe errors
-# (the unknown op and the over-cap sparql scan)
-assert counters.get("serve.requests", 0) >= 8, counters.get("serve.requests")
-assert counters.get("serve.errors", 0) == 2, counters.get("serve.errors")
+# one request per protocol line above, exactly three of them probe errors
+# (the unknown op, the over-cap sparql scan, the over-cap batch)
+assert counters.get("serve.requests", 0) >= 10, counters.get("serve.requests")
+assert counters.get("serve.errors", 0) == 3, counters.get("serve.errors")
 assert "serve.request_ns" in report["histograms"], "request latency not recorded"
+# exactly one batch dispatched (the over-cap one is rejected before the
+# counters tick), carrying three sub-requests; nothing was shed
+assert counters.get("serve.batch.requests", 0) == 1, counters.get("serve.batch.requests")
+assert counters.get("serve.batch.subs", 0) == 3, counters.get("serve.batch.subs")
+assert counters.get("serve.shed", 0) == 0, counters.get("serve.shed")
+assert report["gauges"].get("serve.queue.depth", 0) == 0, "queue depth leaked"
 # the reachability index was built (incrementally, from live deltas) and
 # every served query answered from it: zero edge-list traversals
 assert counters.get("prov.index.builds", 0) >= 1, "index never built"
@@ -190,6 +212,80 @@ assert counters.get("rdf.plan.builds", 0) >= 1, "no sparql plan was ever built"
 print("ci: serve metrics ok "
       f"(requests={counters['serve.requests']}, builds={counters['prov.index.builds']}, "
       f"plan_cache_hits={counters['rdf.plan.cache.hits']})")
+PY
+
+echo "==> serve load-smoke (pipelined batches against a 2-worker server)"
+./target/release/weblab --metrics-out "$metrics_dir/load.json" \
+    serve --port 0 --workers 2 --max-batch 8 \
+    > "$metrics_dir/load.out" 2> "$metrics_dir/load.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$metrics_dir/load.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$metrics_dir/load.out")"
+[ -n "$addr" ] || { echo "ci: load-smoke serve never printed its address" >&2; exit 1; }
+python3 - "$addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=30)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+xml = ('<Resource wl:id="weblab://doc/load">'
+       '<NativeContent wl:id="weblab://src/0" wl:s="Source" wl:t="0">'
+       'pipelined load smoke text</NativeContent></Resource>')
+f.write(json.dumps({"op": "ingest", "exec": "load", "xml": xml,
+                    "pipeline": ["Normaliser"]}) + "\n")
+f.flush()
+assert json.loads(f.readline()).get("ok"), "load-smoke ingest failed"
+
+# 300 pipelined requests in one write — every fifth a batch of 4 — then
+# 300 responses, strictly in order, every id echoed, nothing shed
+reqs = []
+for i in range(300):
+    if i % 5 == 0:
+        reqs.append({"id": i, "op": "batch", "exec": "load",
+                     "requests": [{"op": "why", "uri": "weblab://src/0"}] * 4})
+    else:
+        reqs.append({"id": i, "op": "why", "exec": "load",
+                     "uri": "weblab://src/0"})
+f.write("".join(json.dumps(r) + "\n" for r in reqs))
+f.flush()
+for i in range(300):
+    r = json.loads(f.readline())
+    assert r.get("id") == i, f"response out of order: expected id {i}, got {r}"
+    assert r.get("ok"), r
+    if i % 5 == 0:
+        assert len(r["result"]) == 4, r
+        assert all(s["epoch"] == r["epoch"] for s in r["result"]), "torn batch"
+
+r_ = {"op": "shutdown"}
+f.write(json.dumps(r_) + "\n")
+f.flush()
+assert json.loads(f.readline()).get("ok"), "shutdown failed"
+sock.close()
+print("ci: load-smoke ok (300 pipelined requests, 60 of them batches)")
+PY
+wait "$serve_pid" || { echo "ci: load-smoke serve did not shut down cleanly" >&2; exit 1; }
+serve_pid=""
+python3 - "$metrics_dir/load.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+counters = report["counters"]
+
+# 1 ingest + 300 pipelined + 1 shutdown, all dispatched, none shed
+assert counters.get("serve.requests", 0) == 302, counters.get("serve.requests")
+assert counters.get("serve.errors", 0) == 0, counters.get("serve.errors")
+assert counters.get("serve.batch.requests", 0) >= 1, "no batch was dispatched"
+assert counters.get("serve.batch.requests", 0) == 60, counters.get("serve.batch.requests")
+assert counters.get("serve.batch.subs", 0) == 240, counters.get("serve.batch.subs")
+assert counters.get("serve.shed", 0) == 0, "load-smoke must not shed"
+assert report["gauges"].get("serve.queue.depth", 0) == 0, "queue depth leaked"
+print("ci: load-smoke metrics ok "
+      f"(requests={counters['serve.requests']}, batches={counters['serve.batch.requests']})")
 PY
 
 echo "==> X13 snapshot validation (BENCH_X13_sparql.json)"
@@ -206,6 +302,29 @@ assert snap["byte_identical"] is True, "planner diverged from the seed evaluator
 assert snap["speedup"] >= 10, f"planner speedup under 10x: {snap['speedup']}"
 print(f"ci: X13 snapshot ok ({snap['triples']} triples, "
       f"{snap['speedup']}x over the seed evaluator)")
+PY
+
+echo "==> X14 snapshot validation (BENCH_X14_serve.json)"
+python3 - BENCH_X14_serve.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+assert snap["experiment"] == "X14", snap
+assert snap["conns"] >= 1000, f"X14 must drive ~a thousand connections: {snap['conns']}"
+assert snap["batch_size"] >= 8, f"X14 batch size under 8: {snap['batch_size']}"
+assert snap["sheds"] == 0, "X14 must run below the admission-control shed point"
+for phase in ("unbatched", "batched"):
+    p = snap[phase]
+    for key in ("subs", "wall_ns", "subs_per_sec", "p50_ns", "p99_ns", "p999_ns"):
+        assert key in p, f"{phase} snapshot missing {key!r}"
+    assert p["p50_ns"] <= p["p99_ns"] <= p["p999_ns"], f"{phase} quantiles disordered: {p}"
+assert snap["unbatched"]["subs"] == snap["batched"]["subs"], \
+    "both phases must answer the same sub-request workload"
+assert snap["speedup"] >= 2, f"batching speedup under 2x: {snap['speedup']}"
+print(f"ci: X14 snapshot ok ({snap['conns']} conns, "
+      f"{snap['speedup']}x batched vs unbatched at batch size {snap['batch_size']})")
 PY
 
 echo "ci: all gates passed"

@@ -46,16 +46,24 @@
 //! weblab services
 //!     List the built-in services and their default mapping rules.
 //!
-//! weblab serve [--port N] [--workers N] [--max-rows N] [catalog.txt]
+//! weblab serve [--port N] [--workers N] [--max-rows N] [--max-batch N]
+//!              [--max-conns N] [--idle-timeout MS] [catalog.txt]
 //!     Start the long-running provenance query service: a TCP daemon
 //!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
-//!     `common-origins`, `sparql`, `ingest`, `status`, `shutdown` — see
-//!     DESIGN.md §10). Queries answer from a published reachability-index
-//!     snapshot, concurrently with live ingestion. `--port 0` (the
-//!     default) binds an ephemeral port; the bound address is printed as
-//!     `listening on …` on stdout. `--workers N` sizes the connection
-//!     thread pool (default 4). `--max-rows N` caps `sparql` result rows
-//!     (default 10000; over-cap queries fail with code `result-limit`).
+//!     `common-origins`, `sparql`, `batch`, `ingest`, `status`,
+//!     `shutdown` — see DESIGN.md §10 and §12). A non-blocking event
+//!     loop owns all sockets and pipelined requests; `--workers N` sizes
+//!     the dispatch pool (default 4). Queries answer from a published
+//!     reachability-index snapshot, concurrently with live ingestion;
+//!     `batch` answers all its sub-requests at one pinned epoch.
+//!     `--port 0` (the default) binds an ephemeral port; the bound
+//!     address is printed as `listening on …` on stdout. `--max-rows N`
+//!     caps `sparql` result rows (default 10000; code `result-limit`),
+//!     `--max-batch N` caps batch sub-requests (default 256; code
+//!     `batch-limit`), `--max-conns N` caps concurrent connections
+//!     (default 1024; code `overloaded`), `--idle-timeout MS` closes
+//!     idle connections (default 300000; 0 disables; code
+//!     `idle-timeout`).
 //! ```
 //!
 //! Catalog files use the Service Catalog text format (see
@@ -602,6 +610,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut port: u16 = 0;
     let mut workers: usize = 4;
     let mut max_rows: usize = weblab::serve::DEFAULT_MAX_ROWS;
+    let mut max_batch: usize = weblab::serve::DEFAULT_MAX_BATCH;
+    let mut max_conns: usize = weblab::serve::DEFAULT_MAX_CONNS;
+    let mut idle_timeout = Some(weblab::serve::DEFAULT_IDLE_TIMEOUT);
     let mut catalog = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -623,6 +634,25 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 max_rows = v
                     .parse()
                     .map_err(|_| format!("--max-rows expects a row count, got {v:?}"))?;
+            }
+            "--max-batch" => {
+                let v = it.next().ok_or("missing value for --max-batch")?;
+                max_batch = v
+                    .parse()
+                    .map_err(|_| format!("--max-batch expects a sub-request count, got {v:?}"))?;
+            }
+            "--max-conns" => {
+                let v = it.next().ok_or("missing value for --max-conns")?;
+                max_conns = v
+                    .parse()
+                    .map_err(|_| format!("--max-conns expects a connection count, got {v:?}"))?;
+            }
+            "--idle-timeout" => {
+                let v = it.next().ok_or("missing value for --idle-timeout")?;
+                let millis: u64 = v.parse().map_err(|_| {
+                    format!("--idle-timeout expects milliseconds (0 disables), got {v:?}")
+                })?;
+                idle_timeout = (millis > 0).then(|| std::time::Duration::from_millis(millis));
             }
             other if catalog.is_none() => catalog = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}").into()),
@@ -654,7 +684,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
     let server = Server::bind(Arc::new(platform), &format!("127.0.0.1:{port}"))
         .map_err(|e| WebLabError::io(format!("binding 127.0.0.1:{port}"), e))?
-        .max_rows(max_rows);
+        .max_rows(max_rows)
+        .max_batch(max_batch)
+        .max_conns(max_conns)
+        .idle_timeout(idle_timeout);
     let addr = server
         .local_addr()
         .map_err(|e| WebLabError::io("reading the bound address", e))?;

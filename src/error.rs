@@ -39,6 +39,30 @@ pub enum WebLabError {
         /// The configured cap (`--max-rows`).
         max: usize,
     },
+    /// A `batch` request carried more sub-requests than the daemon allows.
+    BatchLimit {
+        /// Sub-requests the batch carried.
+        size: usize,
+        /// The configured cap (`--max-batch`).
+        max: usize,
+    },
+    /// The daemon shed this request under overload (admission control).
+    Overloaded {
+        /// Requests already queued or in flight when this one arrived.
+        depth: usize,
+        /// The configured queue-depth cap.
+        cap: usize,
+    },
+    /// A protocol line exceeded the maximum line length.
+    LineLimit {
+        /// The configured cap in bytes (`Server::max_line`).
+        max: usize,
+    },
+    /// The connection sat idle past the read timeout.
+    IdleTimeout {
+        /// The configured timeout, in milliseconds.
+        millis: u64,
+    },
     /// A serve request was malformed (bad JSON, missing field, unknown op).
     Protocol(String),
     /// The command line was malformed.
@@ -69,6 +93,10 @@ impl WebLabError {
             WebLabError::Xml(_) => "xml",
             WebLabError::Io { .. } => "io",
             WebLabError::ResultLimit { .. } => "result-limit",
+            WebLabError::BatchLimit { .. } => "batch-limit",
+            WebLabError::Overloaded { .. } => "overloaded",
+            WebLabError::LineLimit { .. } => "line-limit",
+            WebLabError::IdleTimeout { .. } => "idle-timeout",
             WebLabError::Protocol(_) => "protocol",
             WebLabError::Usage(_) => "usage",
         }
@@ -88,6 +116,23 @@ impl fmt::Display for WebLabError {
                 "sparql result has {rows} rows, over the {max}-row cap; \
                  add a LIMIT or raise --max-rows"
             ),
+            WebLabError::BatchLimit { size, max } => write!(
+                f,
+                "batch carries {size} sub-requests, over the {max}-request cap; \
+                 split the batch or raise --max-batch"
+            ),
+            WebLabError::Overloaded { depth, cap } => write!(
+                f,
+                "request shed: {depth} requests already queued (cap {cap}); retry later"
+            ),
+            WebLabError::LineLimit { max } => write!(
+                f,
+                "request line exceeds the {max}-byte limit"
+            ),
+            WebLabError::IdleTimeout { millis } => write!(
+                f,
+                "connection idle past the {millis} ms read timeout"
+            ),
             WebLabError::Protocol(m) => write!(f, "{m}"),
             WebLabError::Usage(m) => write!(f, "{m}"),
         }
@@ -102,9 +147,13 @@ impl std::error::Error for WebLabError {
             WebLabError::Xml(e) => Some(e),
             WebLabError::Sparql(e) => Some(e),
             WebLabError::Io { source, .. } => Some(source),
-            WebLabError::ResultLimit { .. } | WebLabError::Protocol(_) | WebLabError::Usage(_) => {
-                None
-            }
+            WebLabError::ResultLimit { .. }
+            | WebLabError::BatchLimit { .. }
+            | WebLabError::Overloaded { .. }
+            | WebLabError::LineLimit { .. }
+            | WebLabError::IdleTimeout { .. }
+            | WebLabError::Protocol(_)
+            | WebLabError::Usage(_) => None,
         }
     }
 }
@@ -171,6 +220,19 @@ mod tests {
         assert_eq!(
             WebLabError::ResultLimit { rows: 11, max: 10 }.code(),
             "result-limit"
+        );
+        assert_eq!(
+            WebLabError::BatchLimit { size: 9, max: 8 }.code(),
+            "batch-limit"
+        );
+        assert_eq!(
+            WebLabError::Overloaded { depth: 4, cap: 4 }.code(),
+            "overloaded"
+        );
+        assert_eq!(WebLabError::LineLimit { max: 1024 }.code(), "line-limit");
+        assert_eq!(
+            WebLabError::IdleTimeout { millis: 200 }.code(),
+            "idle-timeout"
         );
         assert_eq!(WebLabError::from("usage").code(), "usage");
         assert_eq!(

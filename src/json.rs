@@ -90,12 +90,15 @@ impl Json {
     }
 
     /// Parse a complete JSON value (surrounding whitespace allowed;
-    /// trailing garbage is an error).
+    /// trailing garbage is an error). Nesting is capped at
+    /// [`MAX_NESTING_DEPTH`]: the parser is recursive, so a hostile input
+    /// of ten thousand `[`s must become a parse error, not a stack
+    /// overflow — a hard requirement for the serve fuzz harness.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         skip_ws(bytes, &mut pos);
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError::at(pos, "trailing characters after value"));
@@ -103,6 +106,11 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting [`Json::parse`] accepts. Protocol values are
+/// shallow (a batch of requests is depth 3); 128 leaves generous headroom
+/// while keeping the recursive parser far from the thread's stack limit.
+pub const MAX_NESTING_DEPTH: usize = 128;
 
 /// A JSON parse failure, with the byte offset it occurred at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,11 +144,14 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_NESTING_DEPTH {
+        return Err(JsonError::at(*pos, "value nested too deeply"));
+    }
     match bytes.get(*pos) {
         None => Err(JsonError::at(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -256,7 +267,7 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, JsonError> {
     Ok(v)
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -266,7 +277,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
     loop {
         skip_ws(bytes, pos);
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -279,7 +290,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // '{'
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -299,7 +310,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -414,6 +425,21 @@ mod tests {
             r#"{"a":1} extra"#, "[1 2]", r#""\q""#, r#""\ud800""#,
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        // within the cap: fine
+        let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&shallow).is_ok());
+        // past the cap: a parse error, even at depths that would blow the
+        // stack without the guard
+        for depth in [MAX_NESTING_DEPTH + 1, 100_000] {
+            let arrays = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+            assert!(Json::parse(&arrays).is_err(), "accepted depth {depth}");
+            let objects = format!("{}1{}", "{\"k\":".repeat(depth), "}".repeat(depth));
+            assert!(Json::parse(&objects).is_err());
         }
     }
 

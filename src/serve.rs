@@ -1,13 +1,19 @@
 //! `weblab serve` — the long-running provenance query service.
 //!
-//! A [`Server`] owns a `TcpListener` and a fixed pool of worker threads
-//! (std only — no async runtime) speaking a **line-delimited JSON**
+//! A [`Server`] owns a `TcpListener` and serves a **line-delimited JSON**
 //! protocol: one request object per line in, one response object per line
-//! out, many requests per connection. The entire dispatch is written
-//! against [`ExecutionHandle`] — the serve layer never touches `Platform`
-//! internals.
+//! out, many requests per connection, requests freely pipelined. The
+//! transport is a single-threaded, std-only **event loop** over
+//! non-blocking sockets (no async runtime, no `libc`): every tick it
+//! accepts ready connections, drains readable sockets into per-connection
+//! read buffers, frames complete lines, and hands admitted requests to a
+//! fixed pool of dispatch workers; completions stream back over a channel
+//! that doubles as the loop's wake-up (a completion-channel-woken
+//! incremental reader — the std-only stand-in for `poll(2)` readiness).
+//! The entire dispatch is written against [`ExecutionHandle`] — the serve
+//! layer never touches `Platform` internals.
 //!
-//! Requests (`op` selects the operation; see DESIGN.md §10):
+//! Requests (`op` selects the operation; see DESIGN.md §10 and §12):
 //!
 //! ```text
 //! {"op":"why","exec":"e","uri":"r8"}
@@ -15,6 +21,7 @@
 //! {"op":"impacted-by","exec":"e","uri":"r3"}
 //! {"op":"common-origins","exec":"e","a":"r8","b":"r6"}
 //! {"op":"sparql","exec":"e","query":"PREFIX prov: <…> SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"}
+//! {"op":"batch","exec":"e","requests":[{"op":"why","uri":"r8"},{"op":"impacted-by","uri":"r3"}]}
 //! {"op":"ingest","exec":"e","xml":"<Resource>…</Resource>","live":true,"pipeline":["Normaliser"]}
 //! {"op":"status"}
 //! {"op":"shutdown"}
@@ -22,27 +29,65 @@
 //!
 //! Responses: `{"ok":true,"epoch":N,"result":…}` on success (`epoch` is
 //! the reachability-index epoch the answer was computed at — present for
-//! query ops), `{"ok":false,"code":"…","error":"…"}` on failure with the
-//! stable [`WebLabError::code`] strings. `sparql` responses are capped at
-//! [`Server::max_rows`] solution rows (default [`DEFAULT_MAX_ROWS`],
-//! `--max-rows` on the CLI); a query over the cap fails with the stable
-//! code `result-limit` instead of serialising an unbounded response.
+//! ops that touched a snapshot), `{"ok":false,"code":"…","error":"…"}` on
+//! failure with the stable [`WebLabError::code`] strings. Any request may
+//! carry an `"id"` member; it is echoed back verbatim as the first member
+//! of the response, so pipelining clients can match responses under
+//! overload. `sparql` responses are capped at [`Server::max_rows`]
+//! solution rows (stable code `result-limit`).
+//!
+//! ## The `batch` op
+//!
+//! `batch` carries up to [`Server::max_batch`] query sub-requests
+//! (`why`/`lineage`/`impacted-by`/`common-origins`/`sparql`) in one
+//! round-trip and answers **all of them against a single pinned epoch
+//! snapshot**: the response is `{"ok":true,"epoch":E,"result":[…]}` where
+//! every element is a full response object — successes byte-identical to
+//! the same sub-request issued on its own at epoch `E`, failures carrying
+//! their own stable code plus the batch's epoch. A batch is never torn
+//! across two epochs, even while live ingestion publishes newer ones
+//! mid-flight.
+//!
+//! ## Admission control and backpressure
+//!
+//! The transport enforces hard bounds with stable error codes:
+//!
+//! * **connection cap** ([`Server::max_conns`]) — excess connections get
+//!   one `overloaded` error line and are closed (`serve.conn.rejected`);
+//! * **queue-depth shedding** ([`Server::queue_depth`]) — a request
+//!   arriving while that many admitted requests are queued or in flight
+//!   is answered `overloaded` immediately, in FIFO position, without
+//!   dispatch (`serve.shed`). Every received request gets exactly one
+//!   response — shed, failed, or answered;
+//! * **line length** ([`Server::max_line`]) — an over-long line is
+//!   answered `line-limit`; a partial line that overflows the buffer
+//!   without a newline gets the same error and the connection is closed
+//!   (framing is lost), so a client streaming garbage can no longer pin
+//!   a worker or grow memory without bound;
+//! * **idle read timeout** ([`Server::idle_timeout`]) — a connection with
+//!   no traffic and no pending work is answered `idle-timeout` and
+//!   closed;
+//! * **write backpressure** — a connection whose client stops reading
+//!   accumulates a bounded write buffer; past the high-water mark the
+//!   loop stops reading from that socket until the client drains.
 //!
 //! Queries answer from the execution's published [`EpochSnapshot`]
 //! (immutable graph + index behind an `Arc` swap), so they run lock-free
-//! and concurrently with live ingestion: a response is consistent with the
-//! graph *as of its epoch* even while later calls keep publishing newer
-//! epochs. The serve counters (`serve.requests`, `serve.errors`,
-//! `serve.request_ns`) land in the same observability registry as the
-//! engine's, so `--metrics-out` reports cover the daemon too.
+//! and concurrently with live ingestion. The serve counters
+//! (`serve.requests`, `serve.errors`, `serve.batch.{requests,subs}`,
+//! `serve.shed`, `serve.conn.{accepted,rejected}`, the
+//! `serve.queue.depth` gauge and the `serve.request_ns` histogram) land
+//! in the same observability registry as the engine's, so
+//! `--metrics-out` reports cover the daemon too.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use weblab_obs::{Counter, Histogram, Span};
+use weblab_obs::{Counter, Gauge, Histogram, Span};
 use weblab_platform::{ExecutionHandle, Platform, ProvQuery, QueryAnswer};
 use weblab_prov::EpochSnapshot;
 use weblab_xml::parse_document;
@@ -50,22 +95,74 @@ use weblab_xml::parse_document;
 use crate::error::WebLabError;
 use crate::json::Json;
 
-/// Requests handled (including failed ones).
+/// Requests dispatched (including failed ones; sheds are not dispatched).
 static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
-/// Requests answered with `ok:false`.
+/// Dispatched requests answered with `ok:false`.
 static SERVE_ERRORS: Counter = Counter::new("serve.errors");
-/// Wall time of one request (parse + dispatch + render), in nanoseconds.
+/// Wall time of one dispatched request (parse + dispatch + render), ns.
 static SERVE_REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
+/// `batch` requests dispatched.
+static SERVE_BATCH_REQUESTS: Counter = Counter::new("serve.batch.requests");
+/// Sub-requests carried by dispatched batches.
+static SERVE_BATCH_SUBS: Counter = Counter::new("serve.batch.subs");
+/// Requests shed by queue-depth admission control.
+static SERVE_SHED: Counter = Counter::new("serve.shed");
+/// Connections accepted into the event loop.
+static SERVE_CONN_ACCEPTED: Counter = Counter::new("serve.conn.accepted");
+/// Connections rejected at the connection cap.
+static SERVE_CONN_REJECTED: Counter = Counter::new("serve.conn.rejected");
+/// Admitted requests currently queued or in flight.
+static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
 
 /// Default cap on `sparql` result rows ([`Server::max_rows`]).
 pub const DEFAULT_MAX_ROWS: usize = 10_000;
+/// Default cap on sub-requests per `batch` ([`Server::max_batch`]).
+pub const DEFAULT_MAX_BATCH: usize = 256;
+/// Default cap on concurrent connections ([`Server::max_conns`]).
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+/// Default cap on one protocol line, in bytes ([`Server::max_line`]).
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+/// Default admission-control queue depth ([`Server::queue_depth`]).
+pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
+/// Default idle read timeout ([`Server::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Stop reading from a connection whose unflushed responses exceed this.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+/// Most bytes drained from one socket per event-loop tick (fairness).
+const READ_QUANTUM: usize = 256 * 1024;
+/// Event-loop wake-up granularity when no completion arrives.
+const TICK: Duration = Duration::from_micros(500);
+/// How long a closing/draining connection may linger unflushed.
+const CLOSE_GRACE: Duration = Duration::from_secs(5);
+
+/// Per-request limits the dispatcher enforces.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestLimits {
+    /// Cap on `sparql` solution rows (stable code `result-limit`).
+    pub max_rows: usize,
+    /// Cap on sub-requests per `batch` (stable code `batch-limit`).
+    pub max_batch: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_rows: DEFAULT_MAX_ROWS,
+            max_batch: DEFAULT_MAX_BATCH,
+        }
+    }
+}
 
 /// The provenance query daemon.
 pub struct Server {
     platform: Arc<Platform>,
     listener: TcpListener,
-    shutdown: Arc<AtomicBool>,
-    max_rows: usize,
+    limits: RequestLimits,
+    max_conns: usize,
+    max_line: usize,
+    queue_depth: usize,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -77,8 +174,11 @@ impl Server {
         Ok(Server {
             platform,
             listener: TcpListener::bind(addr)?,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            max_rows: DEFAULT_MAX_ROWS,
+            limits: RequestLimits::default(),
+            max_conns: DEFAULT_MAX_CONNS,
+            max_line: DEFAULT_MAX_LINE,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         })
     }
 
@@ -87,7 +187,46 @@ impl Server {
     /// `ok:false` with the stable code `result-limit` instead of
     /// serialising an unbounded response.
     pub fn max_rows(mut self, max_rows: usize) -> Server {
-        self.max_rows = max_rows;
+        self.limits.max_rows = max_rows;
+        self
+    }
+
+    /// Cap `batch` requests at `max_batch` sub-requests (`--max-batch`;
+    /// default [`DEFAULT_MAX_BATCH`]; stable code `batch-limit`).
+    pub fn max_batch(mut self, max_batch: usize) -> Server {
+        self.limits.max_batch = max_batch;
+        self
+    }
+
+    /// Cap concurrent connections (`--max-conns`; default
+    /// [`DEFAULT_MAX_CONNS`]). Excess connections receive one
+    /// `overloaded` error line and are closed.
+    pub fn max_conns(mut self, max_conns: usize) -> Server {
+        self.max_conns = max_conns.max(1);
+        self
+    }
+
+    /// Cap one protocol line at `max_line` bytes (default
+    /// [`DEFAULT_MAX_LINE`]; stable code `line-limit`).
+    pub fn max_line(mut self, max_line: usize) -> Server {
+        self.max_line = max_line.max(1);
+        self
+    }
+
+    /// Shed requests arriving while `queue_depth` admitted requests are
+    /// already queued or in flight (default [`DEFAULT_QUEUE_DEPTH`];
+    /// stable code `overloaded`). Shed requests still get exactly one
+    /// response, in FIFO position on their connection.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Server {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Close connections idle past `timeout` with an `idle-timeout` error
+    /// line (`--idle-timeout`; default [`DEFAULT_IDLE_TIMEOUT`]; `None`
+    /// disables the sweep).
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Server {
+        self.idle_timeout = timeout;
         self
     }
 
@@ -97,38 +236,73 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until a `shutdown` request arrives, dispatching connections
-    /// to a pool of `workers` threads. Blocks the calling thread.
+    /// Serve until a `shutdown` request completes, dispatching admitted
+    /// requests to a pool of `workers` threads while a single event loop
+    /// owns all socket I/O. Blocks the calling thread.
     pub fn run(self, workers: usize) -> std::io::Result<()> {
-        let addr = self.listener.local_addr()?;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        self.listener.set_nonblocking(true)?;
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
         let mut pool = Vec::new();
         for _ in 0..workers.max(1) {
-            let rx = Arc::clone(&rx);
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
             let platform = Arc::clone(&self.platform);
-            let shutdown = Arc::clone(&self.shutdown);
-            let max_rows = self.max_rows;
+            let limits = self.limits;
             pool.push(thread::spawn(move || loop {
-                let next = rx.lock().expect("worker queue lock poisoned").recv();
-                let Ok(stream) = next else { break };
-                if serve_connection(&platform, stream, &shutdown, max_rows) {
-                    // shutdown was requested on this connection: the
-                    // acceptor may be blocked in accept(2) — nudge it with
-                    // a throwaway self-connection so it re-checks the flag.
-                    let _ = TcpStream::connect(addr);
+                let next = job_rx.lock().expect("worker queue lock poisoned").recv();
+                let Ok(job) = next else { break };
+                let (response, stop) = handle_line_limits(&platform, &job.line, &limits);
+                let done = Done {
+                    conn: job.conn,
+                    response,
+                    stop,
+                };
+                if done_tx.send(done).is_err() {
+                    break;
                 }
             }));
         }
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
+        drop(done_tx);
+
+        let mut lp = EventLoop {
+            listener: &self.listener,
+            conns: HashMap::new(),
+            next_conn: 0,
+            load: 0,
+            max_conns: self.max_conns,
+            max_line: self.max_line,
+            queue_depth: self.queue_depth,
+            idle_timeout: self.idle_timeout,
+            job_tx,
+            shutdown: false,
+        };
+        loop {
+            let mut active = false;
+            if !lp.shutdown {
+                active |= lp.accept_ready();
+                active |= lp.read_ready();
+            }
+            active |= lp.drain_completions(&done_rx);
+            lp.pump_and_flush();
+            lp.sweep_idle();
+            lp.reap_closed();
+            if lp.shutdown && lp.load == 0 && lp.all_flushed() {
                 break;
             }
-            if let Ok(stream) = stream {
-                let _ = tx.send(stream);
+            if !active {
+                // The completion channel is the loop's wake-up: a worker
+                // finishing wakes it immediately; otherwise it re-scans
+                // the sockets every TICK.
+                match done_rx.recv_timeout(TICK) {
+                    Ok(done) => lp.complete(done),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
             }
         }
-        drop(tx);
+        drop(lp);
         for worker in pool {
             let _ = worker.join();
         }
@@ -136,74 +310,411 @@ impl Server {
     }
 }
 
-/// Serve one connection to completion; returns whether this connection
-/// requested shutdown.
-fn serve_connection(
-    platform: &Platform,
+/// One admitted request travelling to the dispatch workers.
+struct Job {
+    conn: u64,
+    line: String,
+}
+
+/// One finished dispatch travelling back to the event loop.
+struct Done {
+    conn: u64,
+    response: String,
+    stop: bool,
+}
+
+/// An entry in a connection's FIFO of unanswered protocol lines.
+enum Pending {
+    /// An admitted request line waiting for its dispatch turn.
+    Line(String),
+    /// A response produced without dispatch (shed, line-limit, bad
+    /// UTF-8), held in arrival position so per-connection FIFO order is
+    /// preserved.
+    Resolved(String),
+}
+
+/// Per-connection state of the event loop.
+struct Conn {
     stream: TcpStream,
-    shutdown: &AtomicBool,
-    max_rows: usize,
-) -> bool {
-    let Ok(mut writer) = stream.try_clone() else {
-        return false;
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop) = handle_line_with(platform, &line, max_rows);
-        let written = writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
-        if written.is_err() {
-            break;
-        }
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            return true;
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    flushed: usize,
+    pending: VecDeque<Pending>,
+    in_flight: bool,
+    last_activity: Instant,
+    /// Peer closed its side (or the socket errored): read no more.
+    eof: bool,
+    /// Close once the write buffer drains (or the grace period lapses).
+    close_by: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            flushed: 0,
+            pending: VecDeque::new(),
+            in_flight: false,
+            last_activity: Instant::now(),
+            eof: false,
+            close_by: None,
         }
     }
-    false
+
+    fn unflushed(&self) -> usize {
+        self.write_buf.len() - self.flushed
+    }
+
+    fn push_response(&mut self, response: &str) {
+        self.write_buf.extend_from_slice(response.as_bytes());
+        self.write_buf.push(b'\n');
+    }
 }
 
-/// Handle one protocol line with the default `sparql` row cap
-/// ([`DEFAULT_MAX_ROWS`]). Public so tests (and embedders) can drive the
-/// protocol in-process, bypassing TCP framing.
+/// The single-threaded owner of every socket.
+struct EventLoop<'l> {
+    listener: &'l TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Admitted requests queued or in flight (mirrors `serve.queue.depth`).
+    load: usize,
+    max_conns: usize,
+    max_line: usize,
+    queue_depth: usize,
+    idle_timeout: Option<Duration>,
+    job_tx: mpsc::Sender<Job>,
+    shutdown: bool,
+}
+
+impl EventLoop<'_> {
+    /// Accept every ready connection; returns whether any arrived.
+    fn accept_ready(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    any = true;
+                    if self.conns.len() >= self.max_conns {
+                        SERVE_CONN_REJECTED.inc();
+                        reject_connection(stream, self.conns.len(), self.max_conns);
+                    } else if stream.set_nonblocking(true).is_ok() {
+                        // responses are single short lines: Nagle would
+                        // add ~40ms of delayed-ACK latency per round trip
+                        let _ = stream.set_nodelay(true);
+                        SERVE_CONN_ACCEPTED.inc();
+                        self.conns.insert(self.next_conn, Conn::new(stream));
+                        self.next_conn += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock or transient: retry next tick
+            }
+        }
+        any
+    }
+
+    /// Drain every readable socket into its buffer and frame complete
+    /// lines; returns whether any bytes arrived.
+    fn read_ready(&mut self) -> bool {
+        let mut any = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let conn = self.conns.get_mut(&id).expect("conn ids are stable");
+            if conn.eof || conn.close_by.is_some() || conn.unflushed() > WRITE_HIGH_WATER {
+                continue; // closing or backpressured: stop reading
+            }
+            any |= read_some(conn);
+            self.frame_lines(id);
+        }
+        any
+    }
+
+    /// Split `read_buf` into complete lines and admit/shed/reject each.
+    fn frame_lines(&mut self, id: u64) {
+        loop {
+            let conn = self.conns.get_mut(&id).expect("conn ids are stable");
+            let Some(nl) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+                // no newline yet: a partial line may not overflow the cap
+                if conn.read_buf.len() > self.max_line {
+                    let e = WebLabError::LineLimit { max: self.max_line };
+                    let resp = error_response(&e, None, None);
+                    conn.pending.push_back(Pending::Resolved(resp));
+                    conn.read_buf.clear();
+                    // framing is lost mid-line: the connection must close
+                    conn.close_by = Some(Instant::now() + CLOSE_GRACE);
+                }
+                return;
+            };
+            let mut line: Vec<u8> = conn.read_buf.drain(..=nl).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.iter().all(|b| b.is_ascii_whitespace()) {
+                continue; // blank keep-alive line: no response
+            }
+            if line.len() > self.max_line {
+                let e = WebLabError::LineLimit { max: self.max_line };
+                let resp = error_response(&e, None, None);
+                conn.pending.push_back(Pending::Resolved(resp));
+                continue; // framing intact: the connection survives
+            }
+            let Ok(text) = String::from_utf8(line) else {
+                let e = WebLabError::Protocol("request line is not valid UTF-8".into());
+                let resp = error_response(&e, None, None);
+                conn.pending.push_back(Pending::Resolved(resp));
+                continue;
+            };
+            if self.load >= self.queue_depth {
+                // admission control: answer now, never dispatch — but in
+                // FIFO position, and echoing the client's id if present
+                SERVE_SHED.inc();
+                let e = WebLabError::Overloaded {
+                    depth: self.load,
+                    cap: self.queue_depth,
+                };
+                let id_val = Json::parse(&text).ok().and_then(|r| r.get("id").cloned());
+                let resp = error_response(&e, id_val.as_ref(), None);
+                conn.pending.push_back(Pending::Resolved(resp));
+                continue;
+            }
+            self.load += 1;
+            SERVE_QUEUE_DEPTH.inc();
+            conn.pending.push_back(Pending::Line(text));
+        }
+    }
+
+    /// Pull finished dispatches off the completion channel.
+    fn drain_completions(&mut self, done_rx: &mpsc::Receiver<Done>) -> bool {
+        let mut any = false;
+        while let Ok(done) = done_rx.try_recv() {
+            any = true;
+            self.complete(done);
+        }
+        any
+    }
+
+    fn complete(&mut self, done: Done) {
+        // every dispatched job completes exactly once: the load ticket is
+        // released here even if the connection died mid-flight
+        self.load -= 1;
+        SERVE_QUEUE_DEPTH.dec();
+        if done.stop {
+            self.shutdown = true;
+        }
+        if let Some(conn) = self.conns.get_mut(&done.conn) {
+            conn.in_flight = false;
+            conn.push_response(&done.response);
+        }
+    }
+
+    /// Move ready responses into write buffers, dispatch next requests
+    /// (serially per connection), and flush what the sockets accept.
+    fn pump_and_flush(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let conn = self.conns.get_mut(&id).expect("conn ids are stable");
+            while !conn.in_flight {
+                match conn.pending.pop_front() {
+                    Some(Pending::Resolved(resp)) => conn.push_response(&resp),
+                    Some(Pending::Line(line)) => {
+                        conn.in_flight = true;
+                        if self.job_tx.send(Job { conn: id, line }).is_err() {
+                            // workers are gone (shutdown drain): shed late
+                            conn.in_flight = false;
+                            self.load -= 1;
+                            SERVE_QUEUE_DEPTH.dec();
+                            let e = WebLabError::Overloaded {
+                                depth: self.load,
+                                cap: self.queue_depth,
+                            };
+                            conn.push_response(&error_response(&e, None, None));
+                        }
+                    }
+                    None => break,
+                }
+            }
+            flush_some(conn);
+        }
+    }
+
+    /// Time out connections with no traffic and no pending work.
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        for conn in self.conns.values_mut() {
+            if conn.close_by.is_none()
+                && !conn.in_flight
+                && conn.pending.is_empty()
+                && now.duration_since(conn.last_activity) >= timeout
+            {
+                let millis = timeout.as_millis().min(u128::from(u64::MAX)) as u64;
+                let e = WebLabError::IdleTimeout { millis };
+                conn.push_response(&error_response(&e, None, None));
+                flush_some(conn);
+                conn.close_by = Some(now + CLOSE_GRACE);
+            }
+        }
+    }
+
+    /// Drop connections that finished closing (or lapsed their grace).
+    fn reap_closed(&mut self) {
+        let now = Instant::now();
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                let drained = c.pending.is_empty() && !c.in_flight && c.unflushed() == 0;
+                let graceful = c.close_by.is_some_and(|by| drained || now >= by);
+                let hung_up = c.eof && (drained || c.write_errored());
+                graceful || hung_up
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            let conn = self.conns.remove(&id).expect("conn ids are stable");
+            // release tickets for admitted lines that will never dispatch
+            // (the in-flight ticket, if any, is released on completion)
+            let queued = conn
+                .pending
+                .iter()
+                .filter(|p| matches!(p, Pending::Line(_)))
+                .count();
+            self.load -= queued;
+            SERVE_QUEUE_DEPTH.add(-(queued as i64));
+        }
+    }
+
+    fn all_flushed(&self) -> bool {
+        self.conns.values().all(|c| c.unflushed() == 0)
+    }
+}
+
+impl Conn {
+    /// After `eof`, writes can no longer reach the peer once the socket
+    /// errors; `flush_some` marks that by clearing the buffer.
+    fn write_errored(&self) -> bool {
+        self.unflushed() == 0
+    }
+}
+
+/// Best-effort `overloaded` notice for a connection over the cap. The
+/// freshly accepted socket is still blocking, the payload is one short
+/// line, and the peer's receive window is empty, so this cannot stall the
+/// event loop in practice.
+fn reject_connection(mut stream: TcpStream, depth: usize, cap: usize) {
+    let e = WebLabError::Overloaded { depth, cap };
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(error_response(&e, None, None).as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Drain up to [`READ_QUANTUM`] ready bytes; returns whether any arrived.
+fn read_some(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut total = 0usize;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+                total += n;
+                if total >= READ_QUANTUM {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.eof = true;
+                break;
+            }
+        }
+    }
+    total > 0
+}
+
+/// Write as much buffered response data as the socket accepts.
+fn flush_some(conn: &mut Conn) {
+    while conn.flushed < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.flushed..]) {
+            Ok(0) => {
+                conn.eof = true;
+                conn.write_buf.clear();
+                conn.flushed = 0;
+                return;
+            }
+            Ok(n) => {
+                conn.flushed += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // peer is gone: responses are undeliverable
+                conn.eof = true;
+                conn.write_buf.clear();
+                conn.flushed = 0;
+                return;
+            }
+        }
+    }
+    if conn.flushed == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.flushed = 0;
+    } else if conn.flushed > 64 * 1024 {
+        conn.write_buf.drain(..conn.flushed);
+        conn.flushed = 0;
+    }
+}
+
+/// Handle one protocol line with the default limits. Public so tests
+/// (and embedders) can drive the protocol in-process, bypassing TCP
+/// framing.
 pub fn handle_line(platform: &Platform, line: &str) -> (String, bool) {
-    handle_line_with(platform, line, DEFAULT_MAX_ROWS)
+    handle_line_limits(platform, line, &RequestLimits::default())
 }
 
-/// [`handle_line`] with an explicit `sparql` row cap — what the worker
-/// threads of a [`Server`] configured via [`Server::max_rows`] call.
+/// [`handle_line`] with an explicit `sparql` row cap (other limits at
+/// their defaults).
 pub fn handle_line_with(platform: &Platform, line: &str, max_rows: usize) -> (String, bool) {
+    let limits = RequestLimits {
+        max_rows,
+        ..RequestLimits::default()
+    };
+    handle_line_limits(platform, line, &limits)
+}
+
+/// [`handle_line`] with explicit [`RequestLimits`] — what the dispatch
+/// workers of a [`Server`] call.
+pub fn handle_line_limits(
+    platform: &Platform,
+    line: &str,
+    limits: &RequestLimits,
+) -> (String, bool) {
     SERVE_REQUESTS.inc();
     let span = Span::start(&SERVE_REQUEST_NS);
-    let outcome = dispatch(platform, line, max_rows);
+    let parsed = Json::parse(line).map_err(|e| WebLabError::Protocol(e.to_string()));
+    let id = parsed.as_ref().ok().and_then(|r| r.get("id").cloned());
+    let outcome = parsed.and_then(|request| dispatch(platform, &request, limits));
     drop(span);
     match outcome {
-        Ok(Dispatched {
-            epoch,
-            result,
-            shutdown,
-        }) => {
-            let mut pairs = vec![("ok", Json::Bool(true))];
-            if let Some(e) = epoch {
-                pairs.push(("epoch", Json::num(e)));
-            }
-            pairs.push(("result", result));
-            (Json::obj(pairs).to_string(), shutdown)
-        }
+        Ok(d) => (
+            success_json(d.epoch, d.result, id.as_ref()).to_string(),
+            d.shutdown,
+        ),
         Err(e) => {
             SERVE_ERRORS.inc();
-            let body = Json::obj(vec![
-                ("ok", Json::Bool(false)),
-                ("code", Json::str(e.code())),
-                ("error", Json::str(e.to_string())),
-            ]);
-            (body.to_string(), false)
+            (error_response(&e, id.as_ref(), None), false)
         }
     }
 }
@@ -214,31 +725,28 @@ struct Dispatched {
     shutdown: bool,
 }
 
-fn dispatch(platform: &Platform, line: &str, max_rows: usize) -> Result<Dispatched, WebLabError> {
-    let request = Json::parse(line).map_err(|e| WebLabError::Protocol(e.to_string()))?;
-    let op = str_field(&request, "op")?;
+fn dispatch(
+    platform: &Platform,
+    request: &Json,
+    limits: &RequestLimits,
+) -> Result<Dispatched, WebLabError> {
+    let op = str_field(request, "op")?;
     match op {
         "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" => {
-            let exec = platform.execution(str_field(&request, "exec")?);
-            let query = parse_query(op, &request)?;
+            let exec = platform.execution(str_field(request, "exec")?);
+            let query = parse_query(op, request)?;
             let (epoch, answer) = exec.query_at(&query)?;
-            if let QueryAnswer::Solutions(solutions) = &answer {
-                if solutions.len() > max_rows {
-                    return Err(WebLabError::ResultLimit {
-                        rows: solutions.len(),
-                        max: max_rows,
-                    });
-                }
-            }
+            check_row_cap(&answer, limits)?;
             Ok(Dispatched {
                 epoch: Some(epoch),
                 result: render_answer(&answer),
                 shutdown: false,
             })
         }
+        "batch" => dispatch_batch(platform, request, limits),
         "ingest" => {
-            let exec = platform.execution(str_field(&request, "exec")?);
-            let doc = parse_document(str_field(&request, "xml")?)?;
+            let exec = platform.execution(str_field(request, "exec")?);
+            let doc = parse_document(str_field(request, "xml")?)?;
             exec.ingest(doc);
             if request.get("live").and_then(Json::as_bool).unwrap_or(false) {
                 exec.enable_live();
@@ -287,6 +795,88 @@ fn dispatch(platform: &Platform, line: &str, max_rows: usize) -> Result<Dispatch
     }
 }
 
+/// Dispatch a `batch` request: pin **one** snapshot and answer every
+/// sub-request on it, so the whole batch shares one atomic epoch.
+fn dispatch_batch(
+    platform: &Platform,
+    request: &Json,
+    limits: &RequestLimits,
+) -> Result<Dispatched, WebLabError> {
+    let subs = request
+        .get("requests")
+        .and_then(Json::as_array)
+        .ok_or_else(|| {
+            WebLabError::Protocol("batch requires an array field \"requests\"".into())
+        })?;
+    if subs.len() > limits.max_batch {
+        return Err(WebLabError::BatchLimit {
+            size: subs.len(),
+            max: limits.max_batch,
+        });
+    }
+    let exec_id = str_field(request, "exec")?;
+    let exec = platform.execution(exec_id);
+    let snap = exec.snapshot()?;
+    SERVE_BATCH_REQUESTS.inc();
+    SERVE_BATCH_SUBS.add(subs.len() as u64);
+    let results: Vec<Json> = subs
+        .iter()
+        .map(|sub| {
+            let id = sub.get("id");
+            match batch_sub(&exec, &snap, sub, exec_id, limits) {
+                Ok(result) => success_json(Some(snap.epoch), result, id),
+                Err(e) => error_json(&e, id, Some(snap.epoch)),
+            }
+        })
+        .collect();
+    Ok(Dispatched {
+        epoch: Some(snap.epoch),
+        result: Json::Arr(results),
+        shutdown: false,
+    })
+}
+
+/// Answer one batch sub-request on the batch's pinned snapshot.
+fn batch_sub(
+    exec: &ExecutionHandle<'_>,
+    snap: &Arc<EpochSnapshot>,
+    sub: &Json,
+    batch_exec: &str,
+    limits: &RequestLimits,
+) -> Result<Json, WebLabError> {
+    let op = str_field(sub, "op")?;
+    match op {
+        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" => {
+            if let Some(sub_exec) = sub.get("exec").and_then(Json::as_str) {
+                if sub_exec != batch_exec {
+                    return Err(WebLabError::Protocol(format!(
+                        "sub-request exec {sub_exec:?} differs from the batch's {batch_exec:?}"
+                    )));
+                }
+            }
+            let query = parse_query(op, sub)?;
+            let answer = exec.query_on(snap, &query)?;
+            check_row_cap(&answer, limits)?;
+            Ok(render_answer(&answer))
+        }
+        other => Err(WebLabError::Protocol(format!(
+            "op {other:?} is not batchable (only query ops)"
+        ))),
+    }
+}
+
+fn check_row_cap(answer: &QueryAnswer, limits: &RequestLimits) -> Result<(), WebLabError> {
+    if let QueryAnswer::Solutions(solutions) = answer {
+        if solutions.len() > limits.max_rows {
+            return Err(WebLabError::ResultLimit {
+                rows: solutions.len(),
+                max: limits.max_rows,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Build the [`ProvQuery`] for a query op from its request fields.
 fn parse_query(op: &str, request: &Json) -> Result<ProvQuery, WebLabError> {
     Ok(match op {
@@ -314,6 +904,43 @@ fn parse_query(op: &str, request: &Json) -> Result<ProvQuery, WebLabError> {
         },
         other => return Err(WebLabError::Protocol(format!("unknown op {other:?}"))),
     })
+}
+
+/// A success response object: `{"id"?,…,"ok":true,"epoch"?,…,"result":…}`.
+/// The `id` member, when the request carried one, always renders first.
+fn success_json(epoch: Option<u64>, result: Json, id: Option<&Json>) -> Json {
+    let mut pairs = Vec::with_capacity(4);
+    if let Some(id) = id {
+        pairs.push(("id", id.clone()));
+    }
+    pairs.push(("ok", Json::Bool(true)));
+    if let Some(e) = epoch {
+        pairs.push(("epoch", Json::num(e)));
+    }
+    pairs.push(("result", result));
+    Json::obj(pairs)
+}
+
+/// An error response object carrying the stable code (and, for batch
+/// sub-requests, the epoch the batch was answered at).
+fn error_json(e: &WebLabError, id: Option<&Json>, epoch: Option<u64>) -> Json {
+    let mut pairs = Vec::with_capacity(5);
+    if let Some(id) = id {
+        pairs.push(("id", id.clone()));
+    }
+    pairs.push(("ok", Json::Bool(false)));
+    if let Some(ep) = epoch {
+        pairs.push(("epoch", Json::num(ep)));
+    }
+    pairs.push(("code", Json::str(e.code())));
+    pairs.push(("error", Json::str(e.to_string())));
+    Json::obj(pairs)
+}
+
+/// [`error_json`] rendered to wire bytes — what the event loop emits for
+/// transport-layer failures (sheds, line limits, idle timeouts).
+fn error_response(e: &WebLabError, id: Option<&Json>, epoch: Option<u64>) -> String {
+    error_json(e, id, epoch).to_string()
 }
 
 /// Render a [`QueryAnswer`] as protocol JSON. Deterministic: the same
@@ -373,15 +1000,11 @@ pub fn render_answer(answer: &QueryAnswer) -> Json {
 }
 
 /// Render the full success response for an answer at an epoch — exactly
-/// the bytes [`handle_line`] writes, exposed so differential tests can
-/// compare a served response to a locally computed one byte-for-byte.
+/// the bytes [`handle_line`] writes (and the bytes of one batch
+/// sub-response), exposed so differential tests can compare a served
+/// response to a locally computed one byte-for-byte.
 pub fn render_response(epoch: u64, answer: &QueryAnswer) -> String {
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("epoch", Json::num(epoch)),
-        ("result", render_answer(answer)),
-    ])
-    .to_string()
+    success_json(Some(epoch), render_answer(answer), None).to_string()
 }
 
 /// The batch reference answer for a query on a snapshot's graph, rendered
@@ -412,11 +1035,4 @@ fn string_array(value: &Json, key: &str) -> Result<Vec<String>, WebLabError> {
                 .ok_or_else(|| WebLabError::Protocol(format!("field {key:?} must hold strings")))
         })
         .collect()
-}
-
-// Keep the doc link alive: ExecutionHandle is the only platform surface
-// this module dispatches through.
-#[allow(unused)]
-fn _assert_handle_only(h: &ExecutionHandle<'_>) {
-    let _ = h;
 }

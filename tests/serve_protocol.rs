@@ -75,26 +75,47 @@ fn connect(addr: &std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
     (stream, reader)
 }
 
+/// The operand fields of a [`ProvQuery`] as request members.
+fn query_fields(q: &ProvQuery) -> Vec<(&'static str, Json)> {
+    match q {
+        ProvQuery::Why { uri } | ProvQuery::ImpactedBy { uri } => {
+            vec![("uri", Json::str(uri.as_str()))]
+        }
+        ProvQuery::Lineage { uri, depth } => vec![
+            ("uri", Json::str(uri.as_str())),
+            ("depth", Json::num(*depth as u64)),
+        ],
+        ProvQuery::CommonOrigins { a, b } => vec![
+            ("a", Json::str(a.as_str())),
+            ("b", Json::str(b.as_str())),
+        ],
+        ProvQuery::Sparql { query } => vec![("query", Json::str(query.as_str()))],
+    }
+}
+
 /// The wire request for a [`ProvQuery`] against `exec`.
 fn query_request(exec: &str, q: &ProvQuery) -> String {
     let mut pairs = vec![("op", Json::str(q.op())), ("exec", Json::str(exec))];
-    match q {
-        ProvQuery::Why { uri } | ProvQuery::ImpactedBy { uri } => {
-            pairs.push(("uri", Json::str(uri.as_str())));
-        }
-        ProvQuery::Lineage { uri, depth } => {
-            pairs.push(("uri", Json::str(uri.as_str())));
-            pairs.push(("depth", Json::num(*depth as u64)));
-        }
-        ProvQuery::CommonOrigins { a, b } => {
-            pairs.push(("a", Json::str(a.as_str())));
-            pairs.push(("b", Json::str(b.as_str())));
-        }
-        ProvQuery::Sparql { query } => {
-            pairs.push(("query", Json::str(query.as_str())));
-        }
-    }
+    pairs.extend(query_fields(q));
     request(pairs)
+}
+
+/// A `batch` request carrying every query as a sub-request (sub-requests
+/// inherit the batch's `exec`).
+fn batch_request(exec: &str, queries: &[ProvQuery]) -> String {
+    let subs: Vec<Json> = queries
+        .iter()
+        .map(|q| {
+            let mut pairs = vec![("op", Json::str(q.op()))];
+            pairs.extend(query_fields(q));
+            Json::obj(pairs)
+        })
+        .collect();
+    request(vec![
+        ("op", Json::str("batch")),
+        ("exec", Json::str(exec)),
+        ("requests", Json::Arr(subs)),
+    ])
 }
 
 /// Queries covering every op, targeting URIs that exist in the graph.
@@ -226,6 +247,193 @@ fn served_answers_match_batch_at_the_same_epoch_while_ingesting() {
         drop(stream);
         server_thread.join().unwrap().unwrap();
     }
+}
+
+/// The differential test for the `batch` op: under live ingestion, every
+/// batch must answer all its sub-requests at **one** epoch (no torn
+/// batch), and each sub-response must be byte-identical to the same
+/// sub-request issued serially at that pinned epoch — at 2 and 4 workers.
+#[test]
+fn batch_answers_share_one_epoch_and_match_serial_responses() {
+    for workers in [2usize, 4] {
+        let platform = serve_platform();
+        let exec_id = "batch-exec";
+        {
+            let exec = platform.execution(exec_id);
+            exec.ingest(generate_corpus(7, 3, 8));
+            exec.enable_live();
+            exec.execute(&["Normaliser"]).unwrap();
+        }
+        let uris: Vec<String> = {
+            let snap = platform.execution(exec_id).snapshot().unwrap();
+            snap.graph
+                .sources
+                .iter()
+                .map(|s| s.uri.clone())
+                .take(4)
+                .collect()
+        };
+        let queries = query_mix(&uris);
+
+        let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let server_thread = thread::spawn(move || server.run(workers));
+
+        let live_matches = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let ingest_platform = Arc::clone(&platform);
+        let ingester = thread::spawn({
+            let live_matches = Arc::clone(&live_matches);
+            move || {
+                let exec = ingest_platform.execution(exec_id);
+                for round in 0..100 {
+                    exec.execute(&PIPELINE).unwrap();
+                    if round >= 2 && live_matches.load(std::sync::atomic::Ordering::Relaxed) > 0
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+
+        let (mut stream, mut reader) = connect(&addr);
+        while !ingester.is_finished() {
+            let exec = platform.execution(exec_id);
+            let before = exec.snapshot().unwrap();
+            let response = roundtrip(&mut stream, &mut reader, &batch_request(exec_id, &queries));
+            let after = exec.snapshot().unwrap();
+            let parsed = Json::parse(&response).unwrap();
+            assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+            let epoch = parsed.get("epoch").and_then(Json::as_u64).unwrap();
+            let subs = parsed
+                .get("result")
+                .and_then(Json::as_array)
+                .expect("batch result must be an array");
+            assert_eq!(subs.len(), queries.len());
+            // the whole batch shares one atomic epoch — never torn across
+            // a concurrent publish
+            for sub in subs {
+                assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true));
+                assert_eq!(
+                    sub.get("epoch").and_then(Json::as_u64),
+                    Some(epoch),
+                    "torn batch: sub answered at a different epoch ({workers} workers)"
+                );
+            }
+            // epoch-bracketing: when the batch's epoch matches a snapshot
+            // we hold, every sub must be byte-identical to the serial
+            // answer computed on that snapshot
+            let snap = if epoch == before.epoch {
+                Some(before)
+            } else if epoch == after.epoch {
+                Some(after)
+            } else {
+                None
+            };
+            if let Some(snap) = snap {
+                for (sub, q) in subs.iter().zip(&queries) {
+                    assert_eq!(
+                        sub.to_string(),
+                        reference_response(&snap, q).unwrap(),
+                        "batch {} sub diverged from serial at epoch {epoch} \
+                         ({workers} workers)",
+                        q.op(),
+                    );
+                }
+                live_matches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        ingester.join().unwrap();
+
+        // quiescent: issue the batch, then the same sub-requests serially
+        // over the same connection — the wire bytes must match exactly
+        let response = roundtrip(&mut stream, &mut reader, &batch_request(exec_id, &queries));
+        let parsed = Json::parse(&response).unwrap();
+        let subs = parsed.get("result").and_then(Json::as_array).unwrap();
+        for (sub, q) in subs.iter().zip(&queries) {
+            let serial = roundtrip(&mut stream, &mut reader, &query_request(exec_id, q));
+            assert_eq!(
+                sub.to_string(),
+                serial,
+                "quiescent batch {} sub != serial response ({workers} workers)",
+                q.op(),
+            );
+        }
+        assert!(
+            live_matches.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "expected at least one live-bracketed batch comparison"
+        );
+
+        // sub-request errors carry their own stable code plus the batch's
+        // epoch; a mismatched sub exec is rejected without touching it
+        let bad = request(vec![
+            ("op", Json::str("batch")),
+            ("exec", Json::str(exec_id)),
+            (
+                "requests",
+                Json::Arr(vec![
+                    Json::obj(vec![("op", Json::str("why")), ("uri", Json::str(&uris[0]))]),
+                    Json::obj(vec![("op", Json::str("why"))]), // missing uri
+                    Json::obj(vec![
+                        ("op", Json::str("why")),
+                        ("exec", Json::str("someone-else")),
+                        ("uri", Json::str(&uris[0])),
+                    ]),
+                    Json::obj(vec![("op", Json::str("shutdown"))]), // not batchable
+                ]),
+            ),
+        ]);
+        let parsed = Json::parse(&roundtrip(&mut stream, &mut reader, &bad)).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        let epoch = parsed.get("epoch").and_then(Json::as_u64).unwrap();
+        let subs = parsed.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(subs[0].get("ok").and_then(Json::as_bool), Some(true));
+        for failing in &subs[1..] {
+            assert_eq!(failing.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(
+                failing.get("code").and_then(Json::as_str),
+                Some("protocol")
+            );
+            assert_eq!(failing.get("epoch").and_then(Json::as_u64), Some(epoch));
+        }
+
+        // an oversized batch fails whole with the stable batch-limit code
+        let subs: Vec<Json> = (0..weblab::serve::DEFAULT_MAX_BATCH + 1)
+            .map(|_| Json::obj(vec![("op", Json::str("why")), ("uri", Json::str(&uris[0]))]))
+            .collect();
+        let oversized = request(vec![
+            ("op", Json::str("batch")),
+            ("exec", Json::str(exec_id)),
+            ("requests", Json::Arr(subs)),
+        ]);
+        let parsed = Json::parse(&roundtrip(&mut stream, &mut reader, &oversized)).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some("batch-limit")
+        );
+
+        let bye = roundtrip(&mut stream, &mut reader, &request(vec![("op", Json::str("shutdown"))]));
+        assert!(bye.contains("\"stopping\":true"));
+        drop(stream);
+        server_thread.join().unwrap().unwrap();
+    }
+}
+
+/// Any request may carry an `id`; it comes back verbatim as the first
+/// member of the response — success or error.
+#[test]
+fn request_ids_echo_back_first() {
+    let platform = serve_platform();
+    let (response, _) = handle_line(&platform, "{\"id\":42,\"op\":\"status\"}");
+    assert!(
+        response.starts_with("{\"id\":42,\"ok\":true,"),
+        "id must lead the success response: {response}"
+    );
+    let (response, _) = handle_line(&platform, "{\"id\":\"q-1\",\"op\":\"transmogrify\"}");
+    assert!(
+        response.starts_with("{\"id\":\"q-1\",\"ok\":false,"),
+        "id must lead the error response: {response}"
+    );
 }
 
 #[test]
