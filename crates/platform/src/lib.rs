@@ -48,6 +48,7 @@ mod platform;
 pub mod query;
 mod recorder;
 mod repository;
+pub mod store;
 mod trace_store;
 
 pub use catalog::{CatalogError, ServiceCatalog, ServiceEntry};
@@ -56,4 +57,5 @@ pub use platform::{ExecutionHandle, Platform, PlatformError, SpecStep, WorkflowS
 pub use query::{ProvQuery, QueryAnswer};
 pub use recorder::{merge_exchange, Recorder, RecorderError};
 pub use repository::ResourceRepository;
+pub use store::{ProvStore, StoredExecution};
 pub use trace_store::TraceStore;

@@ -13,6 +13,23 @@
 //! #       service    time  in     out  chan produced uris
 //! ```
 //!
+//! ## Id escaping
+//!
+//! Execution ids become file names through an *injective* percent-style
+//! escape: ASCII letters, digits, `-` and `_` pass through, every other
+//! byte (including `%` itself, `/`, `.`, and non-ASCII bytes) becomes
+//! `%XX` with an uppercase hex code. `exec/1` maps to `exec%2F1` while
+//! `exec_1` stays `exec_1`, so distinct ids can never collide onto the
+//! same file (the old scheme flattened both to `exec_1` and let one
+//! execution silently overwrite another). The mapping is reversible via
+//! `unsanitise`, which lets directory scans recover the original ids.
+//!
+//! The same escape protects the *fields* of the line formats: service
+//! names, channels, and URIs are stored with `%`, `|`, `,`, whitespace
+//! control characters, and leading/trailing blanks percent-escaped, so a
+//! hostile service name like `A | B` or a URI containing `,` round-trips
+//! instead of splitting the line into extra fields on reload.
+//!
 //! State marks serialise as `nodes,resources` counter pairs. A caveat
 //! applies after reload: XML serialisation is pre-order, so the reloaded
 //! arena's node ids follow document order, which can differ from the
@@ -113,6 +130,52 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// Escape a line-format field so it can never be confused with the
+/// format's structure: `%` (the escape introducer), `|` (the field
+/// separator), `,` (the produced-URI separator), line breaks and tabs are
+/// always escaped as `%XX`; leading and trailing spaces are escaped too
+/// because the parser trims fields. Everything else passes through, so
+/// ordinary names serialise exactly as before.
+pub(crate) fn escape_field(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len());
+    for (i, &b) in bytes.iter().enumerate() {
+        let boundary_space = b == b' ' && (i == 0 || i == bytes.len() - 1);
+        if matches!(b, b'%' | b'|' | b',' | b'\n' | b'\r' | b'\t') || boundary_space {
+            out.extend_from_slice(format!("%{b:02X}").as_bytes());
+        } else {
+            // Multi-byte UTF-8 sequences contain no ASCII specials, so
+            // copying byte-by-byte preserves them intact.
+            out.push(b);
+        }
+    }
+    String::from_utf8(out).expect("escaping preserves UTF-8 validity")
+}
+
+/// Reverse [`escape_field`]. Fields written before the escape existed
+/// contain no `%`, so they decode unchanged. A stray `%` not followed by
+/// two hex digits is a format error.
+pub(crate) fn unescape_field(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| format!("malformed %XX escape in field {s:?}"))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escaped field {s:?} is not valid UTF-8"))
+}
+
 fn mark_to_string(m: StateMark) -> String {
     format!("{},{}", m.node_count(), m.resource_count())
 }
@@ -135,18 +198,18 @@ fn mark_from_str(s: &str, line: usize) -> Result<StateMark, PersistError> {
 pub fn trace_to_text(doc: &Document, trace: &ExecutionTrace) -> String {
     let mut out = String::new();
     for c in &trace.calls {
-        let uris: Vec<&str> = c
+        let uris: Vec<String> = c
             .produced
             .iter()
-            .filter_map(|&n| doc.resource(n).map(|m| m.uri.as_str()))
+            .filter_map(|&n| doc.resource(n).map(|m| escape_field(&m.uri)))
             .collect();
         out.push_str(&format!(
             "call: {} | {} | {} | {} | {} | {}\n",
-            c.service,
+            escape_field(&c.service),
             c.time,
             mark_to_string(c.input),
             mark_to_string(c.output),
-            c.channel,
+            escape_field(&c.channel),
             uris.join(",")
         ));
     }
@@ -178,26 +241,30 @@ pub fn trace_from_text(doc: &Document, text: &str) -> Result<ExecutionTrace, Per
             line,
             message: format!("invalid time {:?}", parts[1]),
         })?;
+        let unescape = |f: &str| {
+            unescape_field(f).map_err(|message| PersistError::Trace { line, message })
+        };
         let produced = if parts[5].is_empty() {
             Vec::new()
         } else {
             parts[5]
                 .split(',')
                 .map(|u| {
-                    doc.node_by_uri(u.trim()).ok_or(PersistError::Trace {
+                    let uri = unescape(u.trim())?;
+                    doc.node_by_uri(&uri).ok_or(PersistError::Trace {
                         line,
-                        message: format!("produced uri {u:?} not in document"),
+                        message: format!("produced uri {uri:?} not in document"),
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?
         };
         trace.calls.push(CallRecord {
-            service: parts[0].to_string(),
+            service: unescape(parts[0])?,
             time,
             input: mark_from_str(parts[2], line)?,
             output: mark_from_str(parts[3], line)?,
             produced,
-            channel: parts[4].to_string(),
+            channel: unescape(parts[4])?,
         });
     }
     Ok(trace)
@@ -208,10 +275,19 @@ pub fn trace_from_text(doc: &Document, text: &str) -> Result<ExecutionTrace, Per
 /// fsync the directory so the rename itself is durable. A crash at any
 /// point leaves either the complete old file or the complete new one.
 pub fn write_atomic(path: &Path, contents: &str) -> Result<(), PersistError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // The temporary name must be unique per writer: with a fixed name, two
+    // concurrent saves of the same id interleave create/write/rename and
+    // can publish a torn file (or fail renaming a tmp the other writer
+    // already consumed). pid + a process-wide counter keeps writers apart
+    // both within a process and across processes sharing the directory.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().unwrap_or(Path::new("."));
     let tmp = dir.join(format!(
-        ".{}.tmp",
-        path.file_name().and_then(|n| n.to_str()).unwrap_or("persist")
+        ".{}.{}.{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("persist"),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -296,7 +372,11 @@ pub fn load_execution(
 pub fn link_store_to_text(links: &[ProvLink]) -> String {
     let mut out = String::new();
     for l in links {
-        out.push_str(&format!("link: {} | {}\n", l.from_uri, l.to_uri));
+        out.push_str(&format!(
+            "link: {} | {}\n",
+            escape_field(&l.from_uri),
+            escape_field(&l.to_uri)
+        ));
     }
     out.push_str(&format!("# end links={}\n", links.len()));
     out
@@ -334,12 +414,15 @@ pub fn load_link_store(path: &Path, doc: &Document) -> Result<Vec<ProvLink>, Per
                     message: format!("link uri {uri:?} not in document"),
                 })
             };
-            let (from_uri, to_uri) = (from_uri.trim(), to_uri.trim());
+            let from_uri = unescape_field(from_uri.trim())
+                .map_err(|message| PersistError::Trace { line, message })?;
+            let to_uri = unescape_field(to_uri.trim())
+                .map_err(|message| PersistError::Trace { line, message })?;
             links.push(ProvLink {
-                from: resolve(from_uri)?,
-                from_uri: from_uri.to_string(),
-                to: resolve(to_uri)?,
-                to_uri: to_uri.to_string(),
+                from: resolve(&from_uri)?,
+                from_uri,
+                to: resolve(&to_uri)?,
+                to_uri,
             });
         } else if !raw.is_empty() && !raw.starts_with('#') {
             return Err(PersistError::Trace {
@@ -381,7 +464,10 @@ pub fn save_checkpoint(dir: &Path, exec_id: &str, ckpt: &Checkpoint) -> Result<(
     out.push_str(&format!("completed: {}\n", ckpt.completed_steps));
     out.push_str(&format!("next-time: {}\n", ckpt.next_time));
     for s in &ckpt.step_names {
-        out.push_str(&format!("step: {s}\n"));
+        // Step names can be composite block renderings like "[A | B]";
+        // the checkpoint parser does not field-split, but a name holding a
+        // line break would still inject lines, so apply the same escape.
+        out.push_str(&format!("step: {}\n", escape_field(s)));
     }
     out.push_str(&format!("# end steps={}\n", ckpt.step_names.len()));
     write_atomic(&checkpoint_path(dir, exec_id), &out)
@@ -407,7 +493,10 @@ pub fn load_checkpoint(dir: &Path, exec_id: &str) -> Result<Option<Checkpoint>, 
         } else if let Some(v) = raw.strip_prefix("next-time:") {
             next_time = v.trim().parse::<Timestamp>().ok();
         } else if let Some(v) = raw.strip_prefix("step:") {
-            steps.push(v.trim().to_string());
+            steps.push(
+                unescape_field(v.trim())
+                    .map_err(|message| PersistError::Checkpoint { message })?,
+            );
         } else if let Some(v) = raw.strip_prefix("# end steps=") {
             footer = v.trim().parse::<usize>().ok();
         } else if !raw.is_empty() && !raw.starts_with('#') {
@@ -476,15 +565,54 @@ fn checkpoint_path(dir: &Path, exec_id: &str) -> PathBuf {
     dir.join(format!("{}.ckpt", sanitise(exec_id)))
 }
 
-fn sanitise(id: &str) -> String {
-    id.chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-        .collect()
+/// Map an execution id to a file-name-safe stem, *injectively*: ASCII
+/// letters, digits, `-` and `_` pass through; every other byte (including
+/// `%`, `/`, `.` and non-ASCII bytes) becomes `%XX`. Distinct ids always
+/// map to distinct stems — the previous lossy scheme flattened both
+/// `exec/1` and `exec_1` to `exec_1`, letting one execution silently
+/// overwrite the other's files.
+pub(crate) fn sanitise(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for b in id.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Reverse [`sanitise`]: recover the original execution id from a file
+/// stem, or `None` if the stem is not a valid encoding (e.g. a file that
+/// was not produced by `sanitise`).
+pub(crate) fn unsanitise(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())?;
+                out.push(hex);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use weblab_prov::{infer_provenance, EngineOptions};
     use weblab_workflow::generator::synthetic_workload;
     use weblab_workflow::Orchestrator;
@@ -689,6 +817,172 @@ mod tests {
             Err(PersistError::Truncated { .. })
         ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_ids_map_to_distinct_files() {
+        // Regression: the old sanitise() flattened both of these to
+        // "exec_1", so the second save silently overwrote the first.
+        assert_ne!(sanitise("exec/1"), sanitise("exec_1"));
+        assert_eq!(sanitise("exec/1"), "exec%2F1");
+        assert_eq!(sanitise("exec_1"), "exec_1");
+
+        let dir = tmpdir("collide");
+        let (mut doc_a, wf_a, _) = synthetic_workload(5, 2, 2, 2);
+        let out_a = Orchestrator::new().execute(&wf_a, &mut doc_a).unwrap();
+        let (mut doc_b, wf_b, _) = synthetic_workload(17, 4, 3, 4);
+        let out_b = Orchestrator::new().execute(&wf_b, &mut doc_b).unwrap();
+        save_execution(&dir, "exec/1", &doc_a, &out_a.trace).unwrap();
+        save_execution(&dir, "exec_1", &doc_b, &out_b.trace).unwrap();
+
+        let (back_a, trace_a) = load_execution(&dir, "exec/1").unwrap();
+        let (back_b, trace_b) = load_execution(&dir, "exec_1").unwrap();
+        assert_eq!(to_xml_string(&back_a.view()), to_xml_string(&doc_a.view()));
+        assert_eq!(to_xml_string(&back_b.view()), to_xml_string(&doc_b.view()));
+        assert_eq!(trace_a.len(), out_a.trace.len());
+        assert_eq!(trace_b.len(), out_b.trace.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitise_is_injective_and_reversible() {
+        let ids = [
+            "plain", "exec/1", "exec_1", "a b", "a%2Fb", "%", "..", "über",
+            "x|y,z", "", "exec.1", "exec%1",
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for id in ids {
+            let stem = sanitise(id);
+            assert!(seen.insert(stem.clone()), "collision on {id:?}");
+            assert!(
+                stem.bytes().all(|b| b.is_ascii_alphanumeric()
+                    || b == b'-'
+                    || b == b'_'
+                    || b == b'%'),
+                "unsafe byte in stem {stem:?}"
+            );
+            assert_eq!(unsanitise(&stem).as_deref(), Some(id));
+        }
+        // stems that were never produced by sanitise are rejected
+        assert_eq!(unsanitise("bad%zz"), None);
+        assert_eq!(unsanitise("trailing%2"), None);
+        assert_eq!(unsanitise("has/slash"), None);
+    }
+
+    // Regression: service names, channels and URIs containing the line
+    // format's own separators used to mis-parse on reload.
+    const HOSTILE: [char; 11] = ['|', ',', '%', ' ', '\n', '\t', '\r', 'a', 'Z', '/', 'é'];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn hostile_field_names_round_trip(
+            picks in prop::collection::vec(
+                (0usize..HOSTILE.len(), 0usize..HOSTILE.len(), 0usize..HOSTILE.len()),
+                1..6,
+            ),
+        ) {
+            let field = |seed: &[usize]| -> String {
+                seed.iter().map(|&i| HOSTILE[i]).collect()
+            };
+            let mut doc = Document::new("Resource");
+            let root = doc.root();
+            let d0 = doc.mark();
+            let mut trace = ExecutionTrace::default();
+            let mut uris = Vec::new();
+            for (i, &(a, b, c)) in picks.iter().enumerate() {
+                let n = doc.append_element(root, "A").unwrap();
+                // unique per node, but soaked in separator characters
+                let uri = format!("{}#{i}", field(&[a, b, c]));
+                doc.register_resource(n, uri.clone(), Some(weblab_xml::CallLabel::new("S", i as u64 + 1)))
+                    .unwrap();
+                uris.push(uri);
+                let d1 = doc.mark();
+                let service = field(&[b, a]);
+                let channel = field(&[c, b, a]);
+                trace.record_call_on_channel(&doc, &service, i as u64 + 1, d0, d1, &channel);
+            }
+            let text = trace_to_text(&doc, &trace);
+            let back = trace_from_text(&doc, &text).unwrap();
+            prop_assert_eq!(back.len(), trace.len());
+            for (orig, round) in trace.calls.iter().zip(&back.calls) {
+                prop_assert_eq!(&orig.service, &round.service);
+                prop_assert_eq!(&orig.channel, &round.channel);
+                prop_assert_eq!(&orig.produced, &round.produced);
+            }
+            // link store with the same hostile URIs
+            let links: Vec<ProvLink> = uris
+                .windows(2)
+                .map(|w| ProvLink {
+                    from: doc.node_by_uri(&w[1]).unwrap(),
+                    from_uri: w[1].clone(),
+                    to: doc.node_by_uri(&w[0]).unwrap(),
+                    to_uri: w[0].clone(),
+                })
+                .collect();
+            let dir = tmpdir("hostile");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("h.links");
+            save_link_store(&path, &links).unwrap();
+            let back_links = load_link_store(&path, &doc).unwrap();
+            prop_assert_eq!(back_links, links);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn concurrent_saves_publish_one_complete_version() {
+        // Regression: with a fixed tmp name, two concurrent write_atomic
+        // calls interleaved create/write/rename and could publish a torn
+        // file or fail on a tmp the other writer had already renamed.
+        use std::sync::Arc;
+        let dir = tmpdir("race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Arc::new(dir.join("contended.txt"));
+        let candidates: Vec<String> = (0..8)
+            .map(|i| format!("writer-{i}\n").repeat(2000))
+            .collect();
+        let mut handles = Vec::new();
+        for content in &candidates {
+            let path = Arc::clone(&path);
+            let content = content.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    write_atomic(&path, &content).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = std::fs::read_to_string(&*path).unwrap();
+        assert!(
+            candidates.contains(&last),
+            "published file is a torn mix of writers"
+        );
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaped_fields_keep_plain_names_readable() {
+        // Files written before the escape existed contain no '%'; the
+        // parser must read them unchanged, and ordinary names must still
+        // serialise byte-for-byte as before.
+        assert_eq!(escape_field("Normaliser"), "Normaliser");
+        assert_eq!(escape_field("weblab://res/a"), "weblab://res/a");
+        assert_eq!(unescape_field("weblab://res/a").unwrap(), "weblab://res/a");
+        assert_eq!(escape_field("A | B"), "A %7C B");
+        assert_eq!(unescape_field("A %7C B").unwrap(), "A | B");
+        assert_eq!(escape_field(" pad "), "%20pad%20");
+        assert!(unescape_field("broken %2").is_err());
     }
 
     #[test]

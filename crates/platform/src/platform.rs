@@ -19,6 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use std::sync::{Mutex, RwLock};
+use weblab_obs::{Counter, Gauge};
 use weblab_prov::{
     EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph, ReachabilityIndex,
 };
@@ -28,10 +29,17 @@ use weblab_xml::Document;
 
 use crate::catalog::{CatalogError, ServiceCatalog};
 use crate::mapper::{Mapper, MapperError, MapperStrategy};
+use crate::persist::PersistError;
 use crate::query::{ProvQuery, QueryAnswer};
 use crate::recorder::{Recorder, RecorderError};
 use crate::repository::ResourceRepository;
+use crate::store::ProvStore;
 use crate::trace_store::TraceStore;
+
+/// Executions evicted from residency to the attached store.
+static EVICTIONS: Counter = Counter::new("store.evictions");
+/// Executions currently resident in memory (store attached only).
+static RESIDENT: Gauge = Gauge::new("store.resident");
 
 /// Platform-level failure.
 #[derive(Debug)]
@@ -50,6 +58,8 @@ pub enum PlatformError {
     Mapper(MapperError),
     /// A provenance query failed to parse.
     Sparql(SparqlError),
+    /// The attached disk store failed to save or load an execution.
+    Store(PersistError),
 }
 
 impl fmt::Display for PlatformError {
@@ -62,6 +72,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Recorder(e) => write!(f, "{e}"),
             PlatformError::Mapper(e) => write!(f, "{e}"),
             PlatformError::Sparql(e) => write!(f, "{e}"),
+            PlatformError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -95,6 +106,12 @@ impl From<MapperError> for PlatformError {
 impl From<SparqlError> for PlatformError {
     fn from(e: SparqlError) -> Self {
         PlatformError::Sparql(e)
+    }
+}
+
+impl From<PersistError> for PlatformError {
+    fn from(e: PersistError) -> Self {
+        PlatformError::Store(e)
     }
 }
 
@@ -158,6 +175,22 @@ pub struct Platform {
     /// Per-execution reachability index state backing [`ExecutionHandle`]
     /// queries and the `weblab serve` daemon.
     index_states: RwLock<HashMap<String, Arc<IndexState>>>,
+    /// The attached disk store and its residency bookkeeping, when the
+    /// platform runs disk-backed (`weblab serve --store`).
+    store: RwLock<Option<Arc<StoreState>>>,
+}
+
+/// Disk-backed residency: the attached [`ProvStore`] plus the LRU
+/// bookkeeping that bounds how many executions stay in memory at once.
+struct StoreState {
+    store: Arc<ProvStore>,
+    /// Executions kept resident before eviction kicks in (at least 1).
+    max_resident: usize,
+    /// Resident execution ids, least-recently-used first.
+    lru: Mutex<Vec<String>>,
+    /// Serialises cold loads, so concurrent readers of one evicted
+    /// execution trigger a single disk load between them.
+    loading: Mutex<()>,
 }
 
 /// Cache entry: the graph as of a number of recorded calls.
@@ -229,9 +262,18 @@ impl IndexState {
         if delta.is_empty() && calls <= m.calls {
             return;
         }
-        m.index.add_sources(&delta.sources);
+        // A cold-loaded master already carries the stored sources; a live
+        // catch-up delta may re-deliver them, so only genuinely new entries
+        // are folded in (links dedup inside add_links).
+        let fresh: Vec<_> = delta
+            .sources
+            .iter()
+            .filter(|s| !m.graph.sources.contains(s))
+            .cloned()
+            .collect();
+        m.index.add_sources(&fresh);
         m.index.add_links(&delta.links);
-        m.graph.sources.extend(delta.sources.iter().cloned());
+        m.graph.sources.extend(fresh);
         m.graph.add_links(delta.links.iter().cloned());
         m.calls = m.calls.max(calls);
         m.epoch += 1;
@@ -255,6 +297,25 @@ impl IndexState {
         m.calls = m.calls.max(calls);
         m.epoch += 1;
         self.publish_locked(&m)
+    }
+
+    /// Adopt a snapshot reloaded from the disk store, publishing the
+    /// *exact* persisted epoch: serve responses embed the epoch, so a
+    /// cold-loaded execution must answer with the same epoch number (and
+    /// the same graph row order) it was saved at to stay byte-identical
+    /// with the resident path. Skipped when the master already advanced at
+    /// least as far — a restore never rolls an index back.
+    fn restore(&self, graph: ProvenanceGraph, calls: usize, epoch: u64) {
+        let index = ReachabilityIndex::from_graph(&graph);
+        let mut m = self.master.lock().expect("lock poisoned");
+        if m.epoch >= epoch && m.calls >= calls {
+            return;
+        }
+        m.graph = graph;
+        m.index = index;
+        m.calls = calls;
+        m.epoch = epoch;
+        self.publish_locked(&m);
     }
 
     /// The query engine over a snapshot's PROV-O export, cached per epoch
@@ -294,6 +355,7 @@ impl Platform {
             fault: RwLock::new(FaultPolicy::default()),
             live: RwLock::new(HashMap::new()),
             index_states: RwLock::new(HashMap::new()),
+            store: RwLock::new(None),
         }
     }
 
@@ -337,13 +399,30 @@ impl Platform {
     }
 
     /// Known execution ids, sorted — the serve daemon's `status` listing.
+    /// With a store attached, evicted (disk-only) executions are included.
     pub fn executions(&self) -> Vec<String> {
-        self.repository.execution_ids()
+        let mut ids = self.repository.execution_ids();
+        if let Some(ss) = self.store_state() {
+            for id in ss.store.execution_ids() {
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            ids.sort();
+        }
+        ids
     }
 
-    /// Ingest an initial document as a new execution.
+    /// Ingest an initial document as a new execution. With a store
+    /// attached the document is persisted best-effort right away (the
+    /// write-through on the next execution repeats it durably).
     pub fn ingest(&self, exec_id: &str, doc: Document) {
         self.repository.put(exec_id, doc);
+        if let Some(ss) = self.store_state() {
+            self.touch_lru(&ss, exec_id);
+            let _ = self.persist_through(exec_id);
+            let _ = self.evict_excess(&ss, exec_id);
+        }
     }
 
     /// Execute a sequential workflow (a sequence of registered service
@@ -357,6 +436,7 @@ impl Platform {
     /// their control-flow channels, which the Mapper's strategies respect
     /// during inference.
     pub fn execute_spec(&self, exec_id: &str, spec: &WorkflowSpec) -> Result<(), PlatformError> {
+        self.ensure_resident(exec_id)?;
         let mut doc = self
             .repository
             .get(exec_id)
@@ -408,6 +488,7 @@ impl Platform {
             self.traces.record(exec_id, call.clone(), &produced_uris);
         }
         self.repository.put(exec_id, doc);
+        self.persist_through(exec_id)?;
         Ok(())
     }
 
@@ -447,7 +528,168 @@ impl Platform {
         )
     }
 
+    /// Attach a disk store: every execution is written through to it, and
+    /// at most `max_resident` executions stay in memory — the rest answer
+    /// queries after a transparent cold load. Executions already resident
+    /// are adopted (and persisted on their next operation or eviction).
+    pub fn attach_store(&self, store: ProvStore, max_resident: usize) -> Result<(), PlatformError> {
+        let ss = Arc::new(StoreState {
+            store: Arc::new(store),
+            max_resident: max_resident.max(1),
+            lru: Mutex::new(Vec::new()),
+            loading: Mutex::new(()),
+        });
+        for id in self.repository.execution_ids() {
+            self.touch_lru(&ss, &id);
+        }
+        *self.store.write().expect("lock poisoned") = Some(Arc::clone(&ss));
+        self.evict_excess(&ss, "")
+    }
+
+    /// The attached disk store, if any — what the serve daemon's
+    /// background compactor folds segments through.
+    pub fn store(&self) -> Option<Arc<ProvStore>> {
+        self.store_state().map(|ss| Arc::clone(&ss.store))
+    }
+
+    fn store_state(&self) -> Option<Arc<StoreState>> {
+        self.store.read().expect("lock poisoned").clone()
+    }
+
+    /// Mark an execution most-recently-used, adding it to the resident set
+    /// if it was not tracked yet.
+    fn touch_lru(&self, ss: &StoreState, exec_id: &str) {
+        let mut lru = ss.lru.lock().expect("lock poisoned");
+        if let Some(pos) = lru.iter().position(|id| id == exec_id) {
+            let id = lru.remove(pos);
+            lru.push(id);
+        } else {
+            lru.push(exec_id.to_string());
+            RESIDENT.inc();
+        }
+    }
+
+    /// Make an execution resident, cold-loading it from the attached store
+    /// if it was evicted. A no-op without a store, or when the execution is
+    /// neither resident nor stored (callers then report UnknownExecution as
+    /// before).
+    fn ensure_resident(&self, exec_id: &str) -> Result<(), PlatformError> {
+        let Some(ss) = self.store_state() else {
+            return Ok(());
+        };
+        if self.repository.with(exec_id, |_| ()).is_some() {
+            self.touch_lru(&ss, exec_id);
+            return Ok(());
+        }
+        let _guard = ss.loading.lock().expect("lock poisoned");
+        // Double-check: a concurrent load may have won the lock first.
+        if self.repository.with(exec_id, |_| ()).is_some() {
+            self.touch_lru(&ss, exec_id);
+            return Ok(());
+        }
+        let Some(stored) = ss.store.load(exec_id)? else {
+            return Ok(());
+        };
+        // Rebuild in-memory state. The trace goes in first; the repository
+        // entry is the residency signal, so it is published last.
+        let produced: Vec<Vec<String>> = stored
+            .trace
+            .calls
+            .iter()
+            .map(|c| {
+                c.produced
+                    .iter()
+                    .filter_map(|&n| stored.doc.resource(n).map(|m| m.uri.clone()))
+                    .collect()
+            })
+            .collect();
+        self.traces.put(exec_id, &stored.trace, &produced);
+        let state = self.index_state(exec_id);
+        match stored.snapshot {
+            Some(snap) => {
+                if snap.live && !self.live_enabled_impl(exec_id) {
+                    // Fresh maintainer; the next execution catches up on the
+                    // reloaded trace (the proven "live enabled late" path).
+                    self.enable_live_impl(exec_id);
+                }
+                state.restore(snap.graph, snap.calls, snap.epoch);
+            }
+            None => {
+                // No fresh snapshot survived (crash between log append and
+                // snapshot write): rebuild from the replayed log. Epochs
+                // restart, like after ExecutionHandle::invalidate.
+                let mut graph = ProvenanceGraph::from_view(&stored.doc.view());
+                graph.add_links(stored.links);
+                state.publish_full(graph, stored.trace.len());
+            }
+        }
+        self.repository.put(exec_id, stored.doc);
+        self.touch_lru(&ss, exec_id);
+        drop(_guard);
+        self.evict_excess(&ss, exec_id)
+    }
+
+    /// Write one execution through to the attached store (document, trace
+    /// and link-log tail, current epoch snapshot). No-op without a store.
+    fn persist_through(&self, exec_id: &str) -> Result<(), PlatformError> {
+        let Some(ss) = self.store_state() else {
+            return Ok(());
+        };
+        let snap = self.snapshot_impl(exec_id)?;
+        let doc = self
+            .repository
+            .get(exec_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
+        let trace = self.traces.get(exec_id).unwrap_or_default();
+        let live = self.live_enabled_impl(exec_id);
+        ss.store.save(exec_id, &doc, &trace, &snap.graph, snap.epoch, live)?;
+        Ok(())
+    }
+
+    /// Evict least-recently-used executions until at most `max_resident`
+    /// remain, never evicting `protect` (the execution being served).
+    fn evict_excess(&self, ss: &StoreState, protect: &str) -> Result<(), PlatformError> {
+        loop {
+            let victim = {
+                let lru = ss.lru.lock().expect("lock poisoned");
+                if lru.len() <= ss.max_resident {
+                    return Ok(());
+                }
+                lru.iter().find(|id| id.as_str() != protect).cloned()
+            };
+            let Some(victim) = victim else {
+                return Ok(());
+            };
+            self.evict_impl(&victim)?;
+        }
+    }
+
+    /// Persist an execution and drop its in-memory state. Returns whether
+    /// it was resident. The next query cold-loads it transparently.
+    fn evict_impl(&self, exec_id: &str) -> Result<bool, PlatformError> {
+        let Some(ss) = self.store_state() else {
+            return Ok(false);
+        };
+        let was_resident = self.repository.with(exec_id, |_| ()).is_some();
+        if was_resident {
+            self.persist_through(exec_id)?;
+            self.repository.remove(exec_id);
+            self.traces.remove(exec_id);
+            self.materialized.write().expect("lock poisoned").remove(exec_id);
+            self.live.write().expect("lock poisoned").remove(exec_id);
+            self.index_states.write().expect("lock poisoned").remove(exec_id);
+            EVICTIONS.inc();
+        }
+        let mut lru = ss.lru.lock().expect("lock poisoned");
+        if let Some(pos) = lru.iter().position(|id| id == exec_id) {
+            lru.remove(pos);
+            RESIDENT.dec();
+        }
+        Ok(was_resident)
+    }
+
     fn provenance_graph_impl(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        self.ensure_resident(exec_id)?;
         let doc = self
             .repository
             .get(exec_id)
@@ -521,6 +763,7 @@ impl Platform {
     }
 
     fn live_graph_impl(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
+        self.ensure_resident(exec_id)?;
         let maintainer = self
             .live_provenance_impl(exec_id)
             .ok_or_else(|| PlatformError::UnknownExecution(exec_id.to_string()))?;
@@ -550,6 +793,7 @@ impl Platform {
     /// store (calls reach it only after orchestration), which is why
     /// freshness is `snapshot.calls >= trace len`, not equality.
     fn snapshot_impl(&self, exec_id: &str) -> Result<Arc<EpochSnapshot>, PlatformError> {
+        self.ensure_resident(exec_id)?;
         if self.repository.with(exec_id, |_| ()).is_none() {
             return Err(PlatformError::UnknownExecution(exec_id.to_string()));
         }
@@ -703,9 +947,33 @@ impl ExecutionHandle<'_> {
         &self.id
     }
 
-    /// Whether the execution has an ingested document.
+    /// Whether the execution has an ingested document — resident in
+    /// memory, or evicted to the attached store.
     pub fn exists(&self) -> bool {
         self.platform.repository.with(&self.id, |_| ()).is_some()
+            || self
+                .platform
+                .store_state()
+                .is_some_and(|ss| ss.store.contains(&self.id))
+    }
+
+    /// Whether the execution is resident in memory right now (always true
+    /// without an attached store, for executions that exist).
+    pub fn is_resident(&self) -> bool {
+        self.platform.repository.with(&self.id, |_| ()).is_some()
+    }
+
+    /// Write this execution through to the attached store without
+    /// evicting it. No-op when no store is attached.
+    pub fn persist(&self) -> Result<(), PlatformError> {
+        self.platform.persist_through(&self.id)
+    }
+
+    /// Persist this execution and drop its in-memory state; the next query
+    /// cold-loads it transparently. Returns whether it was resident.
+    /// No-op (returning `false`) when no store is attached.
+    pub fn evict(&self) -> Result<bool, PlatformError> {
+        self.platform.evict_impl(&self.id)
     }
 
     /// Ingest an initial document for this execution.
@@ -1209,6 +1477,113 @@ mod tests {
         // a fresh index state starts its epochs over, with the same graph
         assert_eq!(after.epoch, 1);
         assert_eq!(after.graph.links, before.graph.links);
+    }
+
+    fn tmpstore(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("weblab-platform-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn evicted_executions_cold_load_with_identical_snapshots() {
+        let p = platform();
+        let dir = tmpstore("coldload");
+        p.attach_store(ProvStore::open(&dir).unwrap(), 8).unwrap();
+        let exec = p.execution("e/1");
+        exec.ingest(generate_corpus(3, 2, 25));
+        exec.execute(&["Normaliser", "LanguageExtractor", "Translator"]).unwrap();
+        let before = exec.snapshot().unwrap();
+        let why_before = exec.query(&ProvQuery::Why {
+            uri: before.graph.links[0].from_uri.clone(),
+        })
+        .unwrap();
+
+        assert!(exec.evict().unwrap());
+        assert!(!exec.is_resident());
+        assert!(exec.exists(), "evicted executions still exist");
+
+        // The next query cold-loads transparently and answers at the same
+        // epoch with the same graph — byte-identical to the resident path.
+        let after = exec.snapshot().unwrap();
+        assert!(exec.is_resident());
+        assert_eq!(after.epoch, before.epoch);
+        assert_eq!(after.calls, before.calls);
+        assert_eq!(after.graph.links, before.graph.links);
+        assert_eq!(after.graph.sources, before.graph.sources);
+        let why_after = exec.query(&ProvQuery::Why {
+            uri: before.graph.links[0].from_uri.clone(),
+        })
+        .unwrap();
+        assert_eq!(why_after, why_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_bounds_residency_and_listings_span_disk() {
+        let p = platform();
+        let dir = tmpstore("lru");
+        p.attach_store(ProvStore::open(&dir).unwrap(), 1).unwrap();
+        for id in ["a", "b", "c"] {
+            let exec = p.execution(id);
+            exec.ingest(generate_corpus(2, 1, 15));
+            exec.execute(&["Normaliser"]).unwrap();
+        }
+        // only the most recent execution stayed resident
+        assert_eq!(p.repository.execution_ids(), vec!["c"]);
+        assert_eq!(p.executions(), vec!["a", "b", "c"]);
+        // touching an evicted one swaps it in and the old resident out
+        let g = p.execution("a").graph().unwrap();
+        assert!(!g.links.is_empty());
+        assert_eq!(p.repository.execution_ids(), vec!["a"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_load_restores_live_mode_and_resumes_execution() {
+        let p = platform();
+        let dir = tmpstore("live");
+        p.attach_store(ProvStore::open(&dir).unwrap(), 4).unwrap();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 1, 20));
+        exec.enable_live();
+        exec.execute(&["Normaliser"]).unwrap();
+        assert!(exec.evict().unwrap());
+
+        exec.execute(&["LanguageExtractor", "Translator"]).unwrap();
+        assert!(exec.live_enabled(), "live mode survives eviction");
+        let live = exec.live_graph().unwrap();
+        let batch = exec.graph().unwrap();
+        let mut batch_links = batch.links.clone();
+        batch_links.sort();
+        assert_eq!(live.links, batch_links);
+        assert_eq!(live.sources, batch.sources);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_fresh_platform_serves_a_previous_platforms_store() {
+        let dir = tmpstore("restart");
+        let (before_epoch, before_links) = {
+            let p = platform();
+            p.attach_store(ProvStore::open(&dir).unwrap(), 4).unwrap();
+            let exec = p.execution("e");
+            exec.ingest(generate_corpus(3, 2, 25));
+            exec.execute(&["Normaliser", "Translator"]).unwrap();
+            let snap = exec.snapshot().unwrap();
+            (snap.epoch, snap.graph.links.clone())
+        };
+        // simulated restart: new platform, same directory
+        let p = platform();
+        p.attach_store(ProvStore::open(&dir).unwrap(), 4).unwrap();
+        let exec = p.execution("e");
+        assert!(exec.exists());
+        assert!(!exec.is_resident());
+        let snap = exec.snapshot().unwrap();
+        assert_eq!(snap.epoch, before_epoch);
+        assert_eq!(snap.graph.links, before_links);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl ResourceRepository {
         self.docs.read().expect("lock poisoned").is_empty()
     }
 
+    /// Drop an execution's document (LRU eviction by the platform's store
+    /// layer). Returns whether anything was removed.
+    pub fn remove(&self, exec_id: &str) -> bool {
+        self.docs.write().expect("lock poisoned").remove(exec_id).is_some()
+    }
+
     /// Known execution ids, sorted.
     pub fn execution_ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self.docs.read().expect("lock poisoned").keys().cloned().collect();

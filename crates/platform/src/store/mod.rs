@@ -1,0 +1,548 @@
+//! # Disk-backed sharded provenance store
+//!
+//! The persistent storage engine behind `Platform`'s LRU residency: every
+//! execution written through the store survives process death, and an
+//! evicted execution cold-loads back with query answers *byte-identical*
+//! to the resident path.
+//!
+//! ## Layout
+//!
+//! The store root holds 16 shard directories, an execution landing in the
+//! shard named by an FNV-1a hash of its id. Inside a shard, each execution
+//! owns a family of files keyed by its injectively escaped id (see
+//! [`persist`](crate::persist) — `exec/1` becomes `exec%2F1`):
+//!
+//! ```text
+//! store/
+//!   shard-07/
+//!     exec%2F1.doc.xml     stamped WebLab document
+//!     exec%2F1.seg-1       sealed log segment (calls + links, URI dict)
+//!     exec%2F1.seg-2
+//!     exec%2F1.delta       unsealed tail of the log
+//!     exec%2F1.snap-5      index snapshot published at epoch 5
+//! ```
+//!
+//! * **Segments** ([`segment`]) are the append-only trace/link log. Each
+//!   covers a contiguous call range declared by its `base:` header;
+//!   readers replay segments in base order and skip ranges already
+//!   covered, so the one benign duplication compaction can leave behind
+//!   (crash between writing a merged segment and unlinking its inputs) is
+//!   harmless. New calls and links go to the `.delta` file, which
+//!   [`ProvStore::compact`] seals into a numbered segment; when sealed
+//!   segments pile up they are folded into one.
+//! * **Snapshots** ([`snapshot`]) serialise the published
+//!   [`EpochSnapshot`](weblab_prov::EpochSnapshot)'s graph together with
+//!   its epoch and call count. Only the newest snapshot is kept.
+//!
+//! Every file is written with the persist layer's atomic-rename discipline
+//! and ends in a checked `# end` integrity footer, so truncation surfaces
+//! as [`PersistError::Truncated`] instead of a silently shorter execution.
+
+pub mod segment;
+pub mod snapshot;
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::persist::{sanitise, unsanitise, write_atomic, PersistError};
+use segment::{SegmentCall, SegmentData};
+use snapshot::SnapshotData;
+use weblab_obs::Counter;
+use weblab_prov::{CallRecord, ExecutionTrace, ProvLink, ProvenanceGraph};
+use weblab_xml::{parse_document, to_xml_string, Document};
+
+static SEGMENTS: Counter = Counter::new("store.segments");
+static SNAPSHOTS: Counter = Counter::new("store.snapshots");
+static DELTA_APPENDS: Counter = Counter::new("store.delta_appends");
+static COLD_LOADS: Counter = Counter::new("store.cold_loads");
+static COMPACTIONS: Counter = Counter::new("store.compactions");
+
+/// Number of shard directories (hash buckets) under the store root.
+const SHARDS: u64 = 16;
+
+/// Sealed segments per execution beyond which compaction folds them into
+/// one.
+const MAX_SEGMENTS: usize = 4;
+
+/// What the store knows it has already persisted for one execution —
+/// enough to turn each save into a pure delta append without re-reading
+/// the log.
+#[derive(Debug, Default)]
+struct Mark {
+    /// Calls covered by sealed segments.
+    sealed_calls: usize,
+    /// Calls in the unsealed delta.
+    delta_calls: usize,
+    /// Links already in the log (segments + delta), by URI pair.
+    link_keys: HashSet<(String, String)>,
+    /// Sealed segment numbers, ascending.
+    segments: Vec<u64>,
+    /// Epoch of the newest on-disk snapshot.
+    snapshot_epoch: Option<u64>,
+    /// Whether the on-disk state was scanned at least once.
+    scanned: bool,
+}
+
+/// An execution as read back from disk.
+#[derive(Debug)]
+pub struct StoredExecution {
+    /// The reloaded document.
+    pub doc: Document,
+    /// The replayed trace (produced URIs resolved against `doc`).
+    pub trace: ExecutionTrace,
+    /// All logged provenance links, resolved against `doc`.
+    pub links: Vec<ProvLink>,
+    /// The newest snapshot, if it is fresh (covers the whole trace).
+    pub snapshot: Option<SnapshotData>,
+}
+
+/// The disk-backed sharded provenance store.
+///
+/// All methods are safe to call from multiple threads; per-execution
+/// bookkeeping lives behind one mutex (I/O under the lock is the
+/// simplicity trade-off — the store is the cold path by design).
+pub struct ProvStore {
+    root: PathBuf,
+    marks: Mutex<HashMap<String, Mark>>,
+}
+
+impl ProvStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ProvStore { root, marks: Mutex::new(HashMap::new()) })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn shard_dir(&self, exec_id: &str) -> PathBuf {
+        // FNV-1a over the raw id bytes; stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in exec_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.root.join(format!("shard-{:02}", h % SHARDS))
+    }
+
+    fn doc_path(&self, exec_id: &str) -> PathBuf {
+        self.shard_dir(exec_id).join(format!("{}.doc.xml", sanitise(exec_id)))
+    }
+
+    fn delta_path(&self, exec_id: &str) -> PathBuf {
+        self.shard_dir(exec_id).join(format!("{}.delta", sanitise(exec_id)))
+    }
+
+    fn segment_path(&self, exec_id: &str, n: u64) -> PathBuf {
+        self.shard_dir(exec_id).join(format!("{}.seg-{n}", sanitise(exec_id)))
+    }
+
+    fn snapshot_path(&self, exec_id: &str, epoch: u64) -> PathBuf {
+        self.shard_dir(exec_id).join(format!("{}.snap-{epoch}", sanitise(exec_id)))
+    }
+
+    /// Does the store hold an execution with this id?
+    pub fn contains(&self, exec_id: &str) -> bool {
+        self.doc_path(exec_id).exists()
+    }
+
+    /// All execution ids present in the store, sorted.
+    pub fn execution_ids(&self) -> Vec<String> {
+        let mut ids = Vec::new();
+        let Ok(shards) = std::fs::read_dir(&self.root) else {
+            return ids;
+        };
+        for shard in shards.flatten() {
+            let Ok(entries) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(stem) = name.strip_suffix(".doc.xml") {
+                    if let Some(id) = unsanitise(stem) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort();
+        ids
+    }
+
+    /// Families of on-disk files for `exec_id`, split by kind:
+    /// `(segment numbers, snapshot epochs, delta exists)`.
+    fn scan_files(&self, exec_id: &str) -> (Vec<u64>, Vec<u64>, bool) {
+        let stem = sanitise(exec_id);
+        let mut segs = Vec::new();
+        let mut snaps = Vec::new();
+        let mut delta = false;
+        if let Ok(entries) = std::fs::read_dir(self.shard_dir(exec_id)) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(rest) = name.strip_prefix(&stem) else {
+                    continue;
+                };
+                if let Some(n) = rest.strip_prefix(".seg-").and_then(|n| n.parse().ok()) {
+                    segs.push(n);
+                } else if let Some(e) = rest.strip_prefix(".snap-").and_then(|e| e.parse().ok()) {
+                    snaps.push(e);
+                } else if rest == ".delta" {
+                    delta = true;
+                }
+            }
+        }
+        segs.sort_unstable();
+        snaps.sort_unstable();
+        (segs, snaps, delta)
+    }
+
+    /// Read the full log for `exec_id`: sealed segments in base order plus
+    /// the delta, skipping ranges a merged segment already covers.
+    fn read_log(&self, exec_id: &str) -> Result<(Vec<SegmentData>, Option<SegmentData>), PersistError> {
+        let (seg_nums, _, has_delta) = self.scan_files(exec_id);
+        let mut parts: Vec<(u64, SegmentData)> = Vec::with_capacity(seg_nums.len());
+        for n in &seg_nums {
+            parts.push((*n, segment::read(&self.segment_path(exec_id, *n))?));
+        }
+        // Base order; at equal base the *widest* segment wins (it is the
+        // merged one), and narrower duplicates are skipped below.
+        parts.sort_by(|a, b| {
+            (a.1.base, std::cmp::Reverse(a.1.calls.len()))
+                .cmp(&(b.1.base, std::cmp::Reverse(b.1.calls.len())))
+        });
+        let mut live_parts: Vec<SegmentData> = Vec::new();
+        let mut position = 0usize;
+        for (n, part) in parts {
+            if part.end() <= position {
+                continue; // fully covered by a merged predecessor
+            }
+            if part.base > position {
+                return Err(PersistError::Truncated {
+                    file: self.segment_path(exec_id, n).display().to_string(),
+                    message: format!(
+                        "log gap: segment starts at call {} but only {position} calls are covered",
+                        part.base
+                    ),
+                });
+            }
+            if part.base < position {
+                return Err(PersistError::Truncated {
+                    file: self.segment_path(exec_id, n).display().to_string(),
+                    message: format!(
+                        "log overlap: segment starts at call {} inside covered range {position}",
+                        part.base
+                    ),
+                });
+            }
+            position = part.end();
+            live_parts.push(part);
+        }
+        let delta = if has_delta {
+            let d = segment::read(&self.delta_path(exec_id))?;
+            if d.end() <= position && d.calls.is_empty() && d.links.is_empty() {
+                None
+            } else if d.base > position {
+                return Err(PersistError::Truncated {
+                    file: self.delta_path(exec_id).display().to_string(),
+                    message: format!(
+                        "log gap: delta starts at call {} but only {position} calls are covered",
+                        d.base
+                    ),
+                });
+            } else if d.base < position {
+                // stale delta already folded by a crash-interrupted
+                // compaction; its contents are in the sealed segments
+                None
+            } else {
+                Some(d)
+            }
+        } else {
+            None
+        };
+        Ok((live_parts, delta))
+    }
+
+    /// Load (or lazily rebuild) the persisted-state mark for `exec_id`.
+    /// Caller holds the marks lock; the mark is rebuilt by reading the log.
+    fn ensure_mark(
+        &self,
+        marks: &mut HashMap<String, Mark>,
+        exec_id: &str,
+    ) -> Result<(), PersistError> {
+        let mark = marks.entry(exec_id.to_string()).or_default();
+        if mark.scanned {
+            return Ok(());
+        }
+        let (seg_nums, snaps, _) = self.scan_files(exec_id);
+        let (segs, delta) = self.read_log(exec_id)?;
+        let mut rebuilt = Mark {
+            segments: seg_nums,
+            snapshot_epoch: snaps.last().copied(),
+            scanned: true,
+            ..Mark::default()
+        };
+        for s in &segs {
+            rebuilt.sealed_calls += s.calls.len();
+            for (f, t) in &s.links {
+                rebuilt.link_keys.insert((f.clone(), t.clone()));
+            }
+        }
+        if let Some(d) = &delta {
+            rebuilt.delta_calls = d.calls.len();
+            for (f, t) in &d.links {
+                rebuilt.link_keys.insert((f.clone(), t.clone()));
+            }
+        }
+        *mark = rebuilt;
+        Ok(())
+    }
+
+    /// Write-through one execution: the document, any new tail of the
+    /// trace/link log (as a delta append), and the current epoch snapshot.
+    /// Idempotent — saving unchanged state writes only the document.
+    pub fn save(
+        &self,
+        exec_id: &str,
+        doc: &Document,
+        trace: &ExecutionTrace,
+        graph: &ProvenanceGraph,
+        epoch: u64,
+        live: bool,
+    ) -> Result<(), PersistError> {
+        std::fs::create_dir_all(self.shard_dir(exec_id))?;
+        write_atomic(&self.doc_path(exec_id), &to_xml_string(&doc.view()))?;
+
+        let mut marks = self.marks.lock().expect("store marks poisoned");
+        self.ensure_mark(&mut marks, exec_id)?;
+        let mark = marks.get_mut(exec_id).expect("mark just ensured");
+
+        let persisted = mark.sealed_calls + mark.delta_calls;
+        let new_calls: Vec<SegmentCall> = trace.calls[persisted.min(trace.calls.len())..]
+            .iter()
+            .map(|c| segment_call(doc, c))
+            .collect();
+        let new_links: Vec<(String, String)> = graph
+            .links
+            .iter()
+            .filter(|l| !mark.link_keys.contains(&(l.from_uri.clone(), l.to_uri.clone())))
+            .map(|l| (l.from_uri.clone(), l.to_uri.clone()))
+            .collect();
+
+        if !new_calls.is_empty() || !new_links.is_empty() {
+            // Rebuild the delta file: previous unsealed tail + the news.
+            // A delta whose base disagrees with the sealed call count is
+            // stale (crash-interrupted compaction); start a fresh one.
+            let mut delta = if self.delta_path(exec_id).exists() {
+                let d = segment::read(&self.delta_path(exec_id))?;
+                if d.base == mark.sealed_calls {
+                    d
+                } else {
+                    SegmentData { base: mark.sealed_calls, ..SegmentData::default() }
+                }
+            } else {
+                SegmentData { base: mark.sealed_calls, ..SegmentData::default() }
+            };
+            delta.calls.extend(new_calls.iter().cloned());
+            delta.links.extend(new_links.iter().cloned());
+            segment::write(&self.delta_path(exec_id), exec_id, &delta)?;
+            mark.delta_calls += new_calls.len();
+            for (f, t) in &new_links {
+                mark.link_keys.insert((f.clone(), t.clone()));
+            }
+            DELTA_APPENDS.inc();
+        }
+
+        if mark.snapshot_epoch != Some(epoch) {
+            let snap = SnapshotData { epoch, calls: trace.len(), live, graph: graph.clone() };
+            self.snapshot_write(exec_id, &snap, mark)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot_write(
+        &self,
+        exec_id: &str,
+        snap: &SnapshotData,
+        mark: &mut Mark,
+    ) -> Result<(), PersistError> {
+        snapshot::write(&self.snapshot_path(exec_id, snap.epoch), exec_id, snap)?;
+        SNAPSHOTS.inc();
+        // Drop superseded snapshots; only the newest answers queries.
+        let (_, snaps, _) = self.scan_files(exec_id);
+        for e in snaps {
+            if e != snap.epoch {
+                let _ = std::fs::remove_file(self.snapshot_path(exec_id, e));
+            }
+        }
+        mark.snapshot_epoch = Some(snap.epoch);
+        Ok(())
+    }
+
+    /// Cold-load an execution: document, replayed trace, logged links, and
+    /// the newest snapshot if it covers the whole trace. Returns
+    /// `Ok(None)` if the store has no such execution.
+    pub fn load(&self, exec_id: &str) -> Result<Option<StoredExecution>, PersistError> {
+        let doc_path = self.doc_path(exec_id);
+        let xml = match std::fs::read_to_string(&doc_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let doc = parse_document(&xml).map_err(|e| PersistError::Xml(e.to_string()))?;
+
+        let mut marks = self.marks.lock().expect("store marks poisoned");
+        // Re-scan so the mark reflects disk even across processes.
+        marks.remove(exec_id);
+        self.ensure_mark(&mut marks, exec_id)?;
+        let (segs, delta) = self.read_log(exec_id)?;
+
+        let mut trace = ExecutionTrace::default();
+        let mut links = Vec::new();
+        let mut push_part = |part: &SegmentData| -> Result<(), PersistError> {
+            for c in &part.calls {
+                trace.calls.push(call_record(&doc, c)?);
+            }
+            for (f, t) in &part.links {
+                links.push(resolve_link(&doc, f, t)?);
+            }
+            Ok(())
+        };
+        for s in &segs {
+            push_part(s)?;
+        }
+        if let Some(d) = &delta {
+            push_part(d)?;
+        }
+
+        let snapshot = match marks.get(exec_id).and_then(|m| m.snapshot_epoch) {
+            Some(epoch) => {
+                let snap = snapshot::read(&self.snapshot_path(exec_id, epoch))?;
+                // A stale snapshot (crash between delta write and snapshot
+                // write) is discarded; the caller rebuilds from the log.
+                (snap.calls == trace.len()).then_some(snap)
+            }
+            None => None,
+        };
+        COLD_LOADS.inc();
+        Ok(Some(StoredExecution { doc, trace, links, snapshot }))
+    }
+
+    /// Seal the delta into a fresh segment, then fold sealed segments into
+    /// one once more than [`MAX_SEGMENTS`] exist. Returns `true` if any
+    /// file changed.
+    pub fn compact(&self, exec_id: &str) -> Result<bool, PersistError> {
+        let mut marks = self.marks.lock().expect("store marks poisoned");
+        self.ensure_mark(&mut marks, exec_id)?;
+        let mark = marks.get_mut(exec_id).expect("mark just ensured");
+        let mut changed = false;
+
+        let (_, delta) = self.read_log(exec_id)?;
+        if let Some(delta) = delta {
+            if !delta.calls.is_empty() || !delta.links.is_empty() {
+                let next = mark.segments.last().copied().unwrap_or(0) + 1;
+                segment::write(&self.segment_path(exec_id, next), exec_id, &delta)?;
+                let _ = std::fs::remove_file(self.delta_path(exec_id));
+                mark.segments.push(next);
+                mark.sealed_calls += delta.calls.len();
+                mark.delta_calls = 0;
+                SEGMENTS.inc();
+                COMPACTIONS.inc();
+                changed = true;
+            }
+        }
+
+        if mark.segments.len() > MAX_SEGMENTS {
+            let (segs, _) = self.read_log(exec_id)?;
+            let mut merged = SegmentData::default();
+            for s in segs {
+                merged.calls.extend(s.calls);
+                merged.links.extend(s.links);
+            }
+            let next = mark.segments.last().copied().unwrap_or(0) + 1;
+            segment::write(&self.segment_path(exec_id, next), exec_id, &merged)?;
+            // Unlink the inputs only after the merged segment is durable;
+            // a crash in between leaves duplicates the reader skips.
+            for n in std::mem::take(&mut mark.segments) {
+                let _ = std::fs::remove_file(self.segment_path(exec_id, n));
+            }
+            mark.segments = vec![next];
+            SEGMENTS.inc();
+            changed = true;
+        }
+        Ok(changed)
+    }
+
+    /// Run [`compact`](Self::compact) over every stored execution.
+    /// Returns how many executions changed on disk.
+    pub fn compact_all(&self) -> Result<usize, PersistError> {
+        let mut changed = 0;
+        for id in self.execution_ids() {
+            if self.compact(&id)? {
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Project a [`CallRecord`] to its storable form, produced nodes resolved
+/// to URIs through the document.
+fn segment_call(doc: &Document, c: &CallRecord) -> SegmentCall {
+    SegmentCall {
+        service: c.service.clone(),
+        time: c.time,
+        input: (c.input.node_count(), c.input.resource_count()),
+        output: (c.output.node_count(), c.output.resource_count()),
+        channel: c.channel.clone(),
+        produced: c
+            .produced
+            .iter()
+            .filter_map(|&n| doc.resource(n).map(|m| m.uri.clone()))
+            .collect(),
+    }
+}
+
+/// Rehydrate a stored call against the reloaded document.
+fn call_record(doc: &Document, c: &SegmentCall) -> Result<CallRecord, PersistError> {
+    let produced = c
+        .produced
+        .iter()
+        .map(|u| {
+            doc.node_by_uri(u).ok_or_else(|| PersistError::Trace {
+                line: 0,
+                message: format!("produced uri {u:?} not in document"),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CallRecord {
+        service: c.service.clone(),
+        time: c.time,
+        input: c.input_mark(),
+        output: c.output_mark(),
+        produced,
+        channel: c.channel.clone(),
+    })
+}
+
+fn resolve_link(doc: &Document, from: &str, to: &str) -> Result<ProvLink, PersistError> {
+    let resolve = |uri: &str| {
+        doc.node_by_uri(uri).ok_or_else(|| PersistError::Trace {
+            line: 0,
+            message: format!("link uri {uri:?} not in document"),
+        })
+    };
+    Ok(ProvLink {
+        from: resolve(from)?,
+        from_uri: from.to_string(),
+        to: resolve(to)?,
+        to_uri: to.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -90,6 +90,15 @@ impl TraceStore {
         self.traces.read().expect("lock poisoned").get(exec_id).cloned()
     }
 
+    /// Drop an execution's structured trace (LRU eviction by the
+    /// platform's store layer). The RDF mirror is shared across executions
+    /// and is left in place — re-recording the trace on a later cold load
+    /// re-inserts the same triples, which the set-semantics store
+    /// deduplicates. Returns whether anything was removed.
+    pub fn remove(&self, exec_id: &str) -> bool {
+        self.traces.write().expect("lock poisoned").remove(exec_id).is_some()
+    }
+
     /// Snapshot of the RDF mirror.
     pub fn triples(&self) -> TripleStore {
         self.triples.read().expect("lock poisoned").clone()

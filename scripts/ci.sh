@@ -288,6 +288,150 @@ print("ci: load-smoke metrics ok "
       f"(requests={counters['serve.requests']}, batches={counters['serve.batch.requests']})")
 PY
 
+echo "==> store cold-restart smoke (--store survives a daemon restart)"
+store_dir="$metrics_dir/store"
+./target/release/weblab --metrics-out "$metrics_dir/store1.json" \
+    serve --port 0 --workers 2 --store "$store_dir" --max-resident 4 \
+    --compact-every 200 \
+    > "$metrics_dir/store1.out" 2> "$metrics_dir/store1.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$metrics_dir/store1.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$metrics_dir/store1.out")"
+[ -n "$addr" ] || { echo "ci: store smoke serve never printed its address" >&2; exit 1; }
+python3 - "$addr" "$metrics_dir/store_replies.txt" <<'PY'
+import json, socket, sys, time
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+def send(req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    return f.readline()
+
+xml = ('<Resource wl:id="weblab://doc/cold">'
+       '<NativeContent wl:id="weblab://src/0" wl:s="Source" wl:t="0">'
+       'the text is in the language for peace</NativeContent></Resource>')
+r = json.loads(send({"op": "ingest", "exec": "cold", "xml": xml,
+                     "pipeline": ["Normaliser", "LanguageExtractor"]}))
+assert r.get("ok") and r["result"]["links"] >= 1, r
+
+# the exact query lines the restarted daemon will re-answer below
+derived = ("PREFIX prov: <http://www.w3.org/ns/prov#> "
+           "SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }")
+queries = [
+    {"op": "why", "exec": "cold", "uri": "weblab://src/0"},
+    {"op": "lineage", "exec": "cold", "uri": "weblab://src/0", "depth": 3},
+    {"op": "impacted-by", "exec": "cold", "uri": "weblab://src/0"},
+    {"op": "sparql", "exec": "cold", "query": derived},
+    {"op": "batch", "exec": "cold", "requests": [
+        {"op": "why", "uri": "weblab://src/0"},
+        {"op": "sparql", "query": derived}]},
+]
+replies = []
+for q in queries:
+    line = send(q)
+    assert json.loads(line).get("ok"), line
+    replies.append(line)
+with open(sys.argv[2], "w") as out:
+    out.writelines(replies)
+
+# give the background compactor (--compact-every 200) time to seal the
+# write-through delta into a segment before shutdown
+time.sleep(1.5)
+r = json.loads(send({"op": "shutdown"}))
+assert r.get("ok") and r["result"]["stopping"], r
+sock.close()
+print(f"ci: store smoke run 1 ok ({len(replies)} reply lines saved)")
+PY
+wait "$serve_pid" || { echo "ci: store smoke serve did not shut down cleanly" >&2; exit 1; }
+serve_pid=""
+python3 - "$metrics_dir/store1.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+
+# the execution was written through to disk and compacted in place
+assert counters.get("store.delta_appends", 0) >= 1, counters.get("store.delta_appends")
+assert counters.get("store.snapshots", 0) >= 1, counters.get("store.snapshots")
+assert counters.get("store.segments", 0) >= 1, \
+    f"compactor sealed no segment: {counters.get('store.segments')}"
+assert counters.get("store.compactions", 0) >= 1, counters.get("store.compactions")
+# everything stayed resident: serving never touched the disk path
+assert counters.get("store.cold_loads", 0) == 0, counters.get("store.cold_loads")
+print("ci: store write-through metrics ok "
+      f"(segments={counters['store.segments']}, snapshots={counters['store.snapshots']})")
+PY
+./target/release/weblab --metrics-out "$metrics_dir/store2.json" \
+    serve --port 0 --workers 2 --store "$store_dir" --max-resident 4 \
+    > "$metrics_dir/store2.out" 2> "$metrics_dir/store2.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$metrics_dir/store2.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$metrics_dir/store2.out")"
+[ -n "$addr" ] || { echo "ci: restarted serve never printed its address" >&2; exit 1; }
+python3 - "$addr" "$metrics_dir/store_replies.txt" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+def send(req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    return f.readline()
+
+derived = ("PREFIX prov: <http://www.w3.org/ns/prov#> "
+           "SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }")
+queries = [
+    {"op": "why", "exec": "cold", "uri": "weblab://src/0"},
+    {"op": "lineage", "exec": "cold", "uri": "weblab://src/0", "depth": 3},
+    {"op": "impacted-by", "exec": "cold", "uri": "weblab://src/0"},
+    {"op": "sparql", "exec": "cold", "query": derived},
+    {"op": "batch", "exec": "cold", "requests": [
+        {"op": "why", "uri": "weblab://src/0"},
+        {"op": "sparql", "query": derived}]},
+]
+with open(sys.argv[2]) as saved:
+    expected = saved.readlines()
+assert len(expected) == len(queries)
+for q, want in zip(queries, expected):
+    got = send(q)
+    assert got == want, \
+        f"restart changed served bytes for {q['op']}:\n  was {want!r}\n  now {got!r}"
+
+r = json.loads(send({"op": "status"}))
+assert r.get("ok"), r
+execs = {e["id"]: e for e in r["result"]["executions"]}
+assert "cold" in execs and execs["cold"]["resident"], execs
+r = json.loads(send({"op": "shutdown"}))
+assert r.get("ok") and r["result"]["stopping"], r
+sock.close()
+print(f"ci: cold-restart replies byte-identical ({len(expected)} lines)")
+PY
+wait "$serve_pid" || { echo "ci: restarted serve did not shut down cleanly" >&2; exit 1; }
+serve_pid=""
+python3 - "$metrics_dir/store2.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+
+# the first query after restart pulled the execution off disk
+assert counters.get("store.cold_loads", 0) >= 1, \
+    f"restart never cold-loaded: {counters.get('store.cold_loads')}"
+assert counters.get("serve.errors", 0) == 0, counters.get("serve.errors")
+print(f"ci: cold-restart metrics ok (cold_loads={counters['store.cold_loads']})")
+PY
+
 echo "==> X13 snapshot validation (BENCH_X13_sparql.json)"
 python3 - BENCH_X13_sparql.json <<'PY'
 import json, sys
@@ -325,6 +469,36 @@ assert snap["unbatched"]["subs"] == snap["batched"]["subs"], \
 assert snap["speedup"] >= 2, f"batching speedup under 2x: {snap['speedup']}"
 print(f"ci: X14 snapshot ok ({snap['conns']} conns, "
       f"{snap['speedup']}x batched vs unbatched at batch size {snap['batch_size']})")
+PY
+
+echo "==> X15 snapshot validation (BENCH_X15_store.json)"
+python3 - BENCH_X15_store.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+assert snap["experiment"] == "X15", snap
+assert snap["executions"] >= 8, f"X15 working set too small: {snap['executions']}"
+assert snap["byte_identical"] is True, \
+    "cold-loaded answers diverged from resident bytes"
+for phase, keys in (("resident", ("queries", "p50_ns", "p99_ns")),
+                    ("cold", ("loads", "p50_ns", "p99_ns", "over_resident")),
+                    ("evict", ("count", "wall_ns", "per_sec")),
+                    ("restart", ("queries", "wall_ns", "compacted"))):
+    for key in keys:
+        assert key in snap[phase], f"{phase} snapshot missing {key!r}"
+assert snap["cold"]["loads"] >= snap["executions"], \
+    "every execution must be cold-loaded at least once"
+assert snap["cold"]["over_resident"] >= 1, \
+    f"a cold load cannot be cheaper than a resident lookup: {snap['cold']}"
+assert snap["evict"]["count"] >= snap["executions"], snap["evict"]
+counters = snap["counters"]
+assert counters["cold_loads"] >= snap["cold"]["loads"], counters
+assert counters["segments"] >= 1, "compaction sealed no segments"
+assert counters["evictions"] == snap["evict"]["count"], counters
+print(f"ci: X15 snapshot ok ({snap['executions']} executions, cold loads "
+      f"{snap['cold']['over_resident']}x resident p50, byte-identical)")
 PY
 
 echo "ci: all gates passed"

@@ -47,7 +47,9 @@
 //!     List the built-in services and their default mapping rules.
 //!
 //! weblab serve [--port N] [--workers N] [--max-rows N] [--max-batch N]
-//!              [--max-conns N] [--idle-timeout MS] [catalog.txt]
+//!              [--max-conns N] [--idle-timeout MS]
+//!              [--store DIR [--max-resident N] [--compact-every MS]]
+//!              [catalog.txt]
 //!     Start the long-running provenance query service: a TCP daemon
 //!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
 //!     `common-origins`, `sparql`, `batch`, `ingest`, `status`,
@@ -63,7 +65,14 @@
 //!     `batch-limit`), `--max-conns N` caps concurrent connections
 //!     (default 1024; code `overloaded`), `--idle-timeout MS` closes
 //!     idle connections (default 300000; 0 disables; code
-//!     `idle-timeout`).
+//!     `idle-timeout`). `--store DIR` attaches the disk-backed sharded
+//!     provenance store: every execution is written through to DIR, at
+//!     most `--max-resident N` executions (default 64) stay in memory,
+//!     and evicted executions cold-load transparently — answers are
+//!     byte-identical to the resident path, and a restarted daemon
+//!     serves the previous daemon's executions. A background compactor
+//!     seals delta files into segments every `--compact-every MS`
+//!     (default 5000; 0 disables).
 //! ```
 //!
 //! Catalog files use the Service Catalog text format (see
@@ -613,10 +622,26 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut max_batch: usize = weblab::serve::DEFAULT_MAX_BATCH;
     let mut max_conns: usize = weblab::serve::DEFAULT_MAX_CONNS;
     let mut idle_timeout = Some(weblab::serve::DEFAULT_IDLE_TIMEOUT);
+    let mut store_dir: Option<String> = None;
+    let mut max_resident: usize = 64;
+    let mut compact_every: u64 = 5000;
     let mut catalog = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--store" => store_dir = Some(it.next().ok_or("missing value for --store")?.clone()),
+            "--max-resident" => {
+                let v = it.next().ok_or("missing value for --max-resident")?;
+                max_resident = v
+                    .parse()
+                    .map_err(|_| format!("--max-resident expects an execution count, got {v:?}"))?;
+            }
+            "--compact-every" => {
+                let v = it.next().ok_or("missing value for --compact-every")?;
+                compact_every = v.parse().map_err(|_| {
+                    format!("--compact-every expects milliseconds (0 disables), got {v:?}")
+                })?;
+            }
             "--port" => {
                 let v = it.next().ok_or("missing value for --port")?;
                 port = v
@@ -682,7 +707,29 @@ fn cmd_serve(args: &[String]) -> CliResult {
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
         platform.register_service(Arc::from(svc), &refs)?;
     }
-    let server = Server::bind(Arc::new(platform), &format!("127.0.0.1:{port}"))
+    if let Some(dir) = &store_dir {
+        let store = weblab::platform::ProvStore::open(dir)
+            .map_err(|e| WebLabError::io(format!("opening store {dir}"), std::io::Error::other(e.to_string())))?;
+        platform.attach_store(store, max_resident.max(1))?;
+        eprintln!("store attached at {dir} (max {max_resident} resident)");
+    }
+    let platform = Arc::new(platform);
+    if store_dir.is_some() && compact_every > 0 {
+        // Background compactor: periodically seal delta files into
+        // segments and fold old segments together. Detached — it dies
+        // with the process after the serve loop returns.
+        let compactor = Arc::clone(&platform);
+        let every = std::time::Duration::from_millis(compact_every);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if let Some(store) = compactor.store() {
+                if let Err(e) = store.compact_all() {
+                    eprintln!("store compaction failed: {e}");
+                }
+            }
+        });
+    }
+    let server = Server::bind(platform, &format!("127.0.0.1:{port}"))
         .map_err(|e| WebLabError::io(format!("binding 127.0.0.1:{port}"), e))?
         .max_rows(max_rows)
         .max_batch(max_batch)

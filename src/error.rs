@@ -89,6 +89,7 @@ impl WebLabError {
             WebLabError::Platform(PlatformError::Recorder(_)) => "recorder",
             WebLabError::Platform(PlatformError::Mapper(_)) => "mapper",
             WebLabError::Platform(PlatformError::Sparql(_)) | WebLabError::Sparql(_) => "sparql",
+            WebLabError::Platform(PlatformError::Store(_)) => "store",
             WebLabError::Persist(_) => "persist",
             WebLabError::Xml(_) => "xml",
             WebLabError::Io { .. } => "io",

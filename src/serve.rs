@@ -777,6 +777,7 @@ fn dispatch(
                     Json::obj(vec![
                         ("id", Json::str(handle.id())),
                         ("live", Json::Bool(handle.live_enabled())),
+                        ("resident", Json::Bool(handle.is_resident())),
                     ])
                 })
                 .collect();
