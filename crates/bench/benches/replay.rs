@@ -1,0 +1,237 @@
+//! X16 — provenance-guided incremental replay vs full re-execution.
+//!
+//! A corpus of [`X16_SOURCES`] independent sources is mined by one
+//! per-source service each (an expensive, deterministic digest over the
+//! source text), so the provenance graph is a disjoint union of
+//! source→unit chains and the dirty cone of a changed-source set is
+//! exactly its own chains. The experiment mutates 10% and 50% of the
+//! sources and compares:
+//!
+//! * **full** — re-executing the whole workflow on the changed corpus;
+//! * **replay** — `Orchestrator::replay` under [`ProofMode::Trusted`],
+//!   re-executing only the dirty services and splicing the rest forward.
+//!
+//! Every replayed document is asserted **byte-identical** to the full
+//! re-run — the headline replay contract — and the `replay.*` counters
+//! are cross-checked against the scenario's dirty fraction. Results go to
+//! `BENCH_X16_replay.json` at the repo root (validated by
+//! `scripts/ci.sh`); the acceptance bar is a ≥2x wall-clock win at the
+//! 10% dirty cone.
+//!
+//! Under `cargo test` (`--test`) the harness runs scaled down as a
+//! correctness smoke and skips the timing assertions and the snapshot
+//! write. `X16_SOURCES` / `X16_ROUNDS` / `X16_WORK` override the shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::time::Instant;
+
+use weblab_obs as obs;
+use weblab_prov::{
+    dirty_cone, infer_provenance, EngineOptions, InheritMode, ReachabilityIndex, RuleSet,
+};
+use weblab_workflow::{CallContext, Orchestrator, ProofMode, Service, Workflow, WorkflowError};
+use weblab_xml::{to_xml_string, CallLabel, Document};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic per-source miner: digests its source's text with an
+/// expensive FNV loop (`work` rounds) and appends one `TextMediaUnit`
+/// linked back via `@origin` — the canonical mapping-rule shape, so each
+/// miner's unit depends on exactly its own source.
+struct SourceMiner {
+    name: String,
+    source_uri: String,
+    work: usize,
+}
+
+impl SourceMiner {
+    fn new(i: usize, work: usize) -> Self {
+        SourceMiner {
+            name: format!("Miner{i}"),
+            source_uri: format!("weblab://src/{i}"),
+            work,
+        }
+    }
+}
+
+impl Service for SourceMiner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let v = doc.view();
+        let root = doc.root();
+        let text = v
+            .descendants(root)
+            .find(|&n| v.uri(n) == Some(&self.source_uri))
+            .map(|n| v.text_content(n))
+            .ok_or_else(|| WorkflowError::Service {
+                service: self.name.clone(),
+                message: format!("source {} not found", self.source_uri),
+            })?;
+        // The expensive, fully deterministic "mining" step.
+        let mut digest: u64 = 0xcbf29ce484222325;
+        for _ in 0..self.work {
+            for b in text.bytes() {
+                digest ^= u64::from(b);
+                digest = digest.wrapping_mul(0x100000001b3);
+            }
+        }
+        let unit = doc.append_element(root, "TextMediaUnit")?;
+        doc.set_attr(unit, "origin", self.source_uri.clone())?;
+        doc.set_attr(unit, "digest", format!("{digest:016x}"))?;
+        doc.append_text(unit, format!("mined {} bytes", text.len()))?;
+        ctx.register(doc, unit)?;
+        Ok(())
+    }
+}
+
+/// A corpus with `n` independent sources, payloads varied by `salt`.
+fn corpus(n: usize, salt: u64, dirty: &HashSet<usize>) -> Document {
+    let mut d = Document::new("Resource");
+    let root = d.root();
+    d.register_resource(root, "weblab://doc/x16", None).unwrap();
+    for i in 0..n {
+        let el = d.append_element(root, "NativeContent").unwrap();
+        d.set_attr(el, "mime", "text/plain").unwrap();
+        d.register_resource(el, format!("weblab://src/{i}"), Some(CallLabel::new("Source", 0)))
+            .unwrap();
+        let version = if dirty.contains(&i) { salt } else { 0 };
+        d.append_text(el, format!("source {i} revision {version} of the archive text"))
+            .unwrap();
+    }
+    d
+}
+
+fn bench_x16(_c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let sources = env_usize("X16_SOURCES", if test_mode { 10 } else { 20 });
+    let rounds = env_usize("X16_ROUNDS", if test_mode { 1 } else { 5 });
+    let work = env_usize("X16_WORK", if test_mode { 200 } else { 20_000 });
+
+    obs::enable();
+
+    let mut wf = Workflow::new();
+    let mut rules = RuleSet::new();
+    for i in 0..sources {
+        wf = wf.then(SourceMiner::new(i, work));
+        rules
+            .add_parsed(
+                format!("Miner{i}"),
+                "//NativeContent[$x := @id] => //TextMediaUnit[@origin = $x]",
+            )
+            .unwrap();
+    }
+
+    let mut prior_doc = corpus(sources, 0, &HashSet::new());
+    let prior = Orchestrator::new().execute(&wf, &mut prior_doc).expect("prior run");
+
+    // The cone comes from the prior run's provenance, as `weblab replay`
+    // computes it: inherit-mode inference + reachability closure.
+    let graph = infer_provenance(
+        &prior_doc,
+        &prior.trace,
+        &rules,
+        &EngineOptions {
+            inherit: InheritMode::PatternRewrite,
+            ..EngineOptions::default()
+        },
+    );
+    let index = ReachabilityIndex::from_graph(&graph);
+
+    let mut scenario_lines = Vec::new();
+    let mut speedup_at_10 = 0.0f64;
+    for dirty_pct in [10usize, 50] {
+        let n_dirty = (sources * dirty_pct).div_ceil(100).max(1);
+        // Spread the dirty set across the corpus.
+        let dirty_idx: HashSet<usize> = (0..n_dirty).map(|k| k * sources / n_dirty).collect();
+        let changed_uris: Vec<String> = dirty_idx
+            .iter()
+            .map(|i| format!("weblab://src/{i}"))
+            .collect();
+        let cone: HashSet<String> =
+            dirty_cone(&index, &changed_uris).into_iter().collect();
+
+        let mut full_ns = 0u64;
+        let mut replay_ns = 0u64;
+        let mut recomputed = 0usize;
+        let mut reused = 0usize;
+        let mut byte_identical = true;
+        for round in 0..rounds {
+            let salt = 1 + round as u64;
+            let mut full_doc = corpus(sources, salt, &dirty_idx);
+            let t0 = Instant::now();
+            let full = Orchestrator::new().execute(&wf, &mut full_doc).expect("full re-run");
+            full_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+            let mut replay_doc = corpus(sources, salt, &dirty_idx);
+            let t0 = Instant::now();
+            let replayed = Orchestrator::new()
+                .replay(
+                    &wf,
+                    &mut replay_doc,
+                    &prior_doc,
+                    &prior.trace,
+                    &cone,
+                    ProofMode::Trusted,
+                )
+                .expect("replay");
+            replay_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+            byte_identical &=
+                to_xml_string(&replay_doc.view()) == to_xml_string(&full_doc.view());
+            assert_eq!(replayed.outcome.trace.calls, full.trace.calls);
+            assert_eq!(replayed.recomputed, n_dirty, "dirty fraction mismatch");
+            recomputed = replayed.recomputed;
+            reused = replayed.reused;
+        }
+        assert!(byte_identical, "replay diverged from the full re-run at {dirty_pct}%");
+
+        let speedup = full_ns as f64 / replay_ns.max(1) as f64;
+        if dirty_pct == 10 {
+            speedup_at_10 = speedup;
+        }
+        println!(
+            "x16_replay/{dirty_pct}%: full {:.2} ms, replay {:.2} ms ({speedup:.1}x), \
+             recomputed {recomputed}/{sources}, reused {reused}",
+            full_ns as f64 / 1e6 / rounds as f64,
+            replay_ns as f64 / 1e6 / rounds as f64,
+        );
+        scenario_lines.push(format!(
+            "{{\"dirty_pct\": {dirty_pct}, \"cone\": {}, \"recomputed\": {recomputed}, \
+             \"reused\": {reused}, \"full_ns\": {}, \"replay_ns\": {}, \
+             \"speedup\": {speedup:.1}}}",
+            cone.len(),
+            full_ns / rounds as u64,
+            replay_ns / rounds as u64,
+        ));
+    }
+
+    obs::disable();
+    if test_mode {
+        return; // scaled-down smoke: skip timing assertions + snapshot
+    }
+    assert!(
+        speedup_at_10 >= 2.0,
+        "replay at a 10% dirty cone must beat a full re-run 2x, got {speedup_at_10:.2}x"
+    );
+
+    let snapshot = format!(
+        "{{\n  \"experiment\": \"X16\",\n  \"sources\": {sources},\n  \"rounds\": {rounds},\n  \
+           \"work\": {work},\n  \"byte_identical\": true,\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
+        scenario_lines.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_X16_replay.json");
+    std::fs::write(path, snapshot).expect("write BENCH_X16_replay.json");
+    println!("x16_replay/snapshot written to {path}");
+}
+
+criterion_group!(benches, bench_x16);
+criterion_main!(benches);

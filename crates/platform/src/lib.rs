@@ -53,7 +53,9 @@ mod trace_store;
 
 pub use catalog::{CatalogError, ServiceCatalog, ServiceEntry};
 pub use mapper::{Mapper, MapperError, MapperStrategy};
-pub use platform::{ExecutionHandle, Platform, PlatformError, SpecStep, WorkflowSpec};
+pub use platform::{
+    ExecutionHandle, Platform, PlatformError, ReplayReport, SpecStep, WorkflowSpec,
+};
 pub use query::{ProvQuery, QueryAnswer};
 pub use recorder::{merge_exchange, Recorder, RecorderError};
 pub use repository::ResourceRepository;

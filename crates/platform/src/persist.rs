@@ -102,6 +102,15 @@ pub enum PersistError {
         /// Description.
         message: String,
     },
+    /// The store directory is locked by another live process (a second
+    /// daemon attached the same `--store` directory). Stable error code:
+    /// `store-locked`.
+    StoreLocked {
+        /// The locked store directory.
+        path: String,
+        /// Pid of the live owner found in the lock file.
+        pid: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -117,6 +126,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::Checkpoint { message } => {
                 write!(f, "checkpoint format error: {message}")
+            }
+            PersistError::StoreLocked { path, pid } => {
+                write!(f, "store directory {path} is locked by running process {pid}")
             }
         }
     }

@@ -14,17 +14,21 @@
 //! `dependencies_of`, …) survives as `#[deprecated]` shims delegating to
 //! the same internals, so pre-existing callers compile unchanged.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 use std::sync::{Mutex, RwLock};
 use weblab_obs::{Counter, Gauge};
 use weblab_prov::{
-    EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph, ReachabilityIndex,
+    dirty_cone, EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph,
+    ReachabilityIndex,
 };
 use weblab_rdf::{export_prov, export_prov_into, parse_select, select, QueryEngine, Solution, SparqlError, TripleStore};
-use weblab_workflow::{next_time, FaultPolicy, Orchestrator, Service, Workflow, WorkflowError};
+use weblab_workflow::{
+    next_time, FaultPolicy, FragmentGrade, Orchestrator, ProofMode, Service, Workflow,
+    WorkflowError,
+};
 use weblab_xml::Document;
 
 use crate::catalog::{CatalogError, ServiceCatalog};
@@ -155,6 +159,24 @@ impl WorkflowSpec {
         self.steps.push(SpecStep::Parallel(branches));
         self
     }
+}
+
+/// Summary of a [`Platform::replay_execution`] run — the serve protocol's
+/// `replay` response body.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Id the replayed execution was registered under.
+    pub execution: String,
+    /// Size of the dirty cone (changed URIs plus everything impacted).
+    pub cone_size: usize,
+    /// Prior calls reused via fragment splicing.
+    pub reused: usize,
+    /// Prior calls re-executed because their outputs sat in the cone.
+    pub recomputed: usize,
+    /// Fragments spliced forward from the prior document.
+    pub splices: usize,
+    /// Per-fragment verification grades (empty under [`ProofMode::Trusted`]).
+    pub grades: Vec<FragmentGrade>,
 }
 
 /// The assembled platform.
@@ -490,6 +512,119 @@ impl Platform {
         self.repository.put(exec_id, doc);
         self.persist_through(exec_id)?;
         Ok(())
+    }
+
+    /// Incrementally recompute a prior execution under a changed input
+    /// document, registering the result as the new execution `new_id`.
+    ///
+    /// The dirty cone is taken from the prior execution's published
+    /// [`EpochSnapshot`] ([`dirty_cone`] over `changed_uris`, widened with
+    /// an inherit-mode inference so contained resources are covered); only calls
+    /// whose produced resources intersect it are re-executed, every other
+    /// fragment is spliced forward from the prior document (see
+    /// [`Orchestrator::replay`]). `changed` must be the prior execution's
+    /// *initial* document with the changed artifacts edited in place —
+    /// structure-preserving, same node arena shape.
+    ///
+    /// Only sequential traces can be replayed (parallel-channel traces
+    /// interleave call ranges, which the splice planner does not model).
+    /// The prior execution is left untouched; `new_id` must be fresh.
+    pub fn replay_execution(
+        &self,
+        prior_id: &str,
+        new_id: &str,
+        mut changed: Document,
+        changed_uris: &[String],
+        proof: ProofMode,
+    ) -> Result<ReplayReport, PlatformError> {
+        let replay_err = |message: &str| {
+            PlatformError::Workflow(WorkflowError::Service {
+                service: "replay".into(),
+                message: message.into(),
+            })
+        };
+        if new_id == prior_id
+            || self.repository.with(new_id, |_| ()).is_some()
+            || self.store_state().is_some_and(|ss| ss.store.contains(new_id))
+        {
+            return Err(replay_err(&format!(
+                "replay target {new_id:?} already exists; pick a fresh execution id"
+            )));
+        }
+        self.ensure_resident(prior_id)?;
+        let prior_doc = self
+            .repository
+            .get(prior_id)
+            .ok_or_else(|| PlatformError::UnknownExecution(prior_id.to_string()))?;
+        let prior_trace = self
+            .traces
+            .get(prior_id)
+            .filter(|t| !t.calls.is_empty())
+            .ok_or_else(|| PlatformError::UnknownExecution(prior_id.to_string()))?;
+        if prior_trace.has_parallel_channels() {
+            return Err(replay_err(
+                "cannot replay a parallel-channel trace; re-execute the workflow instead",
+            ));
+        }
+        let names: Vec<&str> = prior_trace.calls.iter().map(|c| c.service.as_str()).collect();
+        let workflow = self.build_workflow(&WorkflowSpec::sequence(&names))?;
+        let snap = self.snapshot_impl(prior_id)?;
+        // The published snapshot's links may omit containment (inherited)
+        // provenance — a fragment's non-anchor resources (a unit's
+        // TextContent) would then have no link to the changed source and
+        // their consumers would be spliced stale. Union the snapshot cone
+        // with one over an inherit-mode inference of the prior execution.
+        let rules = self.catalog.read().expect("lock poisoned").rule_set();
+        let inherit_graph = weblab_prov::infer_provenance(
+            &prior_doc,
+            &prior_trace,
+            &rules,
+            &EngineOptions {
+                inherit: weblab_prov::InheritMode::PatternRewrite,
+                ..EngineOptions::default()
+            },
+        );
+        let inherit_index = weblab_prov::ReachabilityIndex::from_graph(&inherit_graph);
+        let mut dirty: HashSet<String> =
+            dirty_cone(&snap.index, changed_uris).into_iter().collect();
+        dirty.extend(dirty_cone(&inherit_index, changed_uris));
+        let replayed = Orchestrator::new().replay(
+            &workflow,
+            &mut changed,
+            &prior_doc,
+            &prior_trace,
+            &dirty,
+            proof,
+        )?;
+        // Register the result exactly as execute_spec persists a run:
+        // calls into the trace store, document into the repository, then
+        // write-through. Live mode is inherited from the prior execution
+        // through the proven "enabled late" catch-up path.
+        for call in &replayed.outcome.trace.calls {
+            let produced_uris: Vec<String> = call
+                .produced
+                .iter()
+                .filter_map(|&n| changed.resource(n).map(|m| m.uri.clone()))
+                .collect();
+            self.traces.record(new_id, call.clone(), &produced_uris);
+        }
+        if self.live_enabled_impl(prior_id) {
+            self.enable_live_impl(new_id);
+        }
+        self.repository.put(new_id, changed);
+        if let Some(ss) = self.store_state() {
+            self.touch_lru(&ss, new_id);
+            self.persist_through(new_id)?;
+            self.evict_excess(&ss, new_id)?;
+        }
+        Ok(ReplayReport {
+            execution: new_id.to_string(),
+            cone_size: replayed.cone_size,
+            reused: replayed.reused,
+            recomputed: replayed.recomputed,
+            splices: replayed.splices,
+            grades: replayed.grades,
+        })
     }
 
     fn build_workflow(&self, spec: &WorkflowSpec) -> Result<Workflow, PlatformError> {
@@ -989,6 +1124,20 @@ impl ExecutionHandle<'_> {
     /// Execute a [`WorkflowSpec`], possibly with parallel blocks.
     pub fn execute_spec(&self, spec: &WorkflowSpec) -> Result<(), PlatformError> {
         self.platform.execute_spec(&self.id, spec)
+    }
+
+    /// Incrementally recompute this execution under a changed input
+    /// document, registering the result as `new_id` — see
+    /// [`Platform::replay_execution`].
+    pub fn replay(
+        &self,
+        new_id: &str,
+        changed: Document,
+        changed_uris: &[String],
+        proof: ProofMode,
+    ) -> Result<ReplayReport, PlatformError> {
+        self.platform
+            .replay_execution(&self.id, new_id, changed, changed_uris, proof)
     }
 
     /// Switch this execution to live provenance maintenance: every

@@ -105,14 +105,54 @@ pub struct StoredExecution {
 pub struct ProvStore {
     root: PathBuf,
     marks: Mutex<HashMap<String, Mark>>,
+    /// Whether this handle wrote the directory's lock file (and must
+    /// remove it on drop). Always true for successfully opened stores;
+    /// kept as a field so a partially-constructed store can never unlink
+    /// another process's lock.
+    owns_lock: bool,
+}
+
+/// Is `pid` a live process? Answered from `/proc`; on platforms without
+/// procfs the question cannot be answered and the lock is treated as
+/// stale (same-process correctness is preserved by the pid equality
+/// check in [`ProvStore::open`]).
+fn process_alive(pid: u32) -> bool {
+    Path::new("/proc").is_dir() && Path::new(&format!("/proc/{pid}")).exists()
 }
 
 impl ProvStore {
     /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// The directory is guarded by a `store.lock` file holding the owner's
+    /// pid: a second daemon attaching the same `--store` directory while
+    /// the first is alive fails with [`PersistError::StoreLocked`] (stable
+    /// error code `store-locked`) instead of silently interleaving writes.
+    /// A lock left behind by a dead process — a daemon killed without
+    /// unwinding — is detected as stale on restart and reclaimed, and a
+    /// re-open from the *same* process (several platforms over one
+    /// directory in one test binary) is allowed: the guard is against
+    /// concurrent daemons, not re-entrant use.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(ProvStore { root, marks: Mutex::new(HashMap::new()) })
+        let lock = root.join("store.lock");
+        let own_pid = std::process::id();
+        if let Ok(contents) = std::fs::read_to_string(&lock) {
+            if let Ok(pid) = contents.trim().parse::<u32>() {
+                if pid != own_pid && process_alive(pid) {
+                    return Err(PersistError::StoreLocked {
+                        path: root.display().to_string(),
+                        pid,
+                    });
+                }
+            }
+        }
+        write_atomic(&lock, &format!("{own_pid}\n"))?;
+        Ok(ProvStore {
+            root,
+            marks: Mutex::new(HashMap::new()),
+            owns_lock: true,
+        })
     }
 
     /// The store's root directory.
@@ -487,6 +527,26 @@ impl ProvStore {
             }
         }
         Ok(changed)
+    }
+}
+
+impl Drop for ProvStore {
+    /// Release the directory lock — but only if this process still owns
+    /// it (a crashed-then-restarted daemon may have reclaimed a stale
+    /// lock this handle once held).
+    fn drop(&mut self) {
+        if !self.owns_lock {
+            return;
+        }
+        let lock = self.root.join("store.lock");
+        let ours = std::fs::read_to_string(&lock)
+            .ok()
+            .and_then(|c| c.trim().parse::<u32>().ok())
+            .map(|pid| pid == std::process::id())
+            .unwrap_or(false);
+        if ours {
+            let _ = std::fs::remove_file(&lock);
+        }
     }
 }
 

@@ -297,3 +297,42 @@ fn segment_encode_decode_is_stable() {
     // dictionary actually deduplicates: each distinct uri appears once
     assert_eq!(text.matches("uri: ").count(), 2);
 }
+
+#[test]
+fn lock_file_guards_against_a_second_live_owner() {
+    let root = tmpstore("lock");
+    let lock = {
+        let store = ProvStore::open(&root).unwrap();
+        let lock = store.root().join("store.lock");
+        // opening claims the lock with our pid
+        let owner: u32 = std::fs::read_to_string(&lock).unwrap().trim().parse().unwrap();
+        assert_eq!(owner, std::process::id());
+        // a reopen from the same process is allowed (it is not a second daemon)
+        let again = ProvStore::open(&root).unwrap();
+        drop(again);
+        lock
+    };
+    // a lock owned by a DIFFERENT live process (pid 1 is always running on
+    // Linux) must refuse the open with the stable store-locked error
+    std::fs::write(&lock, "1\n").unwrap();
+    match ProvStore::open(&root) {
+        Err(PersistError::StoreLocked { pid, .. }) => assert_eq!(pid, 1),
+        Err(other) => panic!("expected StoreLocked, got {other}"),
+        Ok(_) => panic!("expected StoreLocked, got a successful open"),
+    }
+    // a stale lock from a dead process is reclaimed on restart (the common
+    // case after a daemon was killed without unwinding)
+    std::fs::write(&lock, format!("{}\n", u32::MAX)).unwrap();
+    let store = ProvStore::open(&root).unwrap();
+    let owner: u32 = std::fs::read_to_string(&lock).unwrap().trim().parse().unwrap();
+    assert_eq!(owner, std::process::id());
+    // dropping the owner releases the lock
+    drop(store);
+    assert!(!lock.exists());
+    // garbage in the lock file never wedges the store
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(&lock, "not-a-pid\n").unwrap();
+    let store = ProvStore::open(&root).unwrap();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -49,6 +49,7 @@ pub mod index;
 pub mod live;
 pub mod paper_example;
 pub mod query;
+pub mod replay;
 mod rule;
 mod ruleset;
 pub mod skolem;
@@ -65,6 +66,7 @@ pub use engine::{
 };
 pub use executor::{run_units, Parallelism};
 pub use index::{EpochSnapshot, ReachabilityIndex};
+pub use replay::{dirty_cone, dirty_cone_closed, rebase_links};
 pub use live::{LiveDelta, LiveProvenance};
 pub use graph::{ProvenanceGraph, SourceEntry};
 pub use rule::{MappingRule, RuleError};

@@ -45,6 +45,7 @@
 pub mod generator;
 mod orchestrator;
 mod policy;
+mod replay;
 pub mod rng;
 mod service;
 pub mod services;
@@ -55,4 +56,5 @@ pub use orchestrator::{
     Workflow, WorkflowStep,
 };
 pub use policy::{FailurePolicy, FaultPolicy, RetryPolicy};
+pub use replay::{FragmentGrade, ProofMode, ReplayOutcome};
 pub use service::{CallContext, Service, WorkflowError};

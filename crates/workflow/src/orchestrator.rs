@@ -105,6 +105,12 @@ impl Workflow {
         self.steps.is_empty()
     }
 
+    /// The steps, for same-crate engines (the replay planner walks them
+    /// alongside a prior trace).
+    pub(crate) fn steps(&self) -> &[WorkflowStep] {
+        &self.steps
+    }
+
     /// Service names in control-flow order; parallel blocks are rendered
     /// as `[branch0 | branch1 | …]`.
     pub fn step_names(&self) -> Vec<String> {
@@ -318,7 +324,7 @@ impl Orchestrator {
     /// main-arena node ids — when the fork is merged, at which point the
     /// caller fires the hook per merged record).
     #[allow(clippy::too_many_arguments)]
-    fn exec_steps(
+    pub(crate) fn exec_steps(
         &self,
         steps: &[WorkflowStep],
         doc: &mut Document,

@@ -501,4 +501,83 @@ print(f"ci: X15 snapshot ok ({snap['executions']} executions, cold loads "
       f"{snap['cold']['over_resident']}x resident p50, byte-identical)")
 PY
 
+echo "==> store lock probe (second daemon on the same --store must fail)"
+lock_dir="$metrics_dir/lockstore"
+./target/release/weblab serve --port 0 --workers 1 --store "$lock_dir" \
+    > "$metrics_dir/lock1.out" 2> "$metrics_dir/lock1.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$metrics_dir/lock1.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$metrics_dir/lock1.out")"
+[ -n "$addr" ] || { echo "ci: lock probe daemon never printed its address" >&2; exit 1; }
+if ./target/release/weblab serve --port 0 --workers 1 --store "$lock_dir" \
+    > "$metrics_dir/lock2.out" 2> "$metrics_dir/lock2.err"; then
+    echo "ci: a second daemon on a locked store must fail" >&2; exit 1
+fi
+grep -q 'error\[store-locked\]' "$metrics_dir/lock2.err" \
+    || { echo "ci: locked store must fail with the stable store-locked code" >&2;
+         cat "$metrics_dir/lock2.err" >&2; exit 1; }
+python3 - "$addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+f.write(json.dumps({"op": "shutdown"}) + "\n")
+f.flush()
+assert json.loads(f.readline()).get("ok"), "shutdown failed"
+sock.close()
+PY
+wait "$serve_pid" || { echo "ci: lock probe daemon did not shut down cleanly" >&2; exit 1; }
+serve_pid=""
+echo "ci: store lock probe ok (second daemon refused with store-locked)"
+
+echo "==> replay smoke (incremental recomputation matches a full re-run)"
+replay_dir="$metrics_dir/replay"
+mkdir -p "$replay_dir"
+./target/release/weblab run data/sample_corpus.xml \
+    Normaliser,LanguageExtractor,Translator,Tokeniser \
+    --checkpoint "$replay_dir/ck" -o "$replay_dir/prior.xml"
+sed 's/the language of peace/the language of war/' data/sample_corpus.xml \
+    > "$replay_dir/changed.xml"
+./target/release/weblab replay "$replay_dir/changed.xml" \
+    --from "$replay_dir/ck" --exec sample_corpus \
+    --changed weblab://src/1 --proof exact \
+    -o "$replay_dir/replayed.xml" 2> "$replay_dir/replay.err"
+# the English source dirties 3 of the 4 pipeline services; the Translator
+# call (French chain only) must be spliced forward, not re-executed
+grep -q 'replayed 4 call(s): cone 5, reused 1, recomputed 3' "$replay_dir/replay.err" \
+    || { echo "ci: replay cone/reuse summary unexpected" >&2;
+         cat "$replay_dir/replay.err" >&2; exit 1; }
+./target/release/weblab run "$replay_dir/changed.xml" \
+    Normaliser,LanguageExtractor,Translator,Tokeniser -o "$replay_dir/full.xml"
+cmp "$replay_dir/replayed.xml" "$replay_dir/full.xml" \
+    || { echo "ci: replayed document is not byte-identical to the full re-run" >&2; exit 1; }
+echo "ci: replay smoke ok (recomputed 3 of 4 services, byte-identical output)"
+
+echo "==> X16 snapshot validation (BENCH_X16_replay.json)"
+python3 - BENCH_X16_replay.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+assert snap["experiment"] == "X16", snap
+assert snap["sources"] >= 16, f"X16 corpus too small: {snap['sources']}"
+assert snap["byte_identical"] is True, "replay diverged from the full re-run"
+pcts = {s["dirty_pct"]: s for s in snap["scenarios"]}
+assert 10 in pcts and 50 in pcts, f"X16 must cover 10% and 50% cones: {sorted(pcts)}"
+for s in snap["scenarios"]:
+    for key in ("cone", "recomputed", "reused", "full_ns", "replay_ns", "speedup"):
+        assert key in s, f"scenario missing {key!r}: {s}"
+    assert s["recomputed"] + s["reused"] == snap["sources"], s
+    assert s["recomputed"] <= max(1, -(-snap["sources"] * s["dirty_pct"] // 100)), s
+assert pcts[10]["speedup"] >= 2, \
+    f"X16 replay at a 10% cone under 2x: {pcts[10]['speedup']}"
+print(f"ci: X16 snapshot ok ({snap['sources']} sources, "
+      f"{pcts[10]['speedup']}x at 10% dirty, {pcts[50]['speedup']}x at 50%)")
+PY
+
 echo "ci: all gates passed"

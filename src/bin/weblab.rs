@@ -22,6 +22,23 @@
 //!     summary goes to stderr; `--link-store FILE` (implies `--live`)
 //!     additionally writes the links atomically with an integrity footer.
 //!
+//! weblab replay <changed.xml> --from DIR [--exec ID] --changed URI[,URI…]
+//!               [--proof trusted|exact|concordant] [--tolerance F]
+//!               [-o out.xml] [catalog.txt]
+//!     Provenance-guided incremental recomputation: re-run a prior
+//!     execution (persisted by `weblab run --checkpoint DIR`) under a
+//!     changed copy of its *input* document, re-executing only the
+//!     services whose outputs fall inside the dirty cone of the
+//!     `--changed` URIs (the `impacted-by` closure in the prior run's
+//!     provenance graph) and splicing every other fragment forward from
+//!     the prior result. The output is provably identical to a full
+//!     re-run. `--proof exact` sandbox-re-executes every reused step and
+//!     demands byte identity (fails loudly on nondeterministic services);
+//!     `--proof concordant` grades similarity and accepts fragments at or
+//!     above `--tolerance` (default 0.9), reporting per-fragment grades.
+//!     `--exec ID` defaults to the changed file's stem, matching the id
+//!     `weblab run` derives from its input path.
+//!
 //! weblab infer <stamped.xml> [catalog.txt] [--inherit] [--format table|turtle|provxml|dot] [--jobs N|auto]
 //!     Reconstruct the execution trace from the document's labels, apply
 //!     the mapping rules (built-in defaults, or a Service Catalog file) and
@@ -52,8 +69,8 @@
 //!              [catalog.txt]
 //!     Start the long-running provenance query service: a TCP daemon
 //!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
-//!     `common-origins`, `sparql`, `batch`, `ingest`, `status`,
-//!     `shutdown` — see DESIGN.md §10 and §12). A non-blocking event
+//!     `common-origins`, `sparql`, `batch`, `ingest`, `replay`,
+//!     `status`, `shutdown` — see DESIGN.md §10, §12 and §14). A non-blocking event
 //!     loop owns all sockets and pipelined requests; `--workers N` sizes
 //!     the dispatch pool (default 4). Queries answer from a published
 //!     reachability-index snapshot, concurrently with live ingestion;
@@ -90,8 +107,8 @@ use weblab::platform::{
     persist, Mapper, Platform, PlatformError, ProvQuery, QueryAnswer, ServiceCatalog,
 };
 use weblab::prov::{
-    infer_provenance, EngineOptions, ExecutionTrace, InheritMode, Parallelism, ProvenanceGraph,
-    RuleSet,
+    dirty_cone, infer_provenance, EngineOptions, ExecutionTrace, InheritMode, Parallelism,
+    ProvenanceGraph, ReachabilityIndex, RuleSet,
 };
 use weblab::rdf::{export_prov, to_turtle};
 use weblab::serve::Server;
@@ -100,7 +117,8 @@ use weblab::workflow::services::{
     OcrExtractor, SentimentAnalyser, SpeechTranscriber, Summariser, Tokeniser, Translator,
 };
 use weblab::workflow::{
-    AttemptStatus, FailurePolicy, FaultPolicy, Orchestrator, RetryPolicy, Service, Workflow,
+    AttemptStatus, FailurePolicy, FaultPolicy, Orchestrator, ProofMode, RetryPolicy, Service,
+    Workflow,
 };
 use weblab::xml::{parse_document, to_xml_string_pretty, Document};
 
@@ -118,13 +136,14 @@ fn main() -> ExitCode {
     }
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("why") => cmd_why(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("services") => cmd_services(),
         _ => {
-            eprintln!("usage: weblab <run|infer|query|why|serve|services> …  (see --help in the binary's doc comment)");
+            eprintln!("usage: weblab <run|replay|infer|query|why|serve|services> …  (see --help in the binary's doc comment)");
             return ExitCode::from(2);
         }
     };
@@ -520,6 +539,130 @@ fn cmd_run(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_replay(args: &[String]) -> CliResult {
+    let mut input = None;
+    let mut catalog = None;
+    let mut from: Option<String> = None;
+    let mut exec: Option<String> = None;
+    let mut changed: Vec<String> = Vec::new();
+    let mut proof = "trusted".to_string();
+    let mut tolerance: Option<f64> = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = Some(it.next().ok_or("missing value for -o")?.clone()),
+            "--from" => from = Some(it.next().ok_or("missing value for --from")?.clone()),
+            "--exec" => exec = Some(it.next().ok_or("missing value for --exec")?.clone()),
+            "--changed" => changed.extend(
+                it.next()
+                    .ok_or("missing value for --changed")?
+                    .split(',')
+                    .map(str::to_string),
+            ),
+            "--proof" => proof = it.next().ok_or("missing value for --proof")?.clone(),
+            "--tolerance" => {
+                let v = it.next().ok_or("missing value for --tolerance")?;
+                tolerance = Some(v.parse().map_err(|_| {
+                    format!("--tolerance expects a number in [0, 1], got {v:?}")
+                })?);
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other if catalog.is_none() => catalog = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let input = input.ok_or(
+        "usage: weblab replay <changed.xml> --from DIR [--exec ID] --changed URI[,URI…] \
+         [--proof trusted|exact|concordant] [--tolerance F] [-o out.xml] [catalog.txt]",
+    )?;
+    let from = from.ok_or("--from DIR is required (a weblab run --checkpoint directory)")?;
+    if changed.is_empty() {
+        return Err("--changed URI is required (repeat or comma-separate for several)".into());
+    }
+    let proof = match proof.as_str() {
+        "trusted" => ProofMode::Trusted,
+        "exact" => ProofMode::Exact,
+        "concordant" => ProofMode::Concordant {
+            tolerance: tolerance.unwrap_or(0.9),
+        },
+        other => {
+            return Err(
+                format!("--proof expects trusted|exact|concordant, got {other:?}").into(),
+            )
+        }
+    };
+
+    // the prior execution: document + trace persisted by `weblab run
+    // --checkpoint DIR` (ids derive from the input file stem there, so the
+    // same derivation is the default here)
+    let exec_id = exec.unwrap_or_else(|| {
+        std::path::Path::new(&input)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("execution")
+            .to_string()
+    });
+    let dir = std::path::Path::new(&from);
+    let (prior_doc, prior_trace) = persist::load_execution(dir, &exec_id)?;
+    if prior_trace.calls.is_empty() {
+        return Err(format!("execution {exec_id:?} in {from} has no recorded calls").into());
+    }
+    let mut wf = Workflow::new();
+    for c in &prior_trace.calls {
+        let svc = service_by_name(&c.service)
+            .ok_or_else(|| format!("prior trace names unknown service {:?}", c.service))?;
+        wf = wf.then_boxed(svc);
+    }
+
+    // dirty cone: impacted-by closure of the changed URIs in the prior
+    // run's provenance graph. Inherited provenance is ON here: the base
+    // rules only link a fragment's anchor resource, but the cone must
+    // cover contained resources (a unit's TextContent) too, or downstream
+    // consumers of those would be spliced stale.
+    let rules = rules_from(catalog.as_deref())?;
+    let graph = infer_provenance(
+        &prior_doc,
+        &prior_trace,
+        &rules,
+        &EngineOptions {
+            inherit: InheritMode::PatternRewrite,
+            ..Default::default()
+        },
+    );
+    let index = ReachabilityIndex::from_graph(&graph);
+    let dirty: std::collections::HashSet<String> =
+        dirty_cone(&index, &changed).into_iter().collect();
+
+    let mut doc = read_doc(&input)?;
+    let replayed =
+        Orchestrator::new().replay(&wf, &mut doc, &prior_doc, &prior_trace, &dirty, proof)?;
+    eprintln!(
+        "replayed {} call(s): cone {}, reused {}, recomputed {}, splice(s) {}",
+        replayed.outcome.trace.len(),
+        replayed.cone_size,
+        replayed.reused,
+        replayed.recomputed,
+        replayed.splices,
+    );
+    for g in &replayed.grades {
+        eprintln!(
+            "  {} at t={}: grade {:.3}{}",
+            g.service,
+            g.time,
+            g.grade,
+            if g.identical { " (identical)" } else { "" }
+        );
+    }
+    let xml = to_xml_string_pretty(&doc.view());
+    match out {
+        Some(path) => std::fs::write(&path, xml)
+            .map_err(|e| WebLabError::io(format!("writing {path}"), e))?,
+        None => emit(&format!("{xml}\n"))?,
+    }
+    Ok(())
+}
+
 fn cmd_infer(args: &[String]) -> CliResult {
     let mut input = None;
     let mut catalog = None;
@@ -708,8 +851,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         platform.register_service(Arc::from(svc), &refs)?;
     }
     if let Some(dir) = &store_dir {
-        let store = weblab::platform::ProvStore::open(dir)
-            .map_err(|e| WebLabError::io(format!("opening store {dir}"), std::io::Error::other(e.to_string())))?;
+        let store = weblab::platform::ProvStore::open(dir).map_err(WebLabError::from)?;
         platform.attach_store(store, max_resident.max(1))?;
         eprintln!("store attached at {dir} (max {max_resident} resident)");
     }

@@ -89,6 +89,10 @@ impl WebLabError {
             WebLabError::Platform(PlatformError::Recorder(_)) => "recorder",
             WebLabError::Platform(PlatformError::Mapper(_)) => "mapper",
             WebLabError::Platform(PlatformError::Sparql(_)) | WebLabError::Sparql(_) => "sparql",
+            WebLabError::Persist(PersistError::StoreLocked { .. })
+            | WebLabError::Platform(PlatformError::Store(PersistError::StoreLocked {
+                ..
+            })) => "store-locked",
             WebLabError::Platform(PlatformError::Store(_)) => "store",
             WebLabError::Persist(_) => "persist",
             WebLabError::Xml(_) => "xml",
@@ -236,6 +240,19 @@ mod tests {
             "idle-timeout"
         );
         assert_eq!(WebLabError::from("usage").code(), "usage");
+        let locked = PersistError::StoreLocked {
+            path: "/tmp/store".into(),
+            pid: 7,
+        };
+        assert_eq!(WebLabError::from(locked).code(), "store-locked");
+        let wrapped = PersistError::StoreLocked {
+            path: "/tmp/store".into(),
+            pid: 7,
+        };
+        assert_eq!(
+            WebLabError::from(PlatformError::Store(wrapped)).code(),
+            "store-locked"
+        );
         assert_eq!(
             WebLabError::io("reading x", std::io::Error::other("boom")).code(),
             "io"

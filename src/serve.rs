@@ -23,6 +23,7 @@
 //! {"op":"sparql","exec":"e","query":"PREFIX prov: <…> SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"}
 //! {"op":"batch","exec":"e","requests":[{"op":"why","uri":"r8"},{"op":"impacted-by","uri":"r3"}]}
 //! {"op":"ingest","exec":"e","xml":"<Resource>…</Resource>","live":true,"pipeline":["Normaliser"]}
+//! {"op":"replay","exec":"e","as":"e2","xml":"<Resource>…</Resource>","changed":["r3"],"proof":"exact"}
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! ```
@@ -89,6 +90,7 @@ use std::time::{Duration, Instant};
 
 use weblab_obs::{Counter, Gauge, Histogram, Span};
 use weblab_platform::{ExecutionHandle, Platform, ProvQuery, QueryAnswer};
+use weblab_workflow::ProofMode;
 use weblab_prov::EpochSnapshot;
 use weblab_xml::parse_document;
 
@@ -768,6 +770,44 @@ fn dispatch(
                 shutdown: false,
             })
         }
+        "replay" => {
+            let exec = platform.execution(str_field(request, "exec")?);
+            let new_id = str_field(request, "as")?;
+            let doc = parse_document(str_field(request, "xml")?)?;
+            let changed = string_array(
+                request
+                    .get("changed")
+                    .ok_or_else(|| WebLabError::Protocol("replay requires \"changed\"".into()))?,
+                "changed",
+            )?;
+            let proof = parse_proof_mode(request)?;
+            let report = exec.replay(new_id, doc, &changed, proof)?;
+            let grades: Vec<Json> = report
+                .grades
+                .iter()
+                .map(|g| {
+                    Json::obj(vec![
+                        ("service", Json::str(g.service.as_str())),
+                        ("time", Json::num(g.time)),
+                        ("grade", Json::Num(g.grade)),
+                        ("identical", Json::Bool(g.identical)),
+                    ])
+                })
+                .collect();
+            let snap = platform.execution(&report.execution).snapshot()?;
+            Ok(Dispatched {
+                epoch: Some(snap.epoch),
+                result: Json::obj(vec![
+                    ("execution", Json::str(report.execution.as_str())),
+                    ("cone", Json::num(report.cone_size as u64)),
+                    ("reused", Json::num(report.reused as u64)),
+                    ("recomputed", Json::num(report.recomputed as u64)),
+                    ("splices", Json::num(report.splices as u64)),
+                    ("grades", Json::Arr(grades)),
+                ]),
+                shutdown: false,
+            })
+        }
         "status" => {
             let executions: Vec<Json> = platform
                 .executions()
@@ -1016,6 +1056,31 @@ pub fn reference_response(snap: &EpochSnapshot, query: &ProvQuery) -> Result<Str
         .answer_on_graph(&snap.graph)
         .map_err(weblab_platform::PlatformError::from)?;
     Ok(render_response(snap.epoch, &answer))
+}
+
+/// The `replay` op's proof mode: `"trusted"` (default), `"exact"`, or
+/// `"concordant"` with an optional `tolerance` (default 0.9).
+fn parse_proof_mode(request: &Json) -> Result<ProofMode, WebLabError> {
+    let mode = request.get("proof").and_then(Json::as_str).unwrap_or("trusted");
+    match mode {
+        "trusted" => Ok(ProofMode::Trusted),
+        "exact" => Ok(ProofMode::Exact),
+        "concordant" => {
+            let tolerance = match request.get("tolerance") {
+                None => 0.9,
+                Some(Json::Num(n)) if (0.0..=1.0).contains(n) => *n,
+                Some(_) => {
+                    return Err(WebLabError::Protocol(
+                        "field \"tolerance\" must be a number in [0, 1]".into(),
+                    ))
+                }
+            };
+            Ok(ProofMode::Concordant { tolerance })
+        }
+        other => Err(WebLabError::Protocol(format!(
+            "unknown proof mode {other:?} (expected trusted, exact or concordant)"
+        ))),
+    }
 }
 
 fn str_field<'j>(request: &'j Json, key: &str) -> Result<&'j str, WebLabError> {

@@ -1,0 +1,179 @@
+//! Golden metrics for provenance-guided replay, verified through the
+//! deterministic `weblab_obs` registry (own test binary: the registry is
+//! process-global, so these tests serialise on a mutex and must not share
+//! a process with other engine work).
+//!
+//! Pinned here:
+//!
+//! * the `replay.{cone_size,reused,recomputed,splices}` counters on the
+//!   repo's paper-example workload (`data/sample_corpus.xml` through the
+//!   standard mining pipeline) — and their *invariance* under the
+//!   inference worker count used to compute the cone (1/2/4), since the
+//!   cone is a set and the splice plan depends only on it;
+//! * the `replay.grade_pct` histogram shape for a concordant-mode replay
+//!   with an injected nondeterministic service: one byte-identical
+//!   fragment at grade 100, one divergent fragment graded by its Dice
+//!   similarity, plus a populated `replay.verify_ns` histogram.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+
+use weblab::obs;
+use weblab::prov::{
+    dirty_cone, infer_provenance, EngineOptions, ExecutionTrace, InheritMode,
+    Parallelism, ReachabilityIndex,
+};
+use weblab::workflow::services::{self, LanguageExtractor, Normaliser, Tokeniser, Translator};
+use weblab::workflow::{
+    CallContext, Orchestrator, ProofMode, Service, Workflow, WorkflowError,
+};
+use weblab::xml::{parse_document, Document};
+
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+const CORPUS: &str = include_str!("../data/sample_corpus.xml");
+
+fn pipeline() -> Workflow {
+    Workflow::new()
+        .then(Normaliser)
+        .then(LanguageExtractor)
+        .then(Translator::default())
+        .then(Tokeniser)
+}
+
+/// The dirty cone the CLI would compute, at a chosen inference worker
+/// count.
+fn closed_cone(
+    doc: &Document,
+    trace: &ExecutionTrace,
+    changed: &[String],
+    jobs: Parallelism,
+) -> HashSet<String> {
+    let rules = services::default_rules();
+    let graph = infer_provenance(
+        doc,
+        trace,
+        &rules,
+        &EngineOptions {
+            inherit: InheritMode::PatternRewrite,
+            parallelism: jobs,
+            ..Default::default()
+        },
+    );
+    let index = ReachabilityIndex::from_graph(&graph);
+    dirty_cone(&index, changed).into_iter().collect()
+}
+
+/// Golden `replay.*` counters on the paper example: mutating the English
+/// source dirties the Normaliser, LanguageExtractor and Tokeniser calls
+/// (cone of 5 resources) while the Translator call is spliced forward —
+/// identically at every inference worker count.
+#[test]
+fn golden_replay_counters_on_the_sample_corpus_are_worker_invariant() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let wf = pipeline();
+    let mut prior_doc = parse_document(CORPUS).expect("sample corpus parses");
+    let prior = Orchestrator::new().execute(&wf, &mut prior_doc).expect("prior run");
+    let changed_xml = CORPUS.replace("the language of peace", "the language of war");
+    assert_ne!(changed_xml, CORPUS, "the mutation must hit the corpus");
+    let changed = vec!["weblab://src/1".to_string()];
+
+    let mut seen = Vec::new();
+    for jobs in [Parallelism::Sequential, Parallelism::Threads(2), Parallelism::Threads(4)] {
+        let dirty = closed_cone(&prior_doc, &prior.trace, &changed, jobs);
+        let mut doc = parse_document(&changed_xml).expect("changed corpus parses");
+        obs::reset();
+        obs::enable();
+        let replayed = Orchestrator::new()
+            .replay(&wf, &mut doc, &prior_doc, &prior.trace, &dirty, ProofMode::Trusted)
+            .expect("replay");
+        let snap = obs::snapshot();
+        obs::disable();
+
+        let counters = (
+            snap.counter("replay.cone_size"),
+            snap.counter("replay.reused"),
+            snap.counter("replay.recomputed"),
+            snap.counter("replay.splices"),
+        );
+        // Golden values for this corpus + pipeline + mutation.
+        assert_eq!(counters, (5, 1, 3, 1), "under {jobs:?}");
+        assert_eq!(replayed.cone_size, 5);
+        assert_eq!(replayed.reused, 1);
+        assert_eq!(replayed.recomputed, 3);
+        seen.push(counters);
+    }
+    assert!(
+        seen.windows(2).all(|w| w[0] == w[1]),
+        "replay counters must be invariant in the worker count: {seen:?}"
+    );
+}
+
+/// A service with stable shape but one nondeterministic line: nine stable
+/// text children plus a process-global nonce, so its 12-line fragment
+/// signature matches a re-execution on 11 lines (Dice 22/24 ≈ 0.917 →
+/// grade 92).
+struct Noisy;
+
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+impl Service for Noisy {
+    fn name(&self) -> &str {
+        "Noisy"
+    }
+
+    fn call(&self, doc: &mut Document, ctx: &mut CallContext) -> Result<(), WorkflowError> {
+        let root = doc.root();
+        let el = doc.append_element(root, "Noise")?;
+        for i in 0..9 {
+            doc.append_text(el, format!("stable line {i}"))?;
+        }
+        let nonce = NONCE.fetch_add(1, Ordering::SeqCst);
+        doc.append_text(el, format!("nonce {nonce}"))?;
+        ctx.register(doc, el)?;
+        Ok(())
+    }
+}
+
+#[test]
+fn concordant_mode_snapshots_the_grade_histogram() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let wf = Workflow::new().then(Normaliser).then(Noisy);
+    let mut prior_doc = parse_document(CORPUS).expect("sample corpus parses");
+    let prior = Orchestrator::new().execute(&wf, &mut prior_doc).expect("prior run");
+
+    // Empty cone: both calls are reused, both are sandbox-verified.
+    let mut doc = parse_document(CORPUS).expect("corpus re-parses");
+    obs::reset();
+    obs::enable();
+    let replayed = Orchestrator::new()
+        .replay(
+            &wf,
+            &mut doc,
+            &prior_doc,
+            &prior.trace,
+            &HashSet::new(),
+            ProofMode::Concordant { tolerance: 0.8 },
+        )
+        .expect("concordant replay");
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // Two graded fragments: the deterministic Normaliser at 100, the
+    // nondeterministic Noisy at its Dice grade of 92.
+    assert_eq!(replayed.grades.len(), 2);
+    let hist = snap.histogram("replay.grade_pct").expect("grade histogram");
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.min, 92, "the Noisy fragment's Dice grade");
+    assert_eq!(hist.max, 100, "the Normaliser fragment is byte-identical");
+    let noisy = replayed
+        .grades
+        .iter()
+        .find(|g| g.service == "Noisy")
+        .expect("Noisy graded");
+    assert!(!noisy.identical);
+    assert!((noisy.grade - 11.0 / 12.0).abs() < 1e-9, "grade {noisy:?}");
+    let verify = snap.histogram("replay.verify_ns").expect("verify histogram");
+    assert_eq!(verify.count, 2, "one verification span per reused step");
+}
