@@ -1,0 +1,159 @@
+//! X17 — ranked analytics: budgeted top-k spreading activation vs full
+//! impacted-by materialisation.
+//!
+//! Builds a single-origin derivation tree (every resource transitively
+//! derived from one sink `S`, branching factor 4 — the worst case for
+//! impact analysis: `impacted-by S` is the whole graph) through the
+//! incremental [`ReachabilityIndex`] path, then times two answers to the
+//! question "what does `S` influence most?":
+//!
+//! * **full** — `index.impacted_by(S)`: materialises the complete upward
+//!   closure, one `String` per impacted resource;
+//! * **rank** — `rank(S, Up)` under a 4096-node budget with `limit` 64:
+//!   the top of the activation ordering only, never touching the long
+//!   tail of the closure.
+//!
+//! The headline number is the speedup of the budgeted rank over the full
+//! materialisation — the reason the v2 protocol grew a `rank` op at all.
+//! Results are written to `BENCH_X17_rank.json` at the repo root (the
+//! artifact `scripts/ci.sh` validates) with the `prov.rank.*` counter
+//! deltas alongside the timings.
+//!
+//! Under `cargo test` (`--test`) the harness runs scaled down as a
+//! correctness smoke and skips the speedup assertion and the snapshot
+//! write. `X17_NODES` / `X17_ROUNDS` override the load shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use weblab_obs as obs;
+use weblab_obs::Histogram;
+use weblab_prov::rank::SCALE;
+use weblab_prov::{rank, ProvLink, QueryOpts, RankDirection, ReachabilityIndex};
+use weblab_xml::NodeId;
+
+/// Latency of one full `impacted_by` materialisation, ns.
+static X17_FULL_NS: Histogram = Histogram::new("x17.full_ns");
+/// Latency of one budgeted rank query, ns.
+static X17_RANK_NS: Histogram = Histogram::new("x17.rank_ns");
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn uri_of(i: usize) -> String {
+    format!("weblab://x17/{i}")
+}
+
+/// A complete 4-ary derivation tree rooted at resource 0: node `j` is
+/// derived from `(j - 1) / 4`, parents interned before children so every
+/// incremental closure update costs `O(depth)`.
+fn tree_index(nodes: usize) -> ReachabilityIndex {
+    let mut index = ReachabilityIndex::new();
+    for j in 1..nodes {
+        let parent = (j - 1) / 4;
+        index.add_link(&ProvLink {
+            from: NodeId::from_index(j),
+            from_uri: uri_of(j),
+            to: NodeId::from_index(parent),
+            to_uri: uri_of(parent),
+        });
+    }
+    index
+}
+
+fn bench_x17(_c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let nodes = env_usize("X17_NODES", if test_mode { 4_000 } else { 200_000 });
+    let full_rounds = env_usize("X17_ROUNDS", if test_mode { 2 } else { 10 });
+    let rank_rounds = full_rounds * 5;
+    let budget = 4_096.min(nodes / 2);
+    let limit = 64;
+
+    obs::enable();
+    let t0 = Instant::now();
+    let index = tree_index(nodes);
+    let build_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let sink = uri_of(0);
+    assert_eq!(index.resource_count(), nodes);
+    assert_eq!(index.edge_count(), nodes - 1);
+
+    let before = obs::snapshot();
+
+    // full materialisation: the exact upward closure, every round
+    let mut full_size = 0usize;
+    for _ in 0..full_rounds {
+        let t0 = Instant::now();
+        let impacted = index.impacted_by(&sink);
+        X17_FULL_NS.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        full_size = impacted.len();
+    }
+    assert_eq!(full_size, nodes - 1, "the sink must impact the whole tree");
+
+    // budgeted rank: top of the activation ordering only
+    let opts = QueryOpts { limit, budget, decay_micro: 0 };
+    let mut top = Vec::new();
+    for _ in 0..rank_rounds {
+        let t0 = Instant::now();
+        top = rank(&index, std::slice::from_ref(&sink), RankDirection::Up, &opts, &[]);
+        X17_RANK_NS.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    assert_eq!(top.len(), limit.min(budget));
+    assert_eq!(top[0].uri, sink);
+    assert_eq!(top[0].score_micro, SCALE);
+
+    let delta = obs::snapshot().since(&before);
+    let queries = delta.counter("prov.rank.queries");
+    let visited = delta.counter("prov.rank.visited");
+    let frontier = delta.counter("prov.rank.frontier");
+    assert_eq!(queries, rank_rounds as u64);
+    assert_eq!(visited, (budget * rank_rounds) as u64, "budget must bound the visit count");
+
+    let snap = obs::snapshot();
+    let full_p50 = snap.histogram("x17.full_ns").cloned().unwrap_or_default().quantile(0.50);
+    let rank_p50 = snap.histogram("x17.rank_ns").cloned().unwrap_or_default().quantile(0.50);
+    let speedup = full_p50 as f64 / rank_p50.max(1) as f64;
+    println!(
+        "x17_rank/build: {nodes} resources, {} edges in {:.1} ms (incremental closure)",
+        nodes - 1,
+        build_ns as f64 / 1e6
+    );
+    println!(
+        "x17_rank/full:  p50 {:.1} us materialising {full_size} impacted resources",
+        full_p50 as f64 / 1e3
+    );
+    println!(
+        "x17_rank/rank:  p50 {:.1} us for top-{limit} under budget {budget} ({speedup:.1}x cheaper)",
+        rank_p50 as f64 / 1e3
+    );
+
+    if test_mode {
+        obs::disable();
+        return; // scaled-down smoke: skip the speedup gate + snapshot
+    }
+    assert!(
+        speedup >= 10.0,
+        "budgeted rank must be >=10x cheaper than full materialisation, got {speedup:.1}x"
+    );
+
+    let snapshot = format!(
+        "{{\n  \"experiment\": \"X17\",\n  \"nodes\": {nodes},\n  \"edges\": {},\n  \
+           \"budget\": {budget},\n  \"limit\": {limit},\n  \"build_ns\": {build_ns},\n  \
+           \"full\": {{\"rounds\": {full_rounds}, \"impacted\": {full_size}, \"p50_ns\": {full_p50}}},\n  \
+           \"rank\": {{\"rounds\": {rank_rounds}, \"returned\": {}, \"p50_ns\": {rank_p50}}},\n  \
+           \"speedup\": {speedup:.1},\n  \
+           \"counters\": {{\"queries\": {queries}, \"visited\": {visited}, \"frontier\": {frontier}}}\n}}\n",
+        nodes - 1,
+        top.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_X17_rank.json");
+    std::fs::write(path, snapshot).expect("write BENCH_X17_rank.json");
+    println!("x17_rank/snapshot written to {path}");
+    obs::disable();
+}
+
+criterion_group!(benches, bench_x17);
+criterion_main!(benches);

@@ -56,7 +56,7 @@ pub use mapper::{Mapper, MapperError, MapperStrategy};
 pub use platform::{
     ExecutionHandle, Platform, PlatformError, ReplayReport, SpecStep, WorkflowSpec,
 };
-pub use query::{ProvQuery, QueryAnswer};
+pub use query::{ProvQuery, QueryAnswer, QueryOpts, RankDirection, PROTOCOL_VERSION};
 pub use recorder::{merge_exchange, Recorder, RecorderError};
 pub use repository::ResourceRepository;
 pub use store::{ProvStore, StoredExecution};

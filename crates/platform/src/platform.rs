@@ -11,8 +11,9 @@
 //! edge list.
 //!
 //! The original per-execution method sprawl (`provenance_graph`,
-//! `dependencies_of`, …) survives as `#[deprecated]` shims delegating to
-//! the same internals, so pre-existing callers compile unchanged.
+//! `dependencies_of`, …) is gone: the handle is the one query surface,
+//! and with it the v2 protocol's ranked analytics
+//! ([`ExecutionHandle::rank`], [`ExecutionHandle::summary`]).
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -21,10 +22,10 @@ use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 use weblab_obs::{Counter, Gauge};
 use weblab_prov::{
-    dirty_cone, EngineOptions, EpochSnapshot, LiveDelta, LiveProvenance, ProvenanceGraph,
-    ReachabilityIndex,
+    dirty_cone, EngineOptions, EpochSnapshot, GraphSummary, LiveDelta, LiveProvenance,
+    ProvenanceGraph, QueryOpts, RankDirection, RankedEntry, ReachabilityIndex,
 };
-use weblab_rdf::{export_prov, export_prov_into, parse_select, select, QueryEngine, Solution, SparqlError, TripleStore};
+use weblab_rdf::{export_prov_into, QueryEngine, Solution, SparqlError, TripleStore};
 use weblab_workflow::{
     next_time, FaultPolicy, FragmentGrade, Orchestrator, ProofMode, Service, Workflow,
     WorkflowError,
@@ -186,7 +187,6 @@ pub struct Platform {
     recorder: Recorder,
     catalog: RwLock<ServiceCatalog>,
     services: RwLock<HashMap<String, Arc<dyn Service>>>,
-    provenance: RwLock<TripleStore>,
     materialized: RwLock<HashMap<String, MaterializedGraph>>,
     mapper: Mapper,
     fault: RwLock<FaultPolicy>,
@@ -371,7 +371,6 @@ impl Platform {
             traces,
             catalog: RwLock::new(ServiceCatalog::new()),
             services: RwLock::new(HashMap::new()),
-            provenance: RwLock::new(TripleStore::new()),
             materialized: RwLock::new(HashMap::new()),
             mapper,
             fault: RwLock::new(FaultPolicy::default()),
@@ -849,7 +848,6 @@ impl Platform {
             graph.add_links(entry.graph.links);
         }
         graph.add_links(delta);
-        self.provenance.write().expect("lock poisoned").extend(export_prov(&graph));
         self.materialized.write().expect("lock poisoned").insert(
             exec_id.to_string(),
             MaterializedGraph {
@@ -863,18 +861,6 @@ impl Platform {
     fn invalidate_impl(&self, exec_id: &str) {
         self.materialized.write().expect("lock poisoned").remove(exec_id);
         self.index_states.write().expect("lock poisoned").remove(exec_id);
-    }
-
-    fn provenance_query_impl(
-        &self,
-        exec_id: &str,
-        sparql: &str,
-    ) -> Result<Vec<Solution>, PlatformError> {
-        if !self.is_materialized_impl(exec_id) {
-            self.provenance_graph_impl(exec_id)?;
-        }
-        let query = parse_select(sparql)?;
-        Ok(select(&self.provenance.read().expect("lock poisoned"), &query))
     }
 
     fn enable_live_impl(&self, exec_id: &str) {
@@ -959,93 +945,6 @@ impl Platform {
             (ProvenanceGraph::from_view(&doc.view()), 0)
         };
         Ok(state.publish_full(graph, calls))
-    }
-
-    /// Materialise (or fetch) the provenance graph of an execution.
-    #[deprecated(note = "use Platform::execution(id).graph()")]
-    pub fn provenance_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
-        self.provenance_graph_impl(exec_id)
-    }
-
-    /// Drop the cached graph (and reachability index) of an execution,
-    /// forcing full re-materialisation on the next query.
-    #[deprecated(note = "use Platform::execution(id).invalidate()")]
-    pub fn invalidate_provenance(&self, exec_id: &str) {
-        self.invalidate_impl(exec_id);
-    }
-
-    /// Answer a SPARQL provenance query against the *shared* provenance
-    /// triple store, materialising on first use.
-    #[deprecated(note = "use Platform::execution(id).sparql() for per-execution scope")]
-    pub fn provenance_query(
-        &self,
-        exec_id: &str,
-        sparql: &str,
-    ) -> Result<Vec<Solution>, PlatformError> {
-        self.provenance_query_impl(exec_id, sparql)
-    }
-
-    /// Switch an execution to live provenance maintenance.
-    #[deprecated(note = "use Platform::execution(id).enable_live()")]
-    pub fn enable_live(&self, exec_id: &str) {
-        self.enable_live_impl(exec_id);
-    }
-
-    /// Whether live maintenance is enabled for an execution.
-    #[deprecated(note = "use Platform::execution(id).live_enabled()")]
-    pub fn live_enabled(&self, exec_id: &str) -> bool {
-        self.live_enabled_impl(exec_id)
-    }
-
-    /// The live maintainer for an execution, shared with any in-flight
-    /// orchestration's hook.
-    #[deprecated(note = "use Platform::execution(id).live()")]
-    pub fn live_provenance(&self, exec_id: &str) -> Option<Arc<Mutex<LiveProvenance>>> {
-        self.live_provenance_impl(exec_id)
-    }
-
-    /// The live maintainer's view as a batch-style [`ProvenanceGraph`].
-    #[deprecated(note = "use Platform::execution(id).live_graph()")]
-    pub fn live_graph(&self, exec_id: &str) -> Result<ProvenanceGraph, PlatformError> {
-        self.live_graph_impl(exec_id)
-    }
-
-    /// Direct dependencies of a resource, by edge-list scan of the live or
-    /// batch graph.
-    #[deprecated(note = "use Platform::execution(id).deps(), which answers from the index")]
-    pub fn dependencies_of(
-        &self,
-        exec_id: &str,
-        uri: &str,
-    ) -> Result<Vec<String>, PlatformError> {
-        if self.live_enabled_impl(exec_id) {
-            let g = self.live_graph_impl(exec_id)?;
-            return Ok(g.dependencies_of(uri).into_iter().map(String::from).collect());
-        }
-        let g = self.provenance_graph_impl(exec_id)?;
-        Ok(g.dependencies_of(uri).into_iter().map(String::from).collect())
-    }
-
-    /// Direct dependents of a resource, by edge-list scan of the live or
-    /// batch graph.
-    #[deprecated(note = "use Platform::execution(id).rdeps(), which answers from the index")]
-    pub fn dependents_of(
-        &self,
-        exec_id: &str,
-        uri: &str,
-    ) -> Result<Vec<String>, PlatformError> {
-        if self.live_enabled_impl(exec_id) {
-            let g = self.live_graph_impl(exec_id)?;
-            return Ok(g.dependents_of(uri).into_iter().map(String::from).collect());
-        }
-        let g = self.provenance_graph_impl(exec_id)?;
-        Ok(g.dependents_of(uri).into_iter().map(String::from).collect())
-    }
-
-    /// Whether the execution's graph is materialised and current.
-    #[deprecated(note = "use Platform::execution(id).is_materialized()")]
-    pub fn is_materialized(&self, exec_id: &str) -> bool {
-        self.is_materialized_impl(exec_id)
     }
 }
 
@@ -1224,12 +1123,43 @@ impl ExecutionHandle<'_> {
         })
     }
 
-    /// A SPARQL SELECT over this execution's PROV-O export (per-execution
-    /// scope, unlike the deprecated shared-store `provenance_query`).
+    /// A SPARQL SELECT over this execution's PROV-O export.
     pub fn sparql(&self, text: &str) -> Result<Vec<Solution>, PlatformError> {
         match self.query(&ProvQuery::Sparql { query: text.to_string() })? {
             QueryAnswer::Solutions(sols) => Ok(sols),
             _ => unreachable!("Sparql queries answer with Solutions"),
+        }
+    }
+
+    /// Ranked relevance (v2): spreading activation from `uris` over the
+    /// published snapshot's index, under the shared [`QueryOpts`]
+    /// envelope. Scores depend only on the published graph — identical at
+    /// every worker count and on live- or batch-built indexes.
+    pub fn rank(
+        &self,
+        uris: &[String],
+        direction: RankDirection,
+        opts: &QueryOpts,
+        weights: &[(String, u32)],
+    ) -> Result<Vec<RankedEntry>, PlatformError> {
+        match self.query(&ProvQuery::Rank {
+            uris: uris.to_vec(),
+            direction,
+            opts: *opts,
+            weights: weights.to_vec(),
+        })? {
+            QueryAnswer::Ranked(entries) => Ok(entries),
+            _ => unreachable!("Rank queries answer with Ranked"),
+        }
+    }
+
+    /// Aggregate analytics (v2): per-service influence, common-origin
+    /// clusters and an optional blast radius — from the snapshot index's
+    /// precomputed closure sizes, no traversal.
+    pub fn summary(&self, uri: Option<&str>) -> Result<GraphSummary, PlatformError> {
+        match self.query(&ProvQuery::Summary { uri: uri.map(String::from) })? {
+            QueryAnswer::Summary(s) => Ok(s),
+            _ => unreachable!("Summary queries answer with Summary"),
         }
     }
 
@@ -1247,8 +1177,6 @@ impl ExecutionHandle<'_> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use weblab_rdf::vocab::PROV_NS;
     use weblab_workflow::generator::generate_corpus;
@@ -1283,20 +1211,18 @@ mod tests {
             &["Normaliser", "LanguageExtractor", "Translator"],
         )
         .unwrap();
-        let graph = p.provenance_graph("exec-1").unwrap();
+        let exec = p.execution("exec-1");
+        let graph = exec.graph().unwrap();
         assert!(!graph.links.is_empty());
         assert!(graph.is_acyclic());
-        // SPARQL over the materialised store
-        let sols = p
-            .provenance_query(
-                "exec-1",
-                &format!(
-                    "PREFIX prov: <{PROV_NS}> SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}"
-                ),
-            )
+        // SPARQL over the execution's PROV-O export
+        let sols = exec
+            .sparql(&format!(
+                "PREFIX prov: <{PROV_NS}> SELECT ?d ?s WHERE {{ ?d prov:wasDerivedFrom ?s . }}"
+            ))
             .unwrap();
         assert_eq!(sols.len(), graph.links.len());
-        assert!(p.is_materialized("exec-1"));
+        assert!(exec.is_materialized());
     }
 
     #[test]
@@ -1304,10 +1230,10 @@ mod tests {
         let p = platform();
         p.ingest("e", generate_corpus(5, 1, 20));
         p.execute("e", &["Normaliser"]).unwrap();
-        assert!(!p.is_materialized("e"));
-        p.provenance_query("e", "SELECT ?s WHERE { ?s <p> ?o . }")
-            .unwrap();
-        assert!(p.is_materialized("e"));
+        let exec = p.execution("e");
+        assert!(!exec.is_materialized());
+        exec.sparql("SELECT ?s WHERE { ?s <p> ?o . }").unwrap();
+        assert!(exec.is_materialized());
     }
 
     #[test]
@@ -1315,17 +1241,18 @@ mod tests {
         let p = platform();
         p.ingest("e", generate_corpus(5, 1, 20));
         p.execute("e", &["Normaliser"]).unwrap();
-        let g1 = p.provenance_graph("e").unwrap();
-        assert!(p.is_materialized("e"));
+        let exec = p.execution("e");
+        let g1 = exec.graph().unwrap();
+        assert!(exec.is_materialized());
         p.execute("e", &["LanguageExtractor"]).unwrap();
-        assert!(!p.is_materialized("e")); // stale: one call un-materialised
+        assert!(!exec.is_materialized()); // stale: one call un-materialised
         // incremental re-materialisation equals a from-scratch derivation
-        let g2 = p.provenance_graph("e").unwrap();
-        assert!(p.is_materialized("e"));
+        let g2 = exec.graph().unwrap();
+        assert!(exec.is_materialized());
         assert!(g2.links.len() > g1.links.len());
-        p.invalidate_provenance("e");
-        assert!(!p.is_materialized("e"));
-        let g3 = p.provenance_graph("e").unwrap();
+        exec.invalidate();
+        assert!(!exec.is_materialized());
+        let g3 = exec.graph().unwrap();
         assert_eq!(g2.links, g3.links);
     }
 
@@ -1342,7 +1269,7 @@ mod tests {
             Err(PlatformError::UnknownService(_))
         ));
         assert!(matches!(
-            p.provenance_graph("other"),
+            p.execution("other").graph(),
             Err(PlatformError::UnknownExecution(_))
         ));
     }
@@ -1364,7 +1291,7 @@ mod tests {
             trace.calls.iter().map(|c| c.channel.as_str()).collect();
         assert_eq!(channels, vec!["", "0", "1"]);
         // provenance still materialises and stays acyclic
-        let g = p.provenance_graph("e").unwrap();
+        let g = p.execution("e").graph().unwrap();
         assert!(g.is_acyclic());
         // the Translator branch could not see the sibling's annotations:
         // every Translator dependency predates the fork
@@ -1414,8 +1341,9 @@ mod tests {
     #[test]
     fn live_graph_matches_batch_after_execution() {
         let p = platform();
-        p.ingest("e", generate_corpus(4, 2, 25));
-        p.enable_live("e");
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(4, 2, 25));
+        exec.enable_live();
         let spec = WorkflowSpec::default()
             .then("Normaliser")
             .then_parallel(vec![
@@ -1423,8 +1351,8 @@ mod tests {
                 WorkflowSpec::sequence(&["Translator"]),
             ]);
         p.execute_spec("e", &spec).unwrap();
-        let live = p.live_graph("e").unwrap();
-        let batch = p.provenance_graph("e").unwrap();
+        let live = exec.live_graph().unwrap();
+        let batch = exec.graph().unwrap();
         let mut batch_links = batch.links.clone();
         batch_links.sort();
         assert_eq!(live.links, batch_links);
@@ -1435,38 +1363,40 @@ mod tests {
     #[test]
     fn live_queries_answer_without_rematerialisation() {
         let p = platform();
-        p.ingest("e", generate_corpus(3, 1, 20));
-        p.enable_live("e");
-        assert!(p.live_enabled("e"));
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 1, 20));
+        exec.enable_live();
+        assert!(exec.live_enabled());
         p.execute("e", &["Normaliser", "LanguageExtractor"]).unwrap();
         // the live store already holds the graph: querying it does not
         // trigger batch materialisation
-        let batch = p.provenance_graph("e").unwrap();
-        p.invalidate_provenance("e");
+        let batch = exec.graph().unwrap();
+        exec.invalidate();
         for l in &batch.links {
-            let deps = p.dependencies_of("e", &l.from_uri).unwrap();
+            let deps = exec.deps(&l.from_uri).unwrap();
             assert!(deps.contains(&l.to_uri));
-            let rdeps = p.dependents_of("e", &l.to_uri).unwrap();
+            let rdeps = exec.rdeps(&l.to_uri).unwrap();
             assert!(rdeps.contains(&l.from_uri));
         }
-        assert!(!p.is_materialized("e")); // live answers left the cache alone
+        assert!(!exec.is_materialized()); // live answers left the cache alone
     }
 
     #[test]
     fn live_enabled_late_catches_up_on_prior_calls() {
         let p = platform();
-        p.ingest("e", generate_corpus(3, 1, 20));
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 1, 20));
         p.execute("e", &["Normaliser"]).unwrap();
-        p.enable_live("e"); // after one call already recorded
+        exec.enable_live(); // after one call already recorded
         p.execute("e", &["LanguageExtractor", "Translator"]).unwrap();
-        let live = p.live_graph("e").unwrap();
-        let batch = p.provenance_graph("e").unwrap();
+        let live = exec.live_graph().unwrap();
+        let batch = exec.graph().unwrap();
         let mut batch_links = batch.links.clone();
         batch_links.sort();
         assert_eq!(live.links, batch_links);
         assert_eq!(live.sources, batch.sources);
         let trace = p.traces.get("e").unwrap();
-        let lp = p.live_provenance("e").unwrap();
+        let lp = exec.live().unwrap();
         assert_eq!(lp.lock().unwrap().calls_folded(), trace.calls.len());
     }
 
@@ -1477,30 +1407,32 @@ mod tests {
         let p = platform();
         p.register_service(Arc::new(Flaky::failing(2)), &[]).unwrap();
         p.set_fault_policy(FaultPolicy::retrying(RetryPolicy::with_max_attempts(3)));
-        p.ingest("e", generate_corpus(2, 1, 15));
-        p.enable_live("e");
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(2, 1, 15));
+        exec.enable_live();
         p.execute("e", &["Normaliser", "Flaky", "LanguageExtractor"]).unwrap();
-        let live = p.live_graph("e").unwrap();
-        let batch = p.provenance_graph("e").unwrap();
+        let live = exec.live_graph().unwrap();
+        let batch = exec.graph().unwrap();
         let mut batch_links = batch.links.clone();
         batch_links.sort();
         assert_eq!(live.links, batch_links);
         // only committed calls were folded in — one per workflow step
-        let lp = p.live_provenance("e").unwrap();
+        let lp = exec.live().unwrap();
         assert_eq!(lp.lock().unwrap().calls_folded(), 3);
     }
 
     #[test]
     fn non_live_dependency_queries_fall_back_to_batch() {
         let p = platform();
-        p.ingest("e", generate_corpus(2, 1, 15));
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(2, 1, 15));
         p.execute("e", &["Normaliser"]).unwrap();
-        assert!(!p.live_enabled("e"));
-        let batch = p.provenance_graph("e").unwrap();
+        assert!(!exec.live_enabled());
+        let batch = exec.graph().unwrap();
         let l = &batch.links[0];
-        assert!(p.dependencies_of("e", &l.from_uri).unwrap().contains(&l.to_uri));
+        assert!(exec.deps(&l.from_uri).unwrap().contains(&l.to_uri));
         assert!(matches!(
-            p.live_graph("e"),
+            exec.live_graph(),
             Err(PlatformError::UnknownExecution(_))
         ));
     }
@@ -1514,22 +1446,22 @@ mod tests {
     }
 
     #[test]
-    fn executions_share_the_provenance_store_but_not_graphs() {
+    fn executions_keep_independent_graphs() {
         let p = platform();
         p.ingest("a", generate_corpus(1, 1, 15));
         p.ingest("b", generate_corpus(2, 1, 15));
         p.execute("a", &["Normaliser"]).unwrap();
         p.execute("b", &["Normaliser"]).unwrap();
-        let ga = p.provenance_graph("a").unwrap();
-        let gb = p.provenance_graph("b").unwrap();
+        let ga = p.execution("a").graph().unwrap();
+        let gb = p.execution("b").graph().unwrap();
         assert!(!ga.links.is_empty());
         assert!(!gb.links.is_empty());
-        assert!(p.is_materialized("a") && p.is_materialized("b"));
+        assert!(p.execution("a").is_materialized() && p.execution("b").is_materialized());
         assert_eq!(p.executions(), vec!["a", "b"]);
     }
 
     #[test]
-    fn handle_facade_answers_match_the_deprecated_surface() {
+    fn handle_facade_answers_match_the_graph() {
         let p = platform();
         let exec = p.execution("e");
         exec.ingest(generate_corpus(3, 2, 25));
@@ -1537,16 +1469,13 @@ mod tests {
         assert!(exec.exists());
         assert_eq!(exec.id(), "e");
         let graph = exec.graph().unwrap();
-        assert_eq!(graph.links, p.provenance_graph("e").unwrap().links);
         for l in &graph.links {
-            assert_eq!(
-                exec.deps(&l.from_uri).unwrap(),
-                p.dependencies_of("e", &l.from_uri).unwrap()
-            );
-            assert_eq!(
-                exec.rdeps(&l.to_uri).unwrap(),
-                p.dependents_of("e", &l.to_uri).unwrap()
-            );
+            let deps: Vec<String> =
+                graph.dependencies_of(&l.from_uri).into_iter().map(String::from).collect();
+            assert_eq!(exec.deps(&l.from_uri).unwrap(), deps);
+            let rdeps: Vec<String> =
+                graph.dependents_of(&l.to_uri).into_iter().map(String::from).collect();
+            assert_eq!(exec.rdeps(&l.to_uri).unwrap(), rdeps);
         }
         assert!(exec.is_materialized());
         assert!(!p.execution("missing").exists());
@@ -1554,6 +1483,39 @@ mod tests {
             p.execution("missing").snapshot(),
             Err(PlatformError::UnknownExecution(_))
         ));
+    }
+
+    #[test]
+    fn handle_rank_and_summary_answer_from_the_snapshot() {
+        let p = platform();
+        let exec = p.execution("e");
+        exec.ingest(generate_corpus(3, 2, 25));
+        exec.execute(&["Normaliser", "LanguageExtractor", "Translator"]).unwrap();
+        let snap = exec.snapshot().unwrap();
+        let seed = snap.graph.links[0].to_uri.clone();
+        let opts = QueryOpts { limit: 10, ..Default::default() };
+        let ranked = exec.rank(std::slice::from_ref(&seed), RankDirection::Up, &opts, &[]).unwrap();
+        assert_eq!(ranked[0].uri, seed);
+        assert_eq!(ranked[0].score_micro, weblab_prov::rank::SCALE);
+        assert!(ranked.len() > 1, "seed should activate dependents");
+        // the handle's answer is the rank module's answer on the same index
+        assert_eq!(
+            ranked,
+            weblab_prov::rank::rank(
+                &snap.index,
+                std::slice::from_ref(&seed),
+                RankDirection::Up,
+                &opts,
+                &[]
+            )
+        );
+        let s = exec.summary(Some(&seed)).unwrap();
+        assert_eq!(s.edges, snap.graph.links.len() as u64);
+        assert_eq!(
+            s.blast.as_ref().unwrap().impacted,
+            snap.index.impacted_by(&seed).len() as u64
+        );
+        assert!(!s.services.is_empty());
     }
 
     #[test]

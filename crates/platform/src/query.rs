@@ -1,15 +1,27 @@
 //! The shared provenance query dispatch — one enum for every asker.
 //!
 //! Before the query service existed, the CLI (`weblab why`, `weblab
-//! query`) and [`Platform::provenance_query`](crate::Platform) each kept
-//! their own string-to-behaviour matching. [`ProvQuery`] is the single
-//! source of truth both now parse into: the serve protocol's `op` strings,
-//! the CLI subcommands and the `ExecutionHandle` API all dispatch through
-//! it, and [`QueryAnswer`] is the common result shape they render.
+//! query`) and the platform each kept their own string-to-behaviour
+//! matching. [`ProvQuery`] is the single source of truth both now parse
+//! into: the serve protocol's `op` strings, the CLI subcommands and the
+//! `ExecutionHandle` API all dispatch through it, and [`QueryAnswer`] is
+//! the common result shape they render.
+//!
+//! This is **protocol v2** ([`PROTOCOL_VERSION`]): alongside the exact
+//! queries of v1 it carries the ranked analytics ops — [`ProvQuery::Rank`]
+//! (spreading activation under the shared [`QueryOpts`] envelope) and
+//! [`ProvQuery::Summary`] (traversal-free aggregate views). Serve
+//! responses stamp `"v": 2` next to the epoch so clients can detect the
+//! new answer shapes.
 
 use weblab_prov::query::{self, WhyProvenance};
-use weblab_prov::{EpochSnapshot, ProvenanceGraph};
+use weblab_prov::{rank, EpochSnapshot, GraphSummary, ProvenanceGraph, RankedEntry, ReachabilityIndex};
 use weblab_rdf::{export_prov, parse_select, select, QueryEngine, Solution, SparqlError, TripleStore};
+
+pub use weblab_prov::{QueryOpts, RankDirection};
+
+/// The query-surface protocol version stamped on every serve response.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A structured provenance question about one execution's graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +55,24 @@ pub enum ProvQuery {
         /// The SELECT query text.
         query: String,
     },
+    /// Ranked relevance: spreading activation from the seed resources
+    /// (v2). See [`weblab_prov::rank`] for the scoring model.
+    Rank {
+        /// Seed resource URIs (activation 1.0 at hop 0).
+        uris: Vec<String>,
+        /// Propagation direction: up = ranked impact, down = ranked lineage.
+        direction: RankDirection,
+        /// The shared limit/budget/decay envelope.
+        opts: QueryOpts,
+        /// Per-service edge weights in micro-units, `(service, weight)`.
+        weights: Vec<(String, u32)>,
+    },
+    /// Aggregate analytics from index statistics (v2): per-service
+    /// influence, common-origin clusters, optional blast radius.
+    Summary {
+        /// Resource to estimate a blast radius for, if any.
+        uri: Option<String>,
+    },
 }
 
 /// The answer to a [`ProvQuery`].
@@ -58,6 +88,10 @@ pub enum QueryAnswer {
     CommonOrigins(Vec<String>),
     /// Answer to [`ProvQuery::Sparql`].
     Solutions(Vec<Solution>),
+    /// Answer to [`ProvQuery::Rank`]: scored entries, best first.
+    Ranked(Vec<RankedEntry>),
+    /// Answer to [`ProvQuery::Summary`].
+    Summary(GraphSummary),
 }
 
 impl ProvQuery {
@@ -69,6 +103,8 @@ impl ProvQuery {
             ProvQuery::ImpactedBy { .. } => "impacted-by",
             ProvQuery::CommonOrigins { .. } => "common-origins",
             ProvQuery::Sparql { .. } => "sparql",
+            ProvQuery::Rank { .. } => "rank",
+            ProvQuery::Summary { .. } => "summary",
         }
     }
 
@@ -91,6 +127,17 @@ impl ProvQuery {
                 store.extend(export_prov(graph));
                 let q = parse_select(text)?;
                 QueryAnswer::Solutions(select(&store, &q))
+            }
+            // the one-shot path has no index yet: build one for this
+            // question. Scores never depend on the build order, so the
+            // answer is byte-identical to the serving path's.
+            ProvQuery::Rank { uris, direction, opts, weights } => {
+                let index = ReachabilityIndex::from_graph(graph);
+                QueryAnswer::Ranked(rank::rank(&index, uris, *direction, opts, weights))
+            }
+            ProvQuery::Summary { uri } => {
+                let index = ReachabilityIndex::from_graph(graph);
+                QueryAnswer::Summary(rank::summary(&index, uri.as_deref()))
             }
         })
     }
@@ -126,6 +173,12 @@ impl ProvQuery {
                     }
                 };
                 QueryAnswer::Solutions(solutions)
+            }
+            ProvQuery::Rank { uris, direction, opts, weights } => {
+                QueryAnswer::Ranked(rank::rank(&snap.index, uris, *direction, opts, weights))
+            }
+            ProvQuery::Summary { uri } => {
+                QueryAnswer::Summary(rank::summary(&snap.index, uri.as_deref()))
             }
         })
     }
@@ -192,6 +245,13 @@ mod tests {
                     weblab_rdf::vocab::PROV_NS
                 ),
             },
+            ProvQuery::Rank {
+                uris: vec!["r3".into()],
+                direction: RankDirection::Up,
+                opts: QueryOpts { limit: 5, budget: 8, decay_micro: 0 },
+                weights: vec![("Translator".into(), 250_000)],
+            },
+            ProvQuery::Summary { uri: Some("r8".into()) },
         ];
         for q in &queries {
             assert_eq!(
@@ -219,5 +279,17 @@ mod tests {
             ProvQuery::CommonOrigins { a: String::new(), b: String::new() }.op(),
             "common-origins"
         );
+        assert_eq!(
+            ProvQuery::Rank {
+                uris: Vec::new(),
+                direction: RankDirection::Down,
+                opts: QueryOpts::default(),
+                weights: Vec::new(),
+            }
+            .op(),
+            "rank"
+        );
+        assert_eq!(ProvQuery::Summary { uri: None }.op(), "summary");
+        assert_eq!(PROTOCOL_VERSION, 2);
     }
 }

@@ -352,6 +352,41 @@ impl ReachabilityIndex {
         ca.intersection(&cb).cloned().collect()
     }
 
+    /// Interned id of a URI, if present (rank-module access).
+    pub(crate) fn id_of(&self, uri: &str) -> Option<u32> {
+        self.ids.get(uri).copied()
+    }
+
+    /// URI of an interned id (rank-module access).
+    pub(crate) fn uri_of(&self, id: u32) -> &str {
+        &self.uris[id as usize]
+    }
+
+    /// Outgoing (dependency) neighbours of an interned id, edge-list order.
+    pub(crate) fn deps_of_id(&self, id: u32) -> &[u32] {
+        &self.deps[id as usize]
+    }
+
+    /// Incoming (dependent) neighbours of an interned id, edge-list order.
+    pub(crate) fn rdeps_of_id(&self, id: u32) -> &[u32] {
+        &self.rdeps[id as usize]
+    }
+
+    /// Size of the precomputed downward closure of an id (root excluded).
+    pub(crate) fn down_size(&self, id: u32) -> usize {
+        self.down[id as usize].len()
+    }
+
+    /// Size of the precomputed upward closure of an id (root excluded).
+    pub(crate) fn up_size(&self, id: u32) -> usize {
+        self.up[id as usize].len()
+    }
+
+    /// The label table (rank-module access for per-service aggregation).
+    pub(crate) fn label_table(&self) -> &HashMap<String, CallLabel> {
+        &self.labels
+    }
+
     /// Expand back to the sorted edge list the index was fed.
     pub fn expand(&self) -> Vec<ProvLink> {
         let mut out = Vec::with_capacity(self.edges);

@@ -20,6 +20,8 @@
 //! * [`storage`] — compact (interned, grouped-adjacency) graph storage;
 //! * [`index`] — read-optimized reachability index (ancestor-set
 //!   encoding) and the epoch snapshots the query service serves from;
+//! * [`rank`] — spreading-activation ranked analytics (bounded top-k
+//!   relevance over the index) and traversal-free aggregate summaries;
 //! * [`live`] — per-call incremental maintenance of that storage
 //!   ([`LiveProvenance`]), fed by the orchestrator's call-completion hook;
 //! * [`views`] — provenance views over composite service modules;
@@ -49,6 +51,7 @@ pub mod index;
 pub mod live;
 pub mod paper_example;
 pub mod query;
+pub mod rank;
 pub mod replay;
 mod rule;
 mod ruleset;
@@ -66,6 +69,10 @@ pub use engine::{
 };
 pub use executor::{run_units, Parallelism};
 pub use index::{EpochSnapshot, ReachabilityIndex};
+pub use rank::{
+    format_micro, micro_from_f64, rank, summary, BlastRadius, GraphSummary, OriginCluster,
+    QueryOpts, RankDirection, RankedEntry, ServiceInfluence,
+};
 pub use replay::{dirty_cone, dirty_cone_closed, rebase_links};
 pub use live::{LiveDelta, LiveProvenance};
 pub use graph::{ProvenanceGraph, SourceEntry};

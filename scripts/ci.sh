@@ -125,7 +125,10 @@ f = sock.makefile("rw", encoding="utf-8", newline="\n")
 def rpc(req):
     f.write(json.dumps(req) + "\n")
     f.flush()
-    return json.loads(f.readline())
+    resp = json.loads(f.readline())
+    # every response — success or error — carries the v2 protocol stamp
+    assert resp.get("v") == 2, resp
+    return resp
 
 xml = ('<Resource wl:id="weblab://doc/ci">'
        '<NativeContent wl:id="weblab://src/0" wl:s="Source" wl:t="0">'
@@ -172,6 +175,23 @@ r = rpc({"op": "batch", "exec": "ci",
          "requests": [{"op": "why", "uri": "weblab://src/0"}] * 17})
 assert r.get("ok") is False and r.get("code") == "batch-limit", r
 
+# v2 ranked analytics: the seed leads at score 1.000000, hop 0
+r = rpc({"op": "rank", "exec": "ci", "uris": ["weblab://src/0"],
+         "direction": "up", "limit": 3, "budget": 4, "decay": 0.5})
+assert r.get("ok") and r.get("epoch", 0) >= 1, r
+assert r["result"][0] == {"uri": "weblab://src/0", "score": "1.000000", "hop": 0}, r
+
+r = rpc({"op": "summary", "exec": "ci", "uri": "weblab://src/0"})
+assert r.get("ok"), r
+assert r["result"]["resources"] >= 1 and r["result"]["services"], r
+assert "blast" in r["result"], r
+
+# six seeds produce six ranked rows, blowing the --max-rows 5 cap with
+# the same stable code sparql uses
+r = rpc({"op": "rank", "exec": "ci",
+         "uris": [f"weblab://none/{i}" for i in range(6)]})
+assert r.get("ok") is False and r.get("code") == "result-limit", r
+
 r = rpc({"op": "nonsense"})
 assert r.get("ok") is False and r.get("code") == "protocol", r
 
@@ -189,10 +209,11 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 counters = report["counters"]
 
-# one request per protocol line above, exactly three of them probe errors
-# (the unknown op, the over-cap sparql scan, the over-cap batch)
-assert counters.get("serve.requests", 0) >= 10, counters.get("serve.requests")
-assert counters.get("serve.errors", 0) == 3, counters.get("serve.errors")
+# one request per protocol line above, exactly four of them probe errors
+# (the unknown op, the over-cap sparql scan, the over-cap batch, the
+# over-cap rank)
+assert counters.get("serve.requests", 0) >= 13, counters.get("serve.requests")
+assert counters.get("serve.errors", 0) == 4, counters.get("serve.errors")
 assert "serve.request_ns" in report["histograms"], "request latency not recorded"
 # exactly one batch dispatched (the over-cap one is rejected before the
 # counters tick), carrying three sub-requests; nothing was shed
@@ -209,9 +230,14 @@ assert counters.get("prov.index.traversals", 0) == 0, \
 assert counters.get("rdf.plan.cache.hits", 0) >= 1, \
     f"plan cache never hit: {counters.get('rdf.plan.cache.hits')}"
 assert counters.get("rdf.plan.builds", 0) >= 1, "no sparql plan was ever built"
+# the ranked analytics probes above went through the instrumented layer
+# (the ok rank, the summary, and the over-cap rank all tick it)
+assert counters.get("prov.rank.queries", 0) >= 2, counters.get("prov.rank.queries")
+assert "prov.rank.score_ns" in report["histograms"], "rank latency not recorded"
 print("ci: serve metrics ok "
       f"(requests={counters['serve.requests']}, builds={counters['prov.index.builds']}, "
-      f"plan_cache_hits={counters['rdf.plan.cache.hits']})")
+      f"plan_cache_hits={counters['rdf.plan.cache.hits']}, "
+      f"rank_queries={counters['prov.rank.queries']})")
 PY
 
 echo "==> serve load-smoke (pipelined batches against a 2-worker server)"
@@ -578,6 +604,35 @@ assert pcts[10]["speedup"] >= 2, \
     f"X16 replay at a 10% cone under 2x: {pcts[10]['speedup']}"
 print(f"ci: X16 snapshot ok ({snap['sources']} sources, "
       f"{pcts[10]['speedup']}x at 10% dirty, {pcts[50]['speedup']}x at 50%)")
+PY
+
+echo "==> X17 snapshot validation (BENCH_X17_rank.json)"
+python3 - BENCH_X17_rank.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+assert snap["experiment"] == "X17", snap
+assert snap["nodes"] >= 100_000, f"X17 graph too small: {snap['nodes']}"
+assert snap["edges"] == snap["nodes"] - 1, snap
+assert 0 < snap["budget"] < snap["nodes"], snap
+for phase, keys in (("full", ("rounds", "impacted", "p50_ns")),
+                    ("rank", ("rounds", "returned", "p50_ns"))):
+    for key in keys:
+        assert key in snap[phase], f"{phase} snapshot missing {key!r}"
+# the sink's impact closure is the whole tree — the worst case rank bounds
+assert snap["full"]["impacted"] == snap["nodes"] - 1, snap["full"]
+assert snap["rank"]["returned"] == snap["limit"], snap["rank"]
+assert snap["speedup"] >= 10, \
+    f"budgeted rank must be >=10x cheaper than full materialisation: {snap['speedup']}"
+counters = snap["counters"]
+assert counters["queries"] == snap["rank"]["rounds"], counters
+assert counters["visited"] == snap["budget"] * snap["rank"]["rounds"], \
+    "the budget must bound the visit count exactly"
+print(f"ci: X17 snapshot ok ({snap['nodes']} nodes, top-{snap['limit']} "
+      f"under budget {snap['budget']} is {snap['speedup']}x cheaper than "
+      f"materialising {snap['full']['impacted']} impacted resources)")
 PY
 
 echo "ci: all gates passed"

@@ -47,6 +47,23 @@
 //! weblab query <stamped.xml> <sparql> [catalog.txt] [--jobs N|auto]
 //!     Materialise the PROV-O graph and answer a SPARQL SELECT query.
 //!
+//! weblab query <stamped.xml> rank <uri>… [--direction up|down] [--limit N]
+//!              [--budget N] [--decay F] [--weight Service=F]
+//!              [--catalog FILE] [--jobs N|auto]
+//!     Ranked relevance by spreading activation: seeds start at score
+//!     1.000000, each hop multiplies by `--decay` (default 0.5) and the
+//!     per-service `--weight` (repeatable; default 1.0) of the service
+//!     that produced the derived endpoint. `--budget N` caps the visited
+//!     frontier to the N best-scored resources (0 = unbounded, the exact
+//!     impacted-by / lineage closure); `--limit N` truncates the printed
+//!     list. Scores are deterministic fixed-point values — identical to
+//!     the serve protocol's `rank` op at any worker count.
+//!
+//! weblab query <stamped.xml> summary [uri] [--catalog FILE] [--jobs N|auto]
+//!     Traversal-free aggregate analytics from the reachability index:
+//!     per-service influence, common-origin clusters, and (with a uri)
+//!     that resource's blast radius.
+//!
 //! weblab why <stamped.xml> <resource-uri> [catalog.txt] [--jobs N|auto]
 //!     Why-provenance: the justifying subgraph of one resource.
 //!
@@ -69,15 +86,17 @@
 //!              [catalog.txt]
 //!     Start the long-running provenance query service: a TCP daemon
 //!     speaking line-delimited JSON (`why`, `lineage`, `impacted-by`,
-//!     `common-origins`, `sparql`, `batch`, `ingest`, `replay`,
-//!     `status`, `shutdown` — see DESIGN.md §10, §12 and §14). A non-blocking event
+//!     `common-origins`, `sparql`, `rank`, `summary`, `batch`, `ingest`,
+//!     `replay`, `status`, `shutdown` — see DESIGN.md §10, §12, §14 and
+//!     §15; responses carry the protocol version `"v":2`). A non-blocking event
 //!     loop owns all sockets and pipelined requests; `--workers N` sizes
 //!     the dispatch pool (default 4). Queries answer from a published
 //!     reachability-index snapshot, concurrently with live ingestion;
 //!     `batch` answers all its sub-requests at one pinned epoch.
 //!     `--port 0` (the default) binds an ephemeral port; the bound
 //!     address is printed as `listening on …` on stdout. `--max-rows N`
-//!     caps `sparql` result rows (default 10000; code `result-limit`),
+//!     caps `sparql`, `rank` and `summary` result rows (default 10000;
+//!     code `result-limit`),
 //!     `--max-batch N` caps batch sub-requests (default 256; code
 //!     `batch-limit`), `--max-conns N` caps concurrent connections
 //!     (default 1024; code `overloaded`), `--idle-timeout MS` closes
@@ -104,11 +123,12 @@ use std::sync::Arc;
 
 use weblab::error::WebLabError;
 use weblab::platform::{
-    persist, Mapper, Platform, PlatformError, ProvQuery, QueryAnswer, ServiceCatalog,
+    persist, Mapper, Platform, PlatformError, ProvQuery, QueryAnswer, QueryOpts, RankDirection,
+    ServiceCatalog,
 };
 use weblab::prov::{
-    dirty_cone, infer_provenance, EngineOptions, ExecutionTrace, InheritMode, Parallelism,
-    ProvenanceGraph, ReachabilityIndex, RuleSet,
+    dirty_cone, format_micro, infer_provenance, micro_from_f64, EngineOptions, ExecutionTrace,
+    InheritMode, Parallelism, ProvenanceGraph, ReachabilityIndex, RuleSet,
 };
 use weblab::rdf::{export_prov, to_turtle};
 use weblab::serve::Server;
@@ -701,9 +721,16 @@ fn cmd_infer(args: &[String]) -> CliResult {
 
 fn cmd_query(args: &[String]) -> CliResult {
     let (pos, jobs) = split_jobs(args)?;
-    let input = pos
-        .first()
-        .ok_or("usage: weblab query <stamped.xml> <sparql> [catalog.txt] [--jobs N|auto]")?;
+    let input = pos.first().ok_or(
+        "usage: weblab query <stamped.xml> <sparql|rank <uri>…|summary [uri]> [catalog.txt] [--jobs N|auto]",
+    )?;
+    // `rank` and `summary` are the v2 analytics subcommands; anything else
+    // in the second slot is a SPARQL SELECT, as in v1.
+    match pos.get(1).map(String::as_str) {
+        Some("rank") => return cmd_query_rank(input, &pos[2..], jobs),
+        Some("summary") => return cmd_query_summary(input, &pos[2..], jobs),
+        _ => {}
+    }
     let sparql = pos.get(1).ok_or("missing SPARQL query")?;
     let doc = read_doc(input)?;
     let rules = rules_from(pos.get(2).map(String::as_str))?;
@@ -725,6 +752,121 @@ fn cmd_query(args: &[String]) -> CliResult {
     emit(&rendered)?;
     eprintln!("{} solution(s)", solutions.len());
     Ok(())
+}
+
+/// Parse a CLI fraction flag into micro-units, bounded by `max`.
+fn micro_flag(flag: &str, value: &str, max: f64) -> Result<u32, WebLabError> {
+    let f: f64 = value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))?;
+    micro_from_f64(f, max)
+        .map(|m| m as u32)
+        .ok_or_else(|| format!("{flag} must be a number in [0, {max}], got {value:?}").into())
+}
+
+fn cmd_query_rank(input: &str, args: &[String], jobs: Parallelism) -> CliResult {
+    let mut uris = Vec::new();
+    let mut direction = RankDirection::Up;
+    let mut opts = QueryOpts::default();
+    let mut weights: Vec<(String, u32)> = Vec::new();
+    let mut catalog = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--direction" => {
+                let v = it.next().ok_or("missing value for --direction")?;
+                direction = RankDirection::parse(v).ok_or_else(|| {
+                    format!("--direction expects \"up\" or \"down\", got {v:?}")
+                })?;
+            }
+            "--limit" => {
+                let v = it.next().ok_or("missing value for --limit")?;
+                opts.limit = v
+                    .parse()
+                    .map_err(|_| format!("--limit expects a count, got {v:?}"))?;
+            }
+            "--budget" => {
+                let v = it.next().ok_or("missing value for --budget")?;
+                opts.budget = v
+                    .parse()
+                    .map_err(|_| format!("--budget expects a count, got {v:?}"))?;
+            }
+            "--decay" => {
+                let v = it.next().ok_or("missing value for --decay")?;
+                opts.decay_micro = micro_flag("--decay", v, 1.0)?;
+            }
+            "--weight" => {
+                let v = it.next().ok_or("missing value for --weight")?;
+                let (svc, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--weight expects Service=F, got {v:?}"))?;
+                weights.push((svc.to_string(), micro_flag("--weight", val, 1000.0)?));
+            }
+            "--catalog" => catalog = Some(it.next().ok_or("missing value for --catalog")?.clone()),
+            other => uris.push(other.to_string()),
+        }
+    }
+    if uris.is_empty() {
+        return Err("usage: weblab query <stamped.xml> rank <uri>… [--direction up|down] [--limit N] [--budget N] [--decay F] [--weight Service=F] [--catalog FILE] [--jobs N|auto]".into());
+    }
+    let doc = read_doc(input)?;
+    let rules = rules_from(catalog.as_deref())?;
+    let graph = build_graph(&doc, &rules, false, jobs);
+    let query = ProvQuery::Rank { uris, direction, opts, weights };
+    let QueryAnswer::Ranked(entries) = query.answer_on_graph(&graph)? else {
+        unreachable!("rank queries answer with ranked entries");
+    };
+    let mut rendered = String::new();
+    for e in &entries {
+        rendered.push_str(&format!(
+            "{}  hop {}  {}\n",
+            format_micro(e.score_micro),
+            e.hop,
+            e.uri
+        ));
+    }
+    emit(&rendered)?;
+    eprintln!("{} ranked resource(s)", entries.len());
+    Ok(())
+}
+
+fn cmd_query_summary(input: &str, args: &[String], jobs: Parallelism) -> CliResult {
+    let mut uri = None;
+    let mut catalog = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--catalog" => catalog = Some(it.next().ok_or("missing value for --catalog")?.clone()),
+            other if uri.is_none() => uri = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let doc = read_doc(input)?;
+    let rules = rules_from(catalog.as_deref())?;
+    let graph = build_graph(&doc, &rules, false, jobs);
+    let query = ProvQuery::Summary { uri };
+    let QueryAnswer::Summary(s) = query.answer_on_graph(&graph)? else {
+        unreachable!("summary queries answer with a graph summary");
+    };
+    let mut out = format!("{} resource(s), {} edge(s)\n", s.resources, s.edges);
+    out.push_str(&format!("services ({}):\n", s.services.len()));
+    for svc in &s.services {
+        out.push_str(&format!(
+            "  {}: {} resource(s), influence {}, origins {}\n",
+            svc.service, svc.resources, svc.influence, svc.origins
+        ));
+    }
+    out.push_str(&format!("origin clusters ({}):\n", s.clusters.len()));
+    for c in &s.clusters {
+        out.push_str(&format!("  {} reaches {} resource(s)\n", c.root, c.size));
+    }
+    if let Some(b) = &s.blast {
+        out.push_str(&format!(
+            "blast radius of {}: {} impacted, {} origin(s)\n",
+            b.uri, b.impacted, b.origins
+        ));
+    }
+    emit(&out)
 }
 
 fn cmd_why(args: &[String]) -> CliResult {

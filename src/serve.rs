@@ -21,6 +21,8 @@
 //! {"op":"impacted-by","exec":"e","uri":"r3"}
 //! {"op":"common-origins","exec":"e","a":"r8","b":"r6"}
 //! {"op":"sparql","exec":"e","query":"PREFIX prov: <…> SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"}
+//! {"op":"rank","exec":"e","uri":"r3","direction":"up","limit":10,"budget":4096,"decay":0.5,"weights":{"Translator":0.25}}
+//! {"op":"summary","exec":"e","uri":"r3"}
 //! {"op":"batch","exec":"e","requests":[{"op":"why","uri":"r8"},{"op":"impacted-by","uri":"r3"}]}
 //! {"op":"ingest","exec":"e","xml":"<Resource>…</Resource>","live":true,"pipeline":["Normaliser"]}
 //! {"op":"replay","exec":"e","as":"e2","xml":"<Resource>…</Resource>","changed":["r3"],"proof":"exact"}
@@ -28,20 +30,24 @@
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Responses: `{"ok":true,"epoch":N,"result":…}` on success (`epoch` is
+//! Responses: `{"ok":true,"v":2,"epoch":N,"result":…}` on success
+//! (`"v"` is the protocol version —
+//! [`PROTOCOL_VERSION`](weblab_platform::PROTOCOL_VERSION), stamped on
+//! every response so clients can detect the v2 answer shapes; `epoch` is
 //! the reachability-index epoch the answer was computed at — present for
-//! ops that touched a snapshot), `{"ok":false,"code":"…","error":"…"}` on
-//! failure with the stable [`WebLabError::code`] strings. Any request may
-//! carry an `"id"` member; it is echoed back verbatim as the first member
-//! of the response, so pipelining clients can match responses under
-//! overload. `sparql` responses are capped at [`Server::max_rows`]
-//! solution rows (stable code `result-limit`).
+//! ops that touched a snapshot), `{"ok":false,"v":2,"code":"…","error":"…"}`
+//! on failure with the stable [`WebLabError::code`] strings. Any request
+//! may carry an `"id"` member; it is echoed back verbatim as the first
+//! member of the response, so pipelining clients can match responses
+//! under overload. `sparql` responses are capped at [`Server::max_rows`]
+//! solution rows (stable code `result-limit`); `rank` and `summary`
+//! result lists are capped by the same limit and code.
 //!
 //! ## The `batch` op
 //!
 //! `batch` carries up to [`Server::max_batch`] query sub-requests
-//! (`why`/`lineage`/`impacted-by`/`common-origins`/`sparql`) in one
-//! round-trip and answers **all of them against a single pinned epoch
+//! (`why`/`lineage`/`impacted-by`/`common-origins`/`sparql`/`rank`/
+//! `summary`) in one round-trip and answers **all of them against a single pinned epoch
 //! snapshot**: the response is `{"ok":true,"epoch":E,"result":[…]}` where
 //! every element is a full response object — successes byte-identical to
 //! the same sub-request issued on its own at epoch `E`, failures carrying
@@ -89,7 +95,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use weblab_obs::{Counter, Gauge, Histogram, Span};
-use weblab_platform::{ExecutionHandle, Platform, ProvQuery, QueryAnswer};
+use weblab_platform::{
+    ExecutionHandle, Platform, ProvQuery, QueryAnswer, QueryOpts, RankDirection, PROTOCOL_VERSION,
+};
+use weblab_prov::{format_micro, micro_from_f64};
 use weblab_workflow::ProofMode;
 use weblab_prov::EpochSnapshot;
 use weblab_xml::parse_document;
@@ -141,7 +150,8 @@ const CLOSE_GRACE: Duration = Duration::from_secs(5);
 /// Per-request limits the dispatcher enforces.
 #[derive(Clone, Copy, Debug)]
 pub struct RequestLimits {
-    /// Cap on `sparql` solution rows (stable code `result-limit`).
+    /// Cap on `sparql` solution rows and `rank`/`summary` result lists
+    /// (stable code `result-limit`).
     pub max_rows: usize,
     /// Cap on sub-requests per `batch` (stable code `batch-limit`).
     pub max_batch: usize,
@@ -184,10 +194,11 @@ impl Server {
         })
     }
 
-    /// Cap `sparql` responses at `max_rows` solution rows (`--max-rows`;
-    /// default [`DEFAULT_MAX_ROWS`]). A query producing more answers
-    /// `ok:false` with the stable code `result-limit` instead of
-    /// serialising an unbounded response.
+    /// Cap `sparql` responses at `max_rows` solution rows, and `rank`/
+    /// `summary` responses at `max_rows` result-list entries
+    /// (`--max-rows`; default [`DEFAULT_MAX_ROWS`]). A query producing
+    /// more answers `ok:false` with the stable code `result-limit`
+    /// instead of serialising an unbounded response.
     pub fn max_rows(mut self, max_rows: usize) -> Server {
         self.limits.max_rows = max_rows;
         self
@@ -734,7 +745,7 @@ fn dispatch(
 ) -> Result<Dispatched, WebLabError> {
     let op = str_field(request, "op")?;
     match op {
-        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" => {
+        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" | "rank" | "summary" => {
             let exec = platform.execution(str_field(request, "exec")?);
             let query = parse_query(op, request)?;
             let (epoch, answer) = exec.query_at(&query)?;
@@ -887,7 +898,7 @@ fn batch_sub(
 ) -> Result<Json, WebLabError> {
     let op = str_field(sub, "op")?;
     match op {
-        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" => {
+        "why" | "lineage" | "impacted-by" | "common-origins" | "sparql" | "rank" | "summary" => {
             if let Some(sub_exec) = sub.get("exec").and_then(Json::as_str) {
                 if sub_exec != batch_exec {
                     return Err(WebLabError::Protocol(format!(
@@ -907,13 +918,18 @@ fn batch_sub(
 }
 
 fn check_row_cap(answer: &QueryAnswer, limits: &RequestLimits) -> Result<(), WebLabError> {
-    if let QueryAnswer::Solutions(solutions) = answer {
-        if solutions.len() > limits.max_rows {
-            return Err(WebLabError::ResultLimit {
-                rows: solutions.len(),
-                max: limits.max_rows,
-            });
-        }
+    let rows = match answer {
+        QueryAnswer::Solutions(solutions) => solutions.len(),
+        QueryAnswer::Ranked(entries) => entries.len(),
+        // a summary's unbounded dimension is its cluster/service lists
+        QueryAnswer::Summary(s) => s.services.len().max(s.clusters.len()),
+        _ => return Ok(()),
+    };
+    if rows > limits.max_rows {
+        return Err(WebLabError::ResultLimit {
+            rows,
+            max: limits.max_rows,
+        });
     }
     Ok(())
 }
@@ -943,18 +959,93 @@ fn parse_query(op: &str, request: &Json) -> Result<ProvQuery, WebLabError> {
         "sparql" => ProvQuery::Sparql {
             query: str_field(request, "query")?.to_string(),
         },
+        "rank" => ProvQuery::Rank {
+            uris: match request.get("uris") {
+                Some(v) => string_array(v, "uris")?,
+                None => vec![str_field(request, "uri")?.to_string()],
+            },
+            direction: match request.get("direction") {
+                None => RankDirection::Up,
+                Some(d) => d
+                    .as_str()
+                    .and_then(RankDirection::parse)
+                    .ok_or_else(|| {
+                        WebLabError::Protocol(
+                            "field \"direction\" must be \"up\" or \"down\"".into(),
+                        )
+                    })?,
+            },
+            opts: parse_query_opts(request)?,
+            weights: parse_weights(request)?,
+        },
+        "summary" => ProvQuery::Summary {
+            uri: request.get("uri").and_then(Json::as_str).map(String::from),
+        },
         other => return Err(WebLabError::Protocol(format!("unknown op {other:?}"))),
     })
 }
 
-/// A success response object: `{"id"?,…,"ok":true,"epoch"?,…,"result":…}`.
-/// The `id` member, when the request carried one, always renders first.
+/// Parse the shared v2 [`QueryOpts`] envelope (`limit`, `budget`,
+/// `decay`) off a request — the same envelope the CLI flags feed.
+fn parse_query_opts(request: &Json) -> Result<QueryOpts, WebLabError> {
+    let mut opts = QueryOpts::default();
+    for (key, slot) in [("limit", &mut opts.limit), ("budget", &mut opts.budget)] {
+        if let Some(v) = request.get(key) {
+            *slot = v.as_u64().ok_or_else(|| {
+                WebLabError::Protocol(format!("field {key:?} must be a non-negative integer"))
+            })? as usize;
+        }
+    }
+    if let Some(v) = request.get("decay") {
+        let micro = match v {
+            Json::Num(n) => micro_from_f64(*n, 1.0),
+            _ => None,
+        };
+        opts.decay_micro = micro.ok_or_else(|| {
+            WebLabError::Protocol("field \"decay\" must be a number in [0, 1]".into())
+        })? as u32;
+    }
+    Ok(opts)
+}
+
+/// Parse the optional `weights` object (`{"Service": 0.25, …}`) into
+/// micro-unit per-service edge weights.
+fn parse_weights(request: &Json) -> Result<Vec<(String, u32)>, WebLabError> {
+    match request.get("weights") {
+        None => Ok(Vec::new()),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(service, v)| {
+                let micro = match v {
+                    Json::Num(n) => micro_from_f64(*n, 1000.0),
+                    _ => None,
+                };
+                micro
+                    .map(|m| (service.clone(), m as u32))
+                    .ok_or_else(|| {
+                        WebLabError::Protocol(format!(
+                            "weight of {service:?} must be a number in [0, 1000]"
+                        ))
+                    })
+            })
+            .collect(),
+        Some(_) => Err(WebLabError::Protocol(
+            "field \"weights\" must be an object of service → number".into(),
+        )),
+    }
+}
+
+/// A success response object:
+/// `{"id"?,…,"ok":true,"v":2,"epoch"?,…,"result":…}`. The `id` member,
+/// when the request carried one, always renders first; every response
+/// carries the protocol version.
 fn success_json(epoch: Option<u64>, result: Json, id: Option<&Json>) -> Json {
-    let mut pairs = Vec::with_capacity(4);
+    let mut pairs = Vec::with_capacity(5);
     if let Some(id) = id {
         pairs.push(("id", id.clone()));
     }
     pairs.push(("ok", Json::Bool(true)));
+    pairs.push(("v", Json::num(PROTOCOL_VERSION)));
     if let Some(e) = epoch {
         pairs.push(("epoch", Json::num(e)));
     }
@@ -962,14 +1053,15 @@ fn success_json(epoch: Option<u64>, result: Json, id: Option<&Json>) -> Json {
     Json::obj(pairs)
 }
 
-/// An error response object carrying the stable code (and, for batch
-/// sub-requests, the epoch the batch was answered at).
+/// An error response object carrying the protocol version, the stable
+/// code and, for batch sub-requests, the epoch the batch was answered at.
 fn error_json(e: &WebLabError, id: Option<&Json>, epoch: Option<u64>) -> Json {
-    let mut pairs = Vec::with_capacity(5);
+    let mut pairs = Vec::with_capacity(6);
     if let Some(id) = id {
         pairs.push(("id", id.clone()));
     }
     pairs.push(("ok", Json::Bool(false)));
+    pairs.push(("v", Json::num(PROTOCOL_VERSION)));
     if let Some(ep) = epoch {
         pairs.push(("epoch", Json::num(ep)));
     }
@@ -1037,6 +1129,61 @@ pub fn render_answer(answer: &QueryAnswer) -> Json {
                 })
                 .collect(),
         ),
+        // scores render as fixed six-decimal micro-unit strings, so the
+        // bytes are exact at every worker count
+        QueryAnswer::Ranked(entries) => Json::Arr(
+            entries
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("uri", Json::str(e.uri.as_str())),
+                        ("score", Json::str(format_micro(e.score_micro))),
+                        ("hop", Json::num(e.hop as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+        QueryAnswer::Summary(s) => {
+            let services: Vec<Json> = s
+                .services
+                .iter()
+                .map(|svc| {
+                    Json::obj(vec![
+                        ("service", Json::str(svc.service.as_str())),
+                        ("resources", Json::num(svc.resources)),
+                        ("influence", Json::num(svc.influence)),
+                        ("origins", Json::num(svc.origins)),
+                    ])
+                })
+                .collect();
+            let clusters: Vec<Json> = s
+                .clusters
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("root", Json::str(c.root.as_str())),
+                        ("size", Json::num(c.size)),
+                    ])
+                })
+                .collect();
+            let mut pairs = vec![
+                ("resources", Json::num(s.resources)),
+                ("edges", Json::num(s.edges)),
+                ("services", Json::Arr(services)),
+                ("clusters", Json::Arr(clusters)),
+            ];
+            if let Some(b) = &s.blast {
+                pairs.push((
+                    "blast",
+                    Json::obj(vec![
+                        ("uri", Json::str(b.uri.as_str())),
+                        ("impacted", Json::num(b.impacted)),
+                        ("origins", Json::num(b.origins)),
+                    ]),
+                ));
+            }
+            Json::obj(pairs)
+        }
     }
 }
 

@@ -1,10 +1,5 @@
 //! Failure injection: misbehaving services, malformed inputs, and broken
 //! rule sets must surface as errors without corrupting stored state.
-//!
-//! Uses the pre-`ExecutionHandle` query surface in places; kept as-is to
-//! pin the deprecated shims' behaviour.
-
-#![allow(deprecated)]
 
 use std::sync::Arc;
 
@@ -295,6 +290,6 @@ fn sparql_errors_surface_through_the_request_manager() {
     p.register_service(Arc::new(Normaliser), &[]).unwrap();
     p.ingest("e", generate_corpus(6, 1, 20));
     p.execute("e", &["Normaliser"]).unwrap();
-    let err = p.provenance_query("e", "SELEKT nonsense").unwrap_err();
+    let err = p.execution("e").sparql("SELEKT nonsense").unwrap_err();
     assert!(matches!(err, PlatformError::Sparql(_)));
 }

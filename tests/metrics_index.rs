@@ -5,17 +5,14 @@
 //! serialise on a mutex).
 //!
 //! The property under guard: `ExecutionHandle::deps`/`rdeps` (and the
-//! structured queries behind `weblab serve`) answer from the published
-//! reachability index — **zero** full edge-list traversals — while the
-//! deprecated `Platform::dependencies_of`/`dependents_of` surface keeps
-//! its original scan-per-call cost, one traversal per query.
-
-#![allow(deprecated)]
+//! structured queries behind `weblab serve`, ranked analytics included)
+//! answer from the published reachability index — **zero** full edge-list
+//! traversals.
 
 use std::sync::{Arc, Mutex as StdMutex};
 
 use weblab::obs;
-use weblab::platform::{Mapper, Platform, ProvQuery};
+use weblab::platform::{Mapper, Platform, ProvQuery, QueryOpts, RankDirection};
 use weblab::workflow::generator::generate_corpus;
 use weblab::workflow::services::{self, LanguageExtractor, Normaliser, Tokeniser};
 use weblab::workflow::Service;
@@ -96,32 +93,36 @@ fn indexed_queries_perform_zero_graph_traversals() {
 }
 
 #[test]
-fn deprecated_batch_surface_still_pays_one_traversal_per_query() {
+fn ranked_analytics_tick_their_counters_without_traversals() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let platform = platform_with_pipeline();
-    platform.ingest("legacy", generate_corpus(7, 3, 10));
-    platform
-        .execute("legacy", &["Normaliser", "LanguageExtractor", "Tokeniser"])
+    let exec = platform.execution("ranked");
+    exec.ingest(generate_corpus(7, 3, 10));
+    exec.execute(&["Normaliser", "LanguageExtractor", "Tokeniser"])
         .unwrap();
-    let graph = platform.provenance_graph("legacy").unwrap();
-    let uris: Vec<String> = graph.sources.iter().map(|s| s.uri.clone()).collect();
+    let uris: Vec<String> = {
+        let snap = exec.snapshot().unwrap();
+        snap.graph.sources.iter().map(|s| s.uri.clone()).collect()
+    };
     assert!(uris.len() >= 4);
 
     obs::reset();
     obs::enable();
-    let mut scans = 0u64;
-    for uri in &uris {
-        let _ = platform.dependencies_of("legacy", uri).unwrap();
-        let _ = platform.dependents_of("legacy", uri).unwrap();
-        scans += 2;
-    }
+    let ranked = exec
+        .rank(&uris[..1], RankDirection::Up, &QueryOpts::default(), &[])
+        .unwrap();
+    let _ = exec.summary(Some(&uris[0])).unwrap();
     let snap = obs::snapshot();
     obs::disable();
 
-    // the shims keep their original edge-list-scan semantics: one full
-    // traversal per call, and no index involvement
-    assert_eq!(snap.counter(TRAVERSALS), scans);
-    assert_eq!(snap.counter(HITS), 0);
+    // the analytics layer instruments itself: one rank query + one
+    // summary, the seed always visited, and never an edge-list re-walk —
+    // rank expands index adjacency, summary reads precomputed closures
+    assert_eq!(snap.counter("prov.rank.queries"), 2);
+    assert!(snap.counter("prov.rank.visited") >= ranked.len() as u64);
+    assert!(snap.counter("prov.rank.visited") >= 1);
+    assert_eq!(snap.counter(TRAVERSALS), 0);
+    assert_eq!(snap.counter(BUILDS), 0, "rank must reuse the published index");
 }
 
 #[test]

@@ -2,11 +2,8 @@
 //! execute → record → materialise → SPARQL, through both mapper back-ends
 //! and through the out-of-process exchange path.
 //!
-//! Written against the original per-execution `Platform` methods and kept
-//! unmodified on purpose: the `#[deprecated]` shims behind
-//! `Platform::execution` must keep these tests passing as-is.
-
-#![allow(deprecated)]
+//! Written against the `ExecutionHandle` façade (`Platform::execution`),
+//! the one per-execution surface the platform exposes.
 
 use std::sync::Arc;
 
@@ -64,14 +61,13 @@ fn end_to_end_media_mining_with_native_mapper() {
     p.ingest("exec", generate_corpus(17, 3, 40));
     p.execute("exec", PIPELINE).unwrap();
 
-    let graph = p.provenance_graph("exec").unwrap();
+    let graph = p.execution("exec").graph().unwrap();
     assert!(graph.is_acyclic());
     assert!(graph.links.len() >= 6);
 
     // SPARQL: which activities used which entities?
-    let sols = p
-        .provenance_query(
-            "exec",
+    let sols = p.execution("exec")
+        .sparql(
             &format!(
                 "PREFIX prov: <{PROV_NS}> SELECT ?a ?e WHERE {{ ?a prov:used ?e . }}"
             ),
@@ -81,9 +77,8 @@ fn end_to_end_media_mining_with_native_mapper() {
 
     // transitive question through a two-hop BGP: summaries ultimately
     // trace back to native content
-    let sols = p
-        .provenance_query(
-            "exec",
+    let sols = p.execution("exec")
+        .sparql(
             &format!(
                 "PREFIX prov: <{PROV_NS}> SELECT ?summary ?src WHERE {{ \
                    ?summary prov:wasDerivedFrom ?mid . \
@@ -105,8 +100,8 @@ fn xquery_mapper_agrees_with_native_on_the_pipeline() {
         p.ingest("e", generate_corpus(23, 2, 35));
         p.execute("e", PIPELINE).unwrap();
     }
-    let g1 = native.provenance_graph("e").unwrap();
-    let g2 = compiled.provenance_graph("e").unwrap();
+    let g1 = native.execution("e").graph().unwrap();
+    let g2 = compiled.execution("e").graph().unwrap();
     assert_eq!(g1.links, g2.links);
     assert!(!g1.links.is_empty());
 }
@@ -119,7 +114,7 @@ fn exchange_based_recording_matches_in_process_execution() {
     p.ingest("in-process", generate_corpus(5, 1, 30));
     p.execute("in-process", &["Normaliser", "LanguageExtractor"])
         .unwrap();
-    let g_in = p.provenance_graph("in-process").unwrap();
+    let g_in = p.execution("in-process").graph().unwrap();
 
     // simulate the SOAP flow: serialise after each step and hand the full
     // response to the recorder
@@ -145,7 +140,7 @@ fn exchange_based_recording_matches_in_process_execution() {
         .record_exchange("exchange", "LanguageExtractor", 2, &response2)
         .unwrap();
 
-    let g_ex = q.provenance_graph("exchange").unwrap();
+    let g_ex = q.execution("exchange").graph().unwrap();
     let pairs = |g: &weblab::prov::ProvenanceGraph| {
         let mut v: Vec<(String, String)> = g
             .links
@@ -166,7 +161,7 @@ fn repeated_execution_extends_the_same_document() {
     p.execute("e", &["Normaliser"]).unwrap();
     p.execute("e", &["LanguageExtractor"]).unwrap();
     // timestamps continue across execute() calls
-    let g = p.provenance_graph("e").unwrap();
+    let g = p.execution("e").graph().unwrap();
     let times: Vec<u64> = g.sources.iter().map(|s| s.label.time).collect();
     assert!(times.contains(&1));
     assert!(times.contains(&2));
@@ -202,7 +197,7 @@ fn skolem_aggregation_flows_through_the_platform() {
     p.ingest("e", doc);
     p.execute("e", &["Normaliser", "LanguageExtractor", "Indexer"])
         .unwrap();
-    let g = p.provenance_graph("e").unwrap();
+    let g = p.execution("e").graph().unwrap();
     // two index entries (fr, en), each depending on its annotation(s)
     let entry_deps: Vec<_> = g
         .links
@@ -212,9 +207,8 @@ fn skolem_aggregation_flows_through_the_platform() {
     assert_eq!(entry_deps.len(), 2);
 
     // and the Indexer activity appears in the provenance store
-    let sols = p
-        .provenance_query(
-            "e",
+    let sols = p.execution("e")
+        .sparql(
             &format!(
                 "PREFIX prov: <{PROV_NS}> SELECT ?e WHERE {{ \
                    ?e prov:wasGeneratedBy <{}> . }}",

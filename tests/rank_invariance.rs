@@ -1,0 +1,250 @@
+//! Invariance guarantees of the ranked analytics layer (DESIGN.md §15).
+//!
+//! Two properties are pinned here, both promised by the v2 protocol:
+//!
+//! 1. **Worker-count invariance** — the served `rank` and `summary`
+//!    responses are *byte-identical* at 1, 2 and 4 dispatch workers, and
+//!    the ranked entry list is identical whether the index was built
+//!    incrementally (live ingestion) or in one batch pass. Scores depend
+//!    only on the published graph, never on traversal or intern order.
+//! 2. **Exactness at unbounded budget** — on random synthetic workloads,
+//!    an unbounded `rank` visits exactly the impacted-by closure (up) /
+//!    the lineage closure (down) of its seed: the budgeted frontier is a
+//!    refinement of the exact queries, not a different relation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use weblab::json::Json;
+use weblab::platform::{Mapper, Platform, QueryOpts, RankDirection};
+use weblab::prov::{infer_provenance, rank, EngineOptions, ReachabilityIndex};
+use weblab::serve::Server;
+use weblab::workflow::generator::{generate_corpus, synthetic_workload};
+use weblab::workflow::services::{self, LanguageExtractor, Normaliser, Tokeniser};
+use weblab::workflow::{Orchestrator, Service};
+
+const PIPELINE: [&str; 3] = ["Normaliser", "LanguageExtractor", "Tokeniser"];
+
+fn serve_platform() -> Arc<Platform> {
+    let rules = services::default_rules();
+    let platform = Platform::new(Mapper::native());
+    let builtins: Vec<Box<dyn Service>> = vec![
+        Box::new(Normaliser),
+        Box::new(LanguageExtractor),
+        Box::new(Tokeniser),
+    ];
+    for svc in builtins {
+        let texts: Vec<String> = rules
+            .rules_for(svc.name())
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        platform.register_service(Arc::from(svc), &refs).unwrap();
+    }
+    Arc::new(platform)
+}
+
+/// Build an execution (live-maintained or batch-materialised), serve it,
+/// and capture the raw wire bytes of one `rank` and one `summary`
+/// response.
+fn served_rank_bytes(live: bool, workers: usize) -> (String, String) {
+    let platform = serve_platform();
+    {
+        let exec = platform.execution("e");
+        exec.ingest(generate_corpus(31, 2, 12));
+        if live {
+            exec.enable_live();
+        }
+        exec.execute(&PIPELINE).unwrap();
+    }
+    let seeds: Vec<String> = {
+        let snap = platform.execution("e").snapshot().unwrap();
+        let mut uris: Vec<String> = snap.graph.sources.iter().map(|s| s.uri.clone()).collect();
+        uris.sort();
+        uris.truncate(2);
+        uris
+    };
+    assert_eq!(seeds.len(), 2, "corpus produced too few resources");
+
+    let server = Server::bind(Arc::clone(&platform), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = thread::spawn(move || server.run(workers));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut roundtrip = |line: &str| -> String {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+    let rank_req = Json::obj(vec![
+        ("op", Json::str("rank")),
+        ("exec", Json::str("e")),
+        (
+            "uris",
+            Json::Arr(seeds.iter().map(|u| Json::str(u.as_str())).collect()),
+        ),
+        ("direction", Json::str("up")),
+        ("budget", Json::num(16)),
+        ("limit", Json::num(10)),
+        ("decay", Json::Num(0.25)),
+        (
+            "weights",
+            Json::Obj(vec![("Normaliser".to_string(), Json::Num(0.5))]),
+        ),
+    ])
+    .to_string();
+    let summary_req = Json::obj(vec![
+        ("op", Json::str("summary")),
+        ("exec", Json::str("e")),
+        ("uri", Json::str(seeds[0].as_str())),
+    ])
+    .to_string();
+    let rank_response = roundtrip(&rank_req);
+    let summary_response = roundtrip(&summary_req);
+    let shutdown = Json::obj(vec![("op", Json::str("shutdown"))]).to_string();
+    let _ = roundtrip(&shutdown);
+    let _ = server_thread.join();
+    (rank_response, summary_response)
+}
+
+/// The `result` member of a serve response — the part that must agree
+/// between live and batch builds (the `epoch` stamp legitimately differs:
+/// live publishes one epoch per committed call).
+fn result_of(response: &str) -> String {
+    let parsed = Json::parse(response).unwrap();
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true), "{response}");
+    assert_eq!(
+        parsed.get("v").and_then(Json::as_u64),
+        Some(2),
+        "response must carry the v2 protocol stamp: {response}"
+    );
+    parsed.get("result").unwrap().to_string()
+}
+
+#[test]
+fn ranked_responses_are_byte_identical_across_worker_counts() {
+    for live in [false, true] {
+        let (rank1, summary1) = served_rank_bytes(live, 1);
+        for workers in [2usize, 4] {
+            let (rank_n, summary_n) = served_rank_bytes(live, workers);
+            assert_eq!(rank1, rank_n, "rank bytes diverged at {workers} workers (live={live})");
+            assert_eq!(
+                summary1, summary_n,
+                "summary bytes diverged at {workers} workers (live={live})"
+            );
+        }
+    }
+}
+
+#[test]
+fn ranked_results_agree_between_live_and_batch_builds() {
+    let (rank_batch, summary_batch) = served_rank_bytes(false, 2);
+    let (rank_live, summary_live) = served_rank_bytes(true, 2);
+    assert_eq!(result_of(&rank_batch), result_of(&rank_live));
+    assert_eq!(result_of(&summary_batch), result_of(&summary_live));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With no budget, the visited set of a rank query is *exactly* the
+    /// impacted-by closure (up) / lineage closure (down) of its seed, and
+    /// the entries come out sorted best-first.
+    #[test]
+    fn unbounded_rank_pins_the_exact_closures(
+        seed in 0u64..1000,
+        n_calls in 1usize..6,
+        fanout in 1usize..4,
+    ) {
+        let (mut doc, wf, rules) = synthetic_workload(seed, n_calls, fanout, 0);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let graph = infer_provenance(&doc, &outcome.trace, &rules, &EngineOptions::default());
+        let index = ReachabilityIndex::from_graph(&graph);
+        let opts = QueryOpts::default();
+        let uris: Vec<String> = graph.sources.iter().map(|s| s.uri.clone()).take(6).collect();
+        for uri in &uris {
+            let seeds = [uri.clone()];
+
+            let up = rank(&index, &seeds, RankDirection::Up, &opts, &[]);
+            let mut expect: Vec<String> = index.impacted_by(uri);
+            expect.push(uri.clone());
+            expect.sort();
+            expect.dedup();
+            let mut got: Vec<String> = up.iter().map(|e| e.uri.clone()).collect();
+            got.sort();
+            prop_assert_eq!(&got, &expect, "up closure of {}", uri);
+
+            let down = rank(&index, &seeds, RankDirection::Down, &opts, &[]);
+            let mut expect: Vec<String> = index
+                .lineage(uri, usize::MAX)
+                .into_iter()
+                .map(|(u, _)| u)
+                .collect();
+            expect.sort();
+            expect.dedup();
+            let mut got: Vec<String> = down.iter().map(|e| e.uri.clone()).collect();
+            got.sort();
+            prop_assert_eq!(&got, &expect, "down closure of {}", uri);
+
+            // best-first: score descending, then hop, then uri
+            for pair in up.windows(2) {
+                let key = |e: &weblab::prov::RankedEntry| {
+                    (std::cmp::Reverse(e.score_micro), e.hop, e.uri.clone())
+                };
+                prop_assert!(key(&pair[0]) <= key(&pair[1]));
+            }
+        }
+    }
+
+    /// A budgeted rank never invents resources: every entry it returns is
+    /// in the unbounded closure, and the seed always survives the trim.
+    #[test]
+    fn budgeted_rank_is_a_refinement_of_the_closure(
+        seed in 0u64..1000,
+        n_calls in 1usize..6,
+        fanout in 1usize..4,
+        budget in 1usize..8,
+    ) {
+        let (mut doc, wf, rules) = synthetic_workload(seed, n_calls, fanout, 0);
+        let outcome = Orchestrator::new().execute(&wf, &mut doc).unwrap();
+        let graph = infer_provenance(&doc, &outcome.trace, &rules, &EngineOptions::default());
+        let index = ReachabilityIndex::from_graph(&graph);
+        let Some(first) = graph.sources.first() else {
+            return;
+        };
+        let uri = first.uri.clone();
+        let seeds = [uri.clone()];
+        let bounded = rank(
+            &index,
+            &seeds,
+            RankDirection::Up,
+            &QueryOpts { limit: 0, budget, decay_micro: 0 },
+            &[],
+        );
+        let full: std::collections::HashSet<String> = rank(
+            &index,
+            &seeds,
+            RankDirection::Up,
+            &QueryOpts::default(),
+            &[],
+        )
+        .into_iter()
+        .map(|e| e.uri)
+        .collect();
+        prop_assert!(bounded.len() <= budget.max(1));
+        prop_assert!(bounded.iter().any(|e| e.uri == uri), "seed must survive the trim");
+        for e in &bounded {
+            prop_assert!(full.contains(&e.uri), "{} not in the unbounded closure", e.uri);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::thread;
 
 use weblab::json::Json;
-use weblab::platform::{Mapper, Platform, ProvQuery};
+use weblab::platform::{Mapper, Platform, ProvQuery, QueryOpts, RankDirection};
 use weblab::serve::{handle_line, reference_response, Server};
 use weblab::workflow::generator::generate_corpus;
 use weblab::workflow::services::{
@@ -90,6 +90,40 @@ fn query_fields(q: &ProvQuery) -> Vec<(&'static str, Json)> {
             ("b", Json::str(b.as_str())),
         ],
         ProvQuery::Sparql { query } => vec![("query", Json::str(query.as_str()))],
+        ProvQuery::Rank { uris, direction, opts, weights } => {
+            let mut pairs = vec![
+                (
+                    "uris",
+                    Json::Arr(uris.iter().map(|u| Json::str(u.as_str())).collect()),
+                ),
+                ("direction", Json::str(direction.as_str())),
+            ];
+            if opts.limit != 0 {
+                pairs.push(("limit", Json::num(opts.limit as u64)));
+            }
+            if opts.budget != 0 {
+                pairs.push(("budget", Json::num(opts.budget as u64)));
+            }
+            if opts.decay_micro != 0 {
+                pairs.push(("decay", Json::Num(f64::from(opts.decay_micro) / 1e6)));
+            }
+            if !weights.is_empty() {
+                pairs.push((
+                    "weights",
+                    Json::Obj(
+                        weights
+                            .iter()
+                            .map(|(s, w)| (s.clone(), Json::Num(f64::from(*w) / 1e6)))
+                            .collect(),
+                    ),
+                ));
+            }
+            pairs
+        }
+        ProvQuery::Summary { uri } => match uri {
+            Some(u) => vec![("uri", Json::str(u.as_str()))],
+            None => vec![],
+        },
     }
 }
 
@@ -139,6 +173,15 @@ fn query_mix(uris: &[String]) -> Vec<ProvQuery> {
         query: "PREFIX prov: <http://www.w3.org/ns/prov#> \
                 SELECT ?d ?s WHERE { ?d prov:wasDerivedFrom ?s . }"
             .to_string(),
+    });
+    queries.push(ProvQuery::Rank {
+        uris: uris.to_vec(),
+        direction: RankDirection::Up,
+        opts: QueryOpts { limit: 10, budget: 16, decay_micro: 250_000 },
+        weights: vec![("Normaliser".to_string(), 500_000)],
+    });
+    queries.push(ProvQuery::Summary {
+        uri: uris.first().cloned(),
     });
     queries
 }

@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use weblab::json::Json;
-use weblab::platform::{Mapper, Platform, ProvQuery, ProvStore};
+use weblab::platform::{Mapper, Platform, ProvQuery, ProvStore, QueryOpts, RankDirection};
 use weblab::prov::Parallelism;
 use weblab::rdf::vocab::PROV_NS;
 use weblab::serve::{handle_line, reference_response};
@@ -87,6 +87,40 @@ fn query_fields(q: &ProvQuery) -> Vec<(&'static str, Json)> {
             vec![("a", Json::str(a.as_str())), ("b", Json::str(b.as_str()))]
         }
         ProvQuery::Sparql { query } => vec![("query", Json::str(query.as_str()))],
+        ProvQuery::Rank { uris, direction, opts, weights } => {
+            let mut pairs = vec![
+                (
+                    "uris",
+                    Json::Arr(uris.iter().map(|u| Json::str(u.as_str())).collect()),
+                ),
+                ("direction", Json::str(direction.as_str())),
+            ];
+            if opts.limit != 0 {
+                pairs.push(("limit", Json::num(opts.limit as u64)));
+            }
+            if opts.budget != 0 {
+                pairs.push(("budget", Json::num(opts.budget as u64)));
+            }
+            if opts.decay_micro != 0 {
+                pairs.push(("decay", Json::Num(f64::from(opts.decay_micro) / 1e6)));
+            }
+            if !weights.is_empty() {
+                pairs.push((
+                    "weights",
+                    Json::Obj(
+                        weights
+                            .iter()
+                            .map(|(s, w)| (s.clone(), Json::Num(f64::from(*w) / 1e6)))
+                            .collect(),
+                    ),
+                ));
+            }
+            pairs
+        }
+        ProvQuery::Summary { uri } => match uri {
+            Some(u) => vec![("uri", Json::str(u.as_str()))],
+            None => vec![],
+        },
     }
 }
 
@@ -126,7 +160,14 @@ fn query_suite(platform: &Platform, exec: &str) -> Vec<ProvQuery> {
         queries.push(ProvQuery::Lineage { uri: l.from_uri.clone(), depth: 3 });
         queries.push(ProvQuery::ImpactedBy { uri: l.to_uri.clone() });
         queries.push(ProvQuery::CommonOrigins { a: l.from_uri.clone(), b: l.to_uri.clone() });
+        queries.push(ProvQuery::Rank {
+            uris: vec![l.to_uri.clone()],
+            direction: RankDirection::Up,
+            opts: QueryOpts { limit: 8, budget: 12, decay_micro: 250_000 },
+            weights: Vec::new(),
+        });
     }
+    queries.push(ProvQuery::Summary { uri: None });
     queries
 }
 
